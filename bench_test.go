@@ -1,0 +1,154 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment from
+// internal/harness and reports the headline quantities of that figure as
+// custom benchmark metrics (speedups, latencies, NAP, accuracies), so
+// `go test -bench=. -benchmem` regenerates the complete results table.
+//
+// Benchmarks default to the harness's full scale; set -short to use the quick
+// scale. Absolute numbers differ from the paper (the substrate is a CPU
+// simulator); the reproduced quantities are the relative ones — who wins and
+// by roughly what factor.
+package eagersgd_test
+
+import (
+	"testing"
+
+	"eagersgd/internal/harness"
+)
+
+func benchConfig(b *testing.B) harness.Config {
+	if testing.Short() {
+		return harness.QuickConfig()
+	}
+	return harness.DefaultConfig()
+}
+
+// runExperiment runs the experiment once per benchmark iteration and reports
+// the selected values as metrics.
+func runExperiment(b *testing.B, id string, metrics map[string]string) *harness.Report {
+	b.Helper()
+	cfg := benchConfig(b)
+	var last *harness.Report
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunByID(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = r
+	}
+	for valueKey, metricName := range metrics {
+		b.ReportMetric(last.Value(valueKey), metricName)
+	}
+	return last
+}
+
+// BenchmarkFig2VideoWorkload regenerates Fig. 2: the UCF101 video length
+// distribution and the LSTM batch runtime distribution.
+func BenchmarkFig2VideoWorkload(b *testing.B) {
+	runExperiment(b, "fig2", map[string]string{
+		"video/mean-runtime-ms": "batch-mean-ms",
+		"video/std-runtime-ms":  "batch-std-ms",
+		"video/max-frames":      "max-frames",
+	})
+}
+
+// BenchmarkFig3TransformerWorkload regenerates Fig. 3: the Transformer batch
+// runtime distribution.
+func BenchmarkFig3TransformerWorkload(b *testing.B) {
+	runExperiment(b, "fig3", map[string]string{
+		"transformer/mean-runtime-ms": "batch-mean-ms",
+		"transformer/std-runtime-ms":  "batch-std-ms",
+	})
+}
+
+// BenchmarkFig4CloudWorkload regenerates Fig. 4: the cloud ResNet-50 batch
+// runtime distribution.
+func BenchmarkFig4CloudWorkload(b *testing.B) {
+	runExperiment(b, "fig4", map[string]string{
+		"cloud/mean-runtime-ms": "batch-mean-ms",
+		"cloud/std-runtime-ms":  "batch-std-ms",
+	})
+}
+
+// BenchmarkTable1Networks regenerates Table 1 (paper and reproduction
+// configurations).
+func BenchmarkTable1Networks(b *testing.B) {
+	runExperiment(b, "table1", nil)
+}
+
+// BenchmarkFig9PartialAllreduceLatency regenerates Fig. 9: average latency of
+// the synchronous, solo, and majority allreduce under linear skew, plus the
+// number of active processes.
+func BenchmarkFig9PartialAllreduceLatency(b *testing.B) {
+	runExperiment(b, "fig9", map[string]string{
+		"speedup/solo-mean":     "solo-speedup-x",
+		"speedup/majority-mean": "majority-speedup-x",
+	})
+}
+
+// BenchmarkFig10Hyperplane regenerates Fig. 10: hyperplane regression
+// throughput and loss under 200/300/400 ms injections.
+func BenchmarkFig10Hyperplane(b *testing.B) {
+	metrics := map[string]string{
+		"speedup/eager-solo/200": "speedup-200ms-x",
+		"loss/eager-solo/200":    "eager-loss-200ms",
+		"loss/synch-deep500/200": "synch-loss-200ms",
+	}
+	if !testing.Short() {
+		metrics["speedup/eager-solo/300"] = "speedup-300ms-x"
+		metrics["speedup/eager-solo/400"] = "speedup-400ms-x"
+	}
+	runExperiment(b, "fig10", metrics)
+}
+
+// BenchmarkFig11ImageNetLight regenerates Fig. 11: ImageNet-like
+// classification with light injected imbalance on 64 processes.
+func BenchmarkFig11ImageNetLight(b *testing.B) {
+	runExperiment(b, "fig11", map[string]string{
+		"speedup/eager-solo/300":    "speedup-vs-deep500-300ms-x",
+		"speedup/synch-horovod/300": "horovod-vs-deep500-300ms-x",
+		"top1/eager-solo/300":       "eager-top1-300ms",
+		"top1/synch-deep500/300":    "deep500-top1-300ms",
+	})
+}
+
+// BenchmarkFig12Cifar10Severe regenerates Fig. 12: CIFAR-like classification
+// under severe, shifting skew.
+func BenchmarkFig12Cifar10Severe(b *testing.B) {
+	runExperiment(b, "fig12", map[string]string{
+		"speedup/eager-majority": "majority-speedup-x",
+		"speedup/eager-solo":     "solo-speedup-x",
+		"top1/synch-horovod":     "synch-top1",
+		"top1/eager-majority":    "majority-top1",
+		"top1/eager-solo":        "solo-top1",
+	})
+}
+
+// BenchmarkFig13VideoLSTM regenerates Fig. 13: LSTM video classification with
+// inherent load imbalance.
+func BenchmarkFig13VideoLSTM(b *testing.B) {
+	runExperiment(b, "fig13", map[string]string{
+		"speedup/eager-majority": "majority-speedup-x",
+		"speedup/eager-solo":     "solo-speedup-x",
+		"top1/synch-horovod":     "synch-top1",
+		"top1/eager-majority":    "majority-top1",
+		"top1/eager-solo":        "solo-top1",
+	})
+}
+
+// BenchmarkScalingSummary regenerates the strong-scaling observations of
+// §6.2.1.
+func BenchmarkScalingSummary(b *testing.B) {
+	runExperiment(b, "scaling", map[string]string{
+		"speedup/eager-solo":    "eager-strong-scaling-x",
+		"speedup/synch-deep500": "synch-strong-scaling-x",
+	})
+}
+
+// BenchmarkQuorumSpectrum regenerates the §8 ablation: the quorum allreduce
+// spectrum between majority and solo.
+func BenchmarkQuorumSpectrum(b *testing.B) {
+	runExperiment(b, "quorum", map[string]string{
+		"nap/candidates-1": "nap-majority-like",
+	})
+}

@@ -1,0 +1,33 @@
+// Command partialbench runs the partial-collective microbenchmark of §6.1
+// (Figs. 8 and 9): all ranks are linearly skewed before calling the
+// collective and the average latency of the synchronous allreduce, solo
+// allreduce, and majority allreduce is reported per message size, together
+// with the number of active processes of the partial collectives.
+//
+// Usage:
+//
+//	partialbench             # 32 ranks, 64 B – 4 MB, full scale
+//	partialbench -quick      # 8 ranks, reduced sizes, seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eagersgd/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced test scale")
+	clockScale := flag.Float64("clock-scale", 0, "override the delay clock scale (0 = default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	report, err := harness.Fig9Microbenchmark(harness.Config{Quick: *quick, ClockScale: *clockScale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "partialbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.Render())
+}

@@ -1,0 +1,50 @@
+// Command trainsim runs the end-to-end training experiments of the paper's
+// evaluation (§6.2–§6.3): Fig. 10 (hyperplane), Fig. 11 (ImageNet-like, light
+// imbalance), Fig. 12 (CIFAR-like, severe imbalance), Fig. 13 (video LSTM,
+// inherent imbalance), Table 1, plus the scaling summary and the quorum
+// spectrum ablation.
+//
+// Usage:
+//
+//	trainsim -experiment fig10          # one experiment at full scale
+//	trainsim -experiment all -quick     # every experiment at test scale
+//	trainsim -list                      # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eagersgd/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (fig10, fig11, fig12, fig13, table1, scaling, quorum) or \"all\"")
+	quick := flag.Bool("quick", false, "run at reduced test scale")
+	clockScale := flag.Float64("clock-scale", 0, "override the delay clock scale (0 = per-experiment default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.Config{Quick: *quick, ClockScale: *clockScale, Seed: *seed}
+	ids := []string{"table1", "fig10", "fig11", "fig12", "fig13", "scaling", "quorum"}
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+	for _, id := range ids {
+		report, err := harness.RunByID(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trainsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(report.Render())
+	}
+}

@@ -1,0 +1,38 @@
+// Command workload regenerates the workload-characterization figures of §2:
+// Fig. 2 (UCF101 video lengths and LSTM batch runtimes), Fig. 3 (Transformer
+// batch runtimes), and Fig. 4 (cloud ResNet-50 batch runtimes).
+//
+// Usage:
+//
+//	workload            # all three figures
+//	workload -fig 2     # only Fig. 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eagersgd/internal/harness"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (2, 3, or 4); 0 runs all")
+	quick := flag.Bool("quick", false, "run at reduced sample counts")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	ids := []string{"fig2", "fig3", "fig4"}
+	if *fig != 0 {
+		ids = []string{fmt.Sprintf("fig%d", *fig)}
+	}
+	for _, id := range ids {
+		report, err := harness.RunByID(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workload: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(report.Render())
+	}
+}

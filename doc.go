@@ -1,0 +1,12 @@
+// Package eagersgd is a from-scratch Go reproduction of "Taming Unbalanced
+// Training Workloads in Deep Learning with Partial Collective Operations"
+// (Li et al., PPoPP 2020): partial collective operations (solo and majority
+// allreduce) built on a communication-schedule engine, the eager-SGD
+// distributed training algorithm that uses them, the synchronous SGD
+// baselines it is compared against, and a benchmark harness that regenerates
+// every figure and table of the paper's evaluation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are the binaries under cmd/, the
+// examples under examples/, and the benchmarks in bench_test.go.
+package eagersgd

@@ -1,0 +1,436 @@
+// Package collectives implements the synchronous collective operations the
+// paper uses as its baseline (§3, §7): allreduce with three classic
+// algorithms (recursive doubling, ring, and Rabenseifner's reduce-scatter +
+// allgather), broadcast, reduce, allgather, and barrier.
+//
+// All operations are SPMD: every rank of the communicator must call the same
+// sequence of collectives with compatible arguments. A collective call does
+// not return on any rank before every rank has entered it (that is the
+// synchronization the paper's partial collectives relax).
+package collectives
+
+import (
+	"fmt"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// tagBase is the private tag namespace of this package. All collective
+// traffic uses tags in [tagBase, tagBase+tagSpan) so it cannot collide with
+// the partial-collective engine or application point-to-point messages.
+const (
+	tagBase = 1 << 20
+	tagSpan = 1 << 10
+
+	tagRecursiveDoubling = tagBase + 0
+	tagRingReduce        = tagBase + 64
+	tagRingGather        = tagBase + 128
+	tagBroadcast         = tagBase + 192
+	tagReduce            = tagBase + 256
+	tagBarrier           = tagBase + 320
+	tagAllgather         = tagBase + 384
+	tagFold              = tagBase + 448
+	tagScatterReduce     = tagBase + 512
+	tagAllgatherRab      = tagBase + 576
+)
+
+// ReduceOp identifies the element-wise combination applied by reductions.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// Apply combines incoming into local element-wise according to the operator.
+func (op ReduceOp) Apply(local, incoming tensor.Vector) {
+	switch op {
+	case OpSum:
+		local.Add(incoming)
+	case OpMax:
+		for i, x := range incoming {
+			if x > local[i] {
+				local[i] = x
+			}
+		}
+	case OpMin:
+		for i, x := range incoming {
+			if x < local[i] {
+				local[i] = x
+			}
+		}
+	default:
+		panic(fmt.Sprintf("collectives: unknown reduce op %d", int(op)))
+	}
+}
+
+// String returns the operator name.
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// Algorithm selects the allreduce implementation.
+type Algorithm int
+
+// Available allreduce algorithms.
+const (
+	// AlgoAuto picks recursive doubling for small vectors and Rabenseifner's
+	// algorithm for large ones, mirroring production MPI libraries.
+	AlgoAuto Algorithm = iota
+	AlgoRecursiveDoubling
+	AlgoRing
+	AlgoRabenseifner
+)
+
+// autoThreshold is the element count above which AlgoAuto switches from the
+// latency-optimal recursive doubling to the bandwidth-optimal Rabenseifner
+// algorithm.
+const autoThreshold = 4096
+
+// Allreduce reduces data element-wise across all ranks with op and leaves the
+// identical result in data on every rank. The operation is synchronous: it
+// cannot complete before the slowest rank joins.
+func Allreduce(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo Algorithm) error {
+	switch algo {
+	case AlgoRecursiveDoubling:
+		return allreduceRecursiveDoubling(c, data, op)
+	case AlgoRing:
+		return allreduceRing(c, data, op)
+	case AlgoRabenseifner:
+		return allreduceRabenseifner(c, data, op)
+	case AlgoAuto:
+		if len(data) <= autoThreshold || c.Size() < 4 {
+			return allreduceRecursiveDoubling(c, data, op)
+		}
+		return allreduceRabenseifner(c, data, op)
+	default:
+		return fmt.Errorf("collectives: unknown algorithm %d", int(algo))
+	}
+}
+
+// allreduceRecursiveDoubling implements the O(log P) latency algorithm with
+// the standard fold for non-power-of-two process counts.
+func allreduceRecursiveDoubling(c *comm.Communicator, data tensor.Vector, op ReduceOp) error {
+	rank, size := c.Rank(), c.Size()
+	if size == 1 {
+		return nil
+	}
+	pof2 := largestPowerOfTwo(size)
+	rem := size - pof2
+
+	inDoubling := true
+	doublingRank := rank
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		if err := c.Send(rank+1, tagFold, data); err != nil {
+			return err
+		}
+		inDoubling = false
+	case rank < 2*rem && rank%2 == 1:
+		incoming, _, err := c.Recv(rank-1, tagFold)
+		if err != nil {
+			return err
+		}
+		op.Apply(data, incoming)
+		doublingRank = rank / 2
+	default:
+		doublingRank = rank - rem
+	}
+
+	if inDoubling {
+		step := 0
+		for d := 1; d < pof2; d *= 2 {
+			peer := doublingToRank(doublingRank^d, rem)
+			incoming, _, err := c.SendRecv(peer, tagRecursiveDoubling+step, data, peer, tagRecursiveDoubling+step)
+			if err != nil {
+				return err
+			}
+			op.Apply(data, incoming)
+			step++
+		}
+	}
+
+	// Post phase: odd folded ranks return the result to their even partners.
+	switch {
+	case rank < 2*rem && rank%2 == 1:
+		return c.Send(rank-1, tagFold+1, data)
+	case rank < 2*rem && rank%2 == 0:
+		result, _, err := c.Recv(rank+1, tagFold+1)
+		if err != nil {
+			return err
+		}
+		data.CopyFrom(result)
+	}
+	return nil
+}
+
+// allreduceRing implements the bandwidth-optimal ring allreduce
+// (reduce-scatter around the ring followed by allgather around the ring).
+func allreduceRing(c *comm.Communicator, data tensor.Vector, op ReduceOp) error {
+	rank, size := c.Rank(), c.Size()
+	if size == 1 {
+		return nil
+	}
+	chunks := data.Chunk(size)
+	next := (rank + 1) % size
+	prev := (rank - 1 + size) % size
+
+	// Reduce-scatter: after size-1 steps, chunk (rank+1) mod size holds the
+	// full reduction on this rank.
+	for step := 0; step < size-1; step++ {
+		sendIdx := (rank - step + size) % size
+		recvIdx := (rank - step - 1 + size) % size
+		incoming, _, err := c.SendRecv(next, tagRingReduce+step, chunks[sendIdx], prev, tagRingReduce+step)
+		if err != nil {
+			return err
+		}
+		op.Apply(chunks[recvIdx], incoming)
+	}
+
+	// Allgather: circulate the fully reduced chunks.
+	for step := 0; step < size-1; step++ {
+		sendIdx := (rank - step + 1 + size) % size
+		recvIdx := (rank - step + size) % size
+		incoming, _, err := c.SendRecv(next, tagRingGather+step, chunks[sendIdx], prev, tagRingGather+step)
+		if err != nil {
+			return err
+		}
+		chunks[recvIdx].CopyFrom(incoming)
+	}
+	return nil
+}
+
+// allreduceRabenseifner implements Rabenseifner's algorithm: a recursive
+// halving reduce-scatter followed by a recursive doubling allgather. For
+// non-power-of-two sizes it first folds the extra ranks as in recursive
+// doubling.
+func allreduceRabenseifner(c *comm.Communicator, data tensor.Vector, op ReduceOp) error {
+	rank, size := c.Rank(), c.Size()
+	if size == 1 {
+		return nil
+	}
+	pof2 := largestPowerOfTwo(size)
+	rem := size - pof2
+
+	inGroup := true
+	groupRank := rank
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		if err := c.Send(rank+1, tagFold+2, data); err != nil {
+			return err
+		}
+		inGroup = false
+	case rank < 2*rem && rank%2 == 1:
+		incoming, _, err := c.Recv(rank-1, tagFold+2)
+		if err != nil {
+			return err
+		}
+		op.Apply(data, incoming)
+		groupRank = rank / 2
+	default:
+		groupRank = rank - rem
+	}
+
+	if inGroup {
+		// Recursive halving reduce-scatter. Track the [lo, hi) element range
+		// this rank is responsible for.
+		lo, hi := 0, len(data)
+		step := 0
+		for d := pof2 / 2; d >= 1; d /= 2 {
+			peerGroup := groupRank ^ d
+			peer := doublingToRank(peerGroup, rem)
+			mid := lo + (hi-lo)/2
+			var sendLo, sendHi, keepLo, keepHi int
+			if groupRank&d == 0 {
+				// Keep the lower half, send the upper half.
+				sendLo, sendHi, keepLo, keepHi = mid, hi, lo, mid
+			} else {
+				sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
+			}
+			incoming, _, err := c.SendRecv(peer, tagScatterReduce+step, data[sendLo:sendHi], peer, tagScatterReduce+step)
+			if err != nil {
+				return err
+			}
+			op.Apply(data[keepLo:keepHi], incoming)
+			lo, hi = keepLo, keepHi
+			step++
+		}
+
+		// Recursive doubling allgather reverses the halving. The two partners
+		// at distance d own adjacent ranges whose sizes may differ by the
+		// floor/ceil split, so the incoming length determines how far the
+		// owned range grows.
+		agStep := 0
+		for d := 1; d < pof2; d *= 2 {
+			peerGroup := groupRank ^ d
+			peer := doublingToRank(peerGroup, rem)
+			incoming, _, err := c.SendRecv(peer, tagAllgatherRab+agStep, data[lo:hi], peer, tagAllgatherRab+agStep)
+			if err != nil {
+				return err
+			}
+			if groupRank&d == 0 {
+				data[hi : hi+len(incoming)].CopyFrom(incoming)
+				hi += len(incoming)
+			} else {
+				data[lo-len(incoming) : lo].CopyFrom(incoming)
+				lo -= len(incoming)
+			}
+			agStep++
+		}
+	}
+
+	// Post phase for folded-out ranks.
+	switch {
+	case rank < 2*rem && rank%2 == 1:
+		return c.Send(rank-1, tagFold+3, data)
+	case rank < 2*rem && rank%2 == 0:
+		result, _, err := c.Recv(rank+1, tagFold+3)
+		if err != nil {
+			return err
+		}
+		data.CopyFrom(result)
+	}
+	return nil
+}
+
+// Broadcast copies data from the root rank to every other rank using a
+// binomial tree. All ranks must pass a buffer of the same length.
+func Broadcast(c *comm.Communicator, root int, data tensor.Vector) error {
+	rank, size := c.Rank(), c.Size()
+	if size == 1 {
+		return nil
+	}
+	if root < 0 || root >= size {
+		return fmt.Errorf("collectives: broadcast root %d out of range", root)
+	}
+	rel := (rank - root + size) % size
+
+	// Receive from parent (unless root).
+	if rel != 0 {
+		mask := 1
+		for mask < size {
+			if rel&mask != 0 {
+				parent := (rel - mask + root) % size
+				incoming, _, err := c.Recv(parent, tagBroadcast)
+				if err != nil {
+					return err
+				}
+				data.CopyFrom(incoming)
+				break
+			}
+			mask *= 2
+		}
+	}
+	// Forward to children.
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			break
+		}
+		childRel := rel + mask
+		if childRel < size {
+			child := (childRel + root) % size
+			if err := c.Send(child, tagBroadcast, data); err != nil {
+				return err
+			}
+		}
+		mask *= 2
+	}
+	return nil
+}
+
+// Reduce combines data from all ranks onto the root with op; other ranks'
+// buffers are left unchanged. It is implemented as an allreduce followed by
+// discarding on non-roots, which is wasteful but simple; it is only used for
+// small metric vectors in this repository.
+func Reduce(c *comm.Communicator, root int, data tensor.Vector, op ReduceOp) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("collectives: reduce root %d out of range", root)
+	}
+	scratch := data.Clone()
+	if err := Allreduce(c, scratch, op, AlgoRecursiveDoubling); err != nil {
+		return err
+	}
+	if c.Rank() == root {
+		data.CopyFrom(scratch)
+	}
+	return nil
+}
+
+// Allgather concatenates each rank's contribution (all of identical length)
+// into a vector of length size*len(contrib), ordered by rank, on every rank.
+func Allgather(c *comm.Communicator, contrib tensor.Vector) (tensor.Vector, error) {
+	size := c.Size()
+	rank := c.Rank()
+	n := len(contrib)
+	out := tensor.NewVector(size * n)
+	out[rank*n : (rank+1)*n].CopyFrom(contrib)
+	if size == 1 {
+		return out, nil
+	}
+	// Ring allgather: size-1 steps, passing blocks around.
+	next := (rank + 1) % size
+	prev := (rank - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sendIdx := (rank - step + size) % size
+		recvIdx := (rank - step - 1 + size) % size
+		incoming, _, err := c.SendRecv(next, tagAllgather+step, out[sendIdx*n:(sendIdx+1)*n], prev, tagAllgather+step)
+		if err != nil {
+			return nil, err
+		}
+		out[recvIdx*n : (recvIdx+1)*n].CopyFrom(incoming)
+	}
+	return out, nil
+}
+
+// Barrier blocks until every rank has entered it, using a dissemination
+// barrier (log2(size) rounds of token exchange).
+func Barrier(c *comm.Communicator) error {
+	token := tensor.NewVector(1)
+	rank, size := c.Rank(), c.Size()
+	if size == 1 {
+		return nil
+	}
+	// Dissemination barrier: log2(size) rounds.
+	step := 0
+	for d := 1; d < size; d *= 2 {
+		to := (rank + d) % size
+		from := (rank - d + size) % size
+		if _, _, err := c.SendRecv(to, tagBarrier+step, token, from, tagBarrier+step); err != nil {
+			return err
+		}
+		step++
+	}
+	return nil
+}
+
+// largestPowerOfTwo returns the largest power of two less than or equal to n.
+func largestPowerOfTwo(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// doublingToRank maps a rank id within the folded power-of-two group back to
+// the original communicator rank (inverse of the fold used for
+// non-power-of-two sizes).
+func doublingToRank(groupRank, rem int) int {
+	if groupRank < rem {
+		return groupRank*2 + 1
+	}
+	return groupRank + rem
+}

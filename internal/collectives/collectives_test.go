@@ -1,0 +1,380 @@
+package collectives_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eagersgd/internal/collectives"
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/transport"
+)
+
+// runSPMD runs body concurrently on every rank of a fresh in-process world
+// and fails the test on error or timeout.
+func runSPMD(t *testing.T, p int, body func(c *comm.Communicator) error) {
+	t.Helper()
+	world := transport.NewInprocWorld(p)
+	defer world[0].Close()
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = body(world[r])
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("collective did not complete (deadlock)")
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// expectedSum computes the element-wise sum of the per-rank test vectors used
+// by makeContribution.
+func makeContribution(rank, n int) tensor.Vector {
+	v := tensor.NewVector(n)
+	for i := range v {
+		v[i] = float64(rank+1) * float64(i+1)
+	}
+	return v
+}
+
+func expectedSum(p, n int) tensor.Vector {
+	want := tensor.NewVector(n)
+	for r := 0; r < p; r++ {
+		want.Add(makeContribution(r, n))
+	}
+	return want
+}
+
+func testAllreduceCorrect(t *testing.T, algo collectives.Algorithm, sizes []int, lengths []int) {
+	t.Helper()
+	for _, p := range sizes {
+		for _, n := range lengths {
+			p, n := p, n
+			t.Run(fmt.Sprintf("p%d_n%d", p, n), func(t *testing.T) {
+				want := expectedSum(p, n)
+				var mu sync.Mutex
+				results := make(map[int]tensor.Vector)
+				runSPMD(t, p, func(c *comm.Communicator) error {
+					data := makeContribution(c.Rank(), n)
+					if err := collectives.Allreduce(c, data, collectives.OpSum, algo); err != nil {
+						return err
+					}
+					mu.Lock()
+					results[c.Rank()] = data
+					mu.Unlock()
+					return nil
+				})
+				for r := 0; r < p; r++ {
+					if !results[r].AllClose(want, 1e-9) {
+						t.Fatalf("rank %d: wrong allreduce result", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceRecursiveDoubling(t *testing.T) {
+	testAllreduceCorrect(t, collectives.AlgoRecursiveDoubling, []int{1, 2, 3, 4, 5, 6, 7, 8, 16}, []int{1, 7, 64})
+}
+
+func TestAllreduceRing(t *testing.T) {
+	testAllreduceCorrect(t, collectives.AlgoRing, []int{1, 2, 3, 4, 5, 8}, []int{8, 65, 128})
+}
+
+func TestAllreduceRabenseifner(t *testing.T) {
+	testAllreduceCorrect(t, collectives.AlgoRabenseifner, []int{1, 2, 3, 4, 5, 6, 8, 16}, []int{16, 63, 257})
+}
+
+func TestAllreduceAuto(t *testing.T) {
+	testAllreduceCorrect(t, collectives.AlgoAuto, []int{4, 8}, []int{16, 8192})
+}
+
+func TestAllreduceUnknownAlgorithm(t *testing.T) {
+	runSPMD(t, 1, func(c *comm.Communicator) error {
+		err := collectives.Allreduce(c, tensor.Vector{1}, collectives.OpSum, collectives.Algorithm(42))
+		if err == nil {
+			return fmt.Errorf("expected error for unknown algorithm")
+		}
+		return nil
+	})
+}
+
+func TestAllreduceMaxAndMin(t *testing.T) {
+	const p = 5
+	var mu sync.Mutex
+	maxResults := make(map[int]tensor.Vector)
+	minResults := make(map[int]tensor.Vector)
+	runSPMD(t, p, func(c *comm.Communicator) error {
+		maxData := tensor.Vector{float64(c.Rank()), float64(-c.Rank()), 3}
+		if err := collectives.Allreduce(c, maxData, collectives.OpMax, collectives.AlgoRecursiveDoubling); err != nil {
+			return err
+		}
+		minData := tensor.Vector{float64(c.Rank()), float64(-c.Rank()), 3}
+		if err := collectives.Allreduce(c, minData, collectives.OpMin, collectives.AlgoRecursiveDoubling); err != nil {
+			return err
+		}
+		mu.Lock()
+		maxResults[c.Rank()] = maxData
+		minResults[c.Rank()] = minData
+		mu.Unlock()
+		return nil
+	})
+	for r := 0; r < p; r++ {
+		if !maxResults[r].Equal(tensor.Vector{4, 0, 3}) {
+			t.Fatalf("rank %d max result %v", r, maxResults[r])
+		}
+		if !minResults[r].Equal(tensor.Vector{0, -4, 3}) {
+			t.Fatalf("rank %d min result %v", r, minResults[r])
+		}
+	}
+}
+
+func TestReduceOpApplyAndString(t *testing.T) {
+	a := tensor.Vector{1, 5}
+	collectives.OpSum.Apply(a, tensor.Vector{2, 2})
+	if !a.Equal(tensor.Vector{3, 7}) {
+		t.Fatalf("sum apply: %v", a)
+	}
+	collectives.OpMax.Apply(a, tensor.Vector{10, 0})
+	if !a.Equal(tensor.Vector{10, 7}) {
+		t.Fatalf("max apply: %v", a)
+	}
+	collectives.OpMin.Apply(a, tensor.Vector{2, 100})
+	if !a.Equal(tensor.Vector{2, 7}) {
+		t.Fatalf("min apply: %v", a)
+	}
+	for _, op := range []collectives.ReduceOp{collectives.OpSum, collectives.OpMax, collectives.OpMin, collectives.ReduceOp(9)} {
+		if op.String() == "" {
+			t.Fatal("empty op name")
+		}
+	}
+}
+
+func TestBroadcastAllRoots(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		for root := 0; root < p; root++ {
+			p, root := p, root
+			t.Run(fmt.Sprintf("p%d_root%d", p, root), func(t *testing.T) {
+				var mu sync.Mutex
+				results := make(map[int]tensor.Vector)
+				runSPMD(t, p, func(c *comm.Communicator) error {
+					data := tensor.NewVector(5)
+					if c.Rank() == root {
+						data.CopyFrom(tensor.Vector{1, 2, 3, 4, 5})
+					}
+					if err := collectives.Broadcast(c, root, data); err != nil {
+						return err
+					}
+					mu.Lock()
+					results[c.Rank()] = data
+					mu.Unlock()
+					return nil
+				})
+				for r := 0; r < p; r++ {
+					if !results[r].Equal(tensor.Vector{1, 2, 3, 4, 5}) {
+						t.Fatalf("rank %d did not receive broadcast: %v", r, results[r])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestBroadcastInvalidRoot(t *testing.T) {
+	runSPMD(t, 2, func(c *comm.Communicator) error {
+		if err := collectives.Broadcast(c, 7, tensor.Vector{1}); err == nil {
+			return fmt.Errorf("expected error for invalid root")
+		}
+		return nil
+	})
+}
+
+func TestReduceToRoot(t *testing.T) {
+	const p = 6
+	const n = 4
+	want := expectedSum(p, n)
+	var mu sync.Mutex
+	results := make(map[int]tensor.Vector)
+	runSPMD(t, p, func(c *comm.Communicator) error {
+		data := makeContribution(c.Rank(), n)
+		if err := collectives.Reduce(c, 2, data, collectives.OpSum); err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = data
+		mu.Unlock()
+		return nil
+	})
+	if !results[2].AllClose(want, 1e-9) {
+		t.Fatalf("root result %v, want %v", results[2], want)
+	}
+	// Non-root buffers must be untouched.
+	if !results[0].Equal(makeContribution(0, n)) {
+		t.Fatalf("non-root buffer modified: %v", results[0])
+	}
+}
+
+func TestReduceInvalidRoot(t *testing.T) {
+	runSPMD(t, 2, func(c *comm.Communicator) error {
+		if err := collectives.Reduce(c, -1, tensor.Vector{1}, collectives.OpSum); err == nil {
+			return fmt.Errorf("expected error")
+		}
+		return nil
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			var mu sync.Mutex
+			results := make(map[int]tensor.Vector)
+			runSPMD(t, p, func(c *comm.Communicator) error {
+				contrib := tensor.Vector{float64(c.Rank()), float64(c.Rank() * 10)}
+				out, err := collectives.Allgather(c, contrib)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				results[c.Rank()] = out
+				mu.Unlock()
+				return nil
+			})
+			want := tensor.NewVector(2 * p)
+			for r := 0; r < p; r++ {
+				want[2*r] = float64(r)
+				want[2*r+1] = float64(r * 10)
+			}
+			for r := 0; r < p; r++ {
+				if !results[r].Equal(want) {
+					t.Fatalf("rank %d allgather %v, want %v", r, results[r], want)
+				}
+			}
+		})
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 8
+	var before, after [p]time.Time
+	runSPMD(t, p, func(c *comm.Communicator) error {
+		// Stagger arrivals so the barrier has real work to do.
+		time.Sleep(time.Duration(c.Rank()) * 5 * time.Millisecond)
+		before[c.Rank()] = time.Now()
+		if err := collectives.Barrier(c); err != nil {
+			return err
+		}
+		after[c.Rank()] = time.Now()
+		return nil
+	})
+	// No rank may leave the barrier before the last rank entered it.
+	lastEnter := before[0]
+	for _, b := range before {
+		if b.After(lastEnter) {
+			lastEnter = b
+		}
+	}
+	for r, a := range after {
+		if a.Before(lastEnter) {
+			t.Fatalf("rank %d left the barrier %v before the last rank entered", r, lastEnter.Sub(a))
+		}
+	}
+}
+
+func TestConsecutiveAllreducesDoNotInterfere(t *testing.T) {
+	const p = 4
+	const rounds = 20
+	var mu sync.Mutex
+	results := make(map[int][]float64)
+	runSPMD(t, p, func(c *comm.Communicator) error {
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		var got []float64
+		for round := 0; round < rounds; round++ {
+			data := tensor.Vector{float64(round*10 + c.Rank())}
+			// Random per-rank jitter so ranks enter successive collectives in
+			// different orders.
+			time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+			if err := collectives.Allreduce(c, data, collectives.OpSum, collectives.AlgoRecursiveDoubling); err != nil {
+				return err
+			}
+			got = append(got, data[0])
+		}
+		mu.Lock()
+		results[c.Rank()] = got
+		mu.Unlock()
+		return nil
+	})
+	for round := 0; round < rounds; round++ {
+		want := 0.0
+		for r := 0; r < p; r++ {
+			want += float64(round*10 + r)
+		}
+		for r := 0; r < p; r++ {
+			if results[r][round] != want {
+				t.Fatalf("round %d rank %d = %v, want %v (cross-round interference)", round, r, results[r][round], want)
+			}
+		}
+	}
+}
+
+// Property: all three allreduce algorithms agree with a locally computed sum
+// for random sizes and payloads.
+func TestPropAllreduceAlgorithmsAgree(t *testing.T) {
+	f := func(pRaw, nRaw uint8, seed int64) bool {
+		p := int(pRaw%6) + 1
+		n := int(nRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		contribs := make([]tensor.Vector, p)
+		want := tensor.NewVector(n)
+		for r := 0; r < p; r++ {
+			contribs[r] = tensor.NewVector(n)
+			contribs[r].Randomize(rng, 10)
+			want.Add(contribs[r])
+		}
+		for _, algo := range []collectives.Algorithm{collectives.AlgoRecursiveDoubling, collectives.AlgoRing, collectives.AlgoRabenseifner} {
+			world := transport.NewInprocWorld(p)
+			ok := true
+			var wg sync.WaitGroup
+			for r := 0; r < p; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					data := contribs[r].Clone()
+					if err := collectives.Allreduce(world[r], data, collectives.OpSum, algo); err != nil {
+						ok = false
+						return
+					}
+					if !data.AllClose(want, 1e-6) {
+						ok = false
+					}
+				}(r)
+			}
+			wg.Wait()
+			world[0].Close()
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package comm provides the message-passing substrate the collectives are
+// built on: ranks, communicators, and tag-matched point-to-point messaging
+// with blocking and non-blocking variants.
+//
+// The design mirrors the small subset of MPI semantics the paper relies on.
+// A Communicator wraps a transport Endpoint (see internal/transport for the
+// in-process and TCP implementations) and adds MPI-style message matching:
+// receives name a (source, tag) pair — either may be a wildcard — and messages
+// that arrive before a matching receive is posted are held in an unexpected
+// queue, preserving per-(source, tag) FIFO order.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"eagersgd/internal/tensor"
+)
+
+// Wildcards accepted by Recv and Irecv.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// ErrClosed is returned by operations on a communicator whose transport has
+// been shut down.
+var ErrClosed = errors.New("comm: communicator closed")
+
+// ErrCanceled is returned by RecvCancel when the cancel channel fires before
+// a matching message arrives.
+var ErrCanceled = errors.New("comm: receive canceled")
+
+// Message is the unit of communication: a payload of float64 values labelled
+// with the sending rank and a user tag.
+type Message struct {
+	Source int
+	Tag    int
+	Data   tensor.Vector
+}
+
+// Endpoint is the contract a transport must satisfy to back a Communicator.
+// Implementations live in internal/transport.
+type Endpoint interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the job.
+	Size() int
+	// Send delivers m to the destination rank. It may block for flow control
+	// but must not require the destination to have posted a receive.
+	Send(dest int, m Message) error
+	// Inbox returns the stream of messages addressed to this rank. The channel
+	// is closed when the endpoint is closed.
+	Inbox() <-chan Message
+	// Close shuts the endpoint down and releases its resources.
+	Close() error
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// Communicator provides blocking and non-blocking tagged point-to-point
+// communication among a fixed group of ranks. It is safe for concurrent use
+// by multiple goroutines.
+type Communicator struct {
+	ep Endpoint
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Message // unexpected-message queue, arrival order
+	closed  bool
+	demuxWG sync.WaitGroup
+}
+
+// NewCommunicator wraps a transport endpoint. The communicator starts a demux
+// goroutine that drains the endpoint's inbox; Close (or closing the endpoint)
+// stops it.
+func NewCommunicator(ep Endpoint) *Communicator {
+	c := &Communicator{ep: ep}
+	c.cond = sync.NewCond(&c.mu)
+	c.demuxWG.Add(1)
+	go c.demux()
+	return c
+}
+
+func (c *Communicator) demux() {
+	defer c.demuxWG.Done()
+	for m := range c.ep.Inbox() {
+		c.mu.Lock()
+		c.queue = append(c.queue, m)
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Rank returns this communicator's rank.
+func (c *Communicator) Rank() int { return c.ep.Rank() }
+
+// Size returns the number of ranks in the communicator.
+func (c *Communicator) Size() int { return c.ep.Size() }
+
+// Close shuts down the underlying endpoint and wakes any blocked receivers
+// with ErrClosed.
+func (c *Communicator) Close() error {
+	err := c.ep.Close()
+	c.demuxWG.Wait()
+	return err
+}
+
+func (c *Communicator) checkPeer(rank int) error {
+	if rank < 0 || rank >= c.Size() {
+		return fmt.Errorf("comm: peer rank %d out of range [0,%d)", rank, c.Size())
+	}
+	return nil
+}
+
+// Send delivers data to dest with the given tag. The payload is copied before
+// being handed to the transport, so the caller may reuse the buffer
+// immediately.
+func (c *Communicator) Send(dest, tag int, data tensor.Vector) error {
+	if err := c.checkPeer(dest); err != nil {
+		return err
+	}
+	msg := Message{Source: c.Rank(), Tag: tag, Data: data.Clone()}
+	return c.ep.Send(dest, msg)
+}
+
+// matchLocked scans the unexpected queue for the first message matching
+// (source, tag) and removes it. Caller must hold c.mu.
+func (c *Communicator) matchLocked(source, tag int) (Message, bool) {
+	for i, m := range c.queue {
+		if (source == AnySource || m.Source == source) && (tag == AnyTag || m.Tag == tag) {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// Recv blocks until a message matching (source, tag) arrives and returns its
+// payload and status. source may be AnySource and tag may be AnyTag.
+func (c *Communicator) Recv(source, tag int) (tensor.Vector, Status, error) {
+	if source != AnySource {
+		if err := c.checkPeer(source); err != nil {
+			return nil, Status{}, err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if m, ok := c.matchLocked(source, tag); ok {
+			return m.Data, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+		}
+		if c.closed {
+			return nil, Status{}, ErrClosed
+		}
+		c.cond.Wait()
+	}
+}
+
+// RecvCancel behaves like Recv but gives up with ErrCanceled if cancel is
+// closed before a matching message arrives. It is used by the schedule
+// executor to abandon receives for redundant activation messages that may
+// never be sent (e.g. when this rank was the only initiator of a solo
+// collective).
+func (c *Communicator) RecvCancel(source, tag int, cancel <-chan struct{}) (tensor.Vector, Status, error) {
+	if source != AnySource {
+		if err := c.checkPeer(source); err != nil {
+			return nil, Status{}, err
+		}
+	}
+	if cancel == nil {
+		return c.Recv(source, tag)
+	}
+	// A watcher goroutine converts the channel close into a condition-variable
+	// wakeup so the waiter below can observe it.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-cancel:
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if m, ok := c.matchLocked(source, tag); ok {
+			return m.Data, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+		}
+		select {
+		case <-cancel:
+			return nil, Status{}, ErrCanceled
+		default:
+		}
+		if c.closed {
+			return nil, Status{}, ErrClosed
+		}
+		c.cond.Wait()
+	}
+}
+
+// DiscardTagRange removes every queued unexpected message whose tag t
+// satisfies lo <= t < hi and returns the number removed. Long-running
+// persistent collectives use monotonically increasing per-round tags within a
+// private tag namespace and call this once per round to purge stray duplicate
+// activation messages from already-completed rounds, keeping the unexpected
+// queue short without touching other namespaces.
+func (c *Communicator) DiscardTagRange(lo, hi int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.queue[:0]
+	removed := 0
+	for _, m := range c.queue {
+		if m.Tag >= lo && m.Tag < hi {
+			removed++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	c.queue = kept
+	return removed
+}
+
+// TryRecv returns a matching message if one is already available, without
+// blocking. The boolean result reports whether a message was returned.
+func (c *Communicator) TryRecv(source, tag int) (tensor.Vector, Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.matchLocked(source, tag); ok {
+		return m.Data, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, true
+	}
+	return nil, Status{}, false
+}
+
+// Pending returns the number of unexpected messages currently queued. It is
+// intended for tests and diagnostics.
+func (c *Communicator) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Request represents an outstanding non-blocking operation.
+type Request struct {
+	done   chan struct{}
+	data   tensor.Vector
+	status Status
+	err    error
+}
+
+// Wait blocks until the operation completes and returns the received payload
+// (nil for sends), its status, and any error.
+func (r *Request) Wait() (tensor.Vector, Status, error) {
+	<-r.done
+	return r.data, r.status, r.err
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a non-blocking send and returns a request that completes when
+// the message has been handed to the transport.
+func (c *Communicator) Isend(dest, tag int, data tensor.Vector) *Request {
+	r := &Request{done: make(chan struct{})}
+	payload := data.Clone()
+	go func() {
+		defer close(r.done)
+		if err := c.checkPeer(dest); err != nil {
+			r.err = err
+			return
+		}
+		r.err = c.ep.Send(dest, Message{Source: c.Rank(), Tag: tag, Data: payload})
+	}()
+	return r
+}
+
+// Irecv starts a non-blocking receive for a message matching (source, tag).
+func (c *Communicator) Irecv(source, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.data, r.status, r.err = c.Recv(source, tag)
+	}()
+	return r
+}
+
+// WaitAll waits for every request and returns the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SendRecv performs a combined send to dest and receive from source with the
+// given tags, overlapping the two operations to avoid deadlock in symmetric
+// exchange patterns such as recursive doubling.
+func (c *Communicator) SendRecv(dest, sendTag int, data tensor.Vector, source, recvTag int) (tensor.Vector, Status, error) {
+	sreq := c.Isend(dest, sendTag, data)
+	rdata, rstatus, rerr := c.Recv(source, recvTag)
+	if _, _, serr := sreq.Wait(); serr != nil {
+		return rdata, rstatus, serr
+	}
+	return rdata, rstatus, rerr
+}

@@ -1,0 +1,354 @@
+package comm_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/transport"
+)
+
+func world(t *testing.T, p int) []*comm.Communicator {
+	t.Helper()
+	w := transport.NewInprocWorld(p)
+	t.Cleanup(func() { w[0].Close() })
+	return w
+}
+
+func TestRankAndSize(t *testing.T) {
+	w := world(t, 4)
+	for r, c := range w {
+		if c.Rank() != r {
+			t.Fatalf("rank %d reported as %d", r, c.Rank())
+		}
+		if c.Size() != 4 {
+			t.Fatalf("size = %d, want 4", c.Size())
+		}
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w := world(t, 2)
+	go func() {
+		_ = w[0].Send(1, 7, tensor.Vector{1, 2, 3})
+	}()
+	data, st, err := w[1].Recv(0, 7)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !data.Equal(tensor.Vector{1, 2, 3}) {
+		t.Fatalf("data = %v", data)
+	}
+	if st.Source != 0 || st.Tag != 7 || st.Count != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := world(t, 2)
+	buf := tensor.Vector{1, 2, 3}
+	if err := w[0].Send(1, 0, buf); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	buf[0] = 99 // mutate after send; receiver must still see the original
+	data, _, err := w[1].Recv(0, 0)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if data[0] != 1 {
+		t.Fatalf("send did not copy payload: got %v", data)
+	}
+}
+
+func TestRecvAnySourceAnyTag(t *testing.T) {
+	w := world(t, 3)
+	if err := w[2].Send(0, 42, tensor.Vector{5}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	data, st, err := w[0].Recv(comm.AnySource, comm.AnyTag)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if st.Source != 2 || st.Tag != 42 || data[0] != 5 {
+		t.Fatalf("got %v %+v", data, st)
+	}
+}
+
+func TestRecvTagFiltering(t *testing.T) {
+	w := world(t, 2)
+	// Send tag 1 first, then tag 2. A receive for tag 2 must skip tag 1.
+	if err := w[0].Send(1, 1, tensor.Vector{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w[0].Send(1, 2, tensor.Vector{2}); err != nil {
+		t.Fatal(err)
+	}
+	// Allow both to be queued.
+	deadline := time.Now().Add(time.Second)
+	for w[1].Pending() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	data, _, err := w[1].Recv(0, 2)
+	if err != nil || data[0] != 2 {
+		t.Fatalf("tag-2 recv got %v err=%v", data, err)
+	}
+	data, _, err = w[1].Recv(0, 1)
+	if err != nil || data[0] != 1 {
+		t.Fatalf("tag-1 recv got %v err=%v", data, err)
+	}
+}
+
+func TestRecvFIFOPerSourceTag(t *testing.T) {
+	w := world(t, 2)
+	for i := 0; i < 50; i++ {
+		if err := w[0].Send(1, 9, tensor.Vector{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		data, _, err := w[1].Recv(0, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != float64(i) {
+			t.Fatalf("message %d out of order: got %v", i, data[0])
+		}
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	w := world(t, 2)
+	if _, _, ok := w[1].TryRecv(0, 3); ok {
+		t.Fatalf("TryRecv returned a message before any send")
+	}
+	if err := w[0].Send(1, 3, tensor.Vector{8}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		if data, st, ok := w[1].TryRecv(0, 3); ok {
+			if data[0] != 8 || st.Tag != 3 {
+				t.Fatalf("TryRecv got %v %+v", data, st)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("TryRecv never observed the message")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestIsendIrecv(t *testing.T) {
+	w := world(t, 2)
+	rreq := w[1].Irecv(0, 11)
+	sreq := w[0].Isend(1, 11, tensor.Vector{3, 4})
+	if err := comm.WaitAll(sreq, rreq); err != nil {
+		t.Fatalf("WaitAll: %v", err)
+	}
+	data, st, err := rreq.Wait()
+	if err != nil || !data.Equal(tensor.Vector{3, 4}) || st.Source != 0 {
+		t.Fatalf("Irecv got %v %+v err=%v", data, st, err)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	w := world(t, 2)
+	req := w[1].Irecv(0, 5)
+	if req.Test() {
+		t.Fatalf("request complete before matching send")
+	}
+	if err := w[0].Send(1, 5, tensor.Vector{1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for !req.Test() {
+		if time.Now().After(deadline) {
+			t.Fatalf("request never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSendRecvExchangeNoDeadlock(t *testing.T) {
+	w := world(t, 2)
+	var wg sync.WaitGroup
+	results := make([]tensor.Vector, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			peer := 1 - r
+			data, _, err := w[r].SendRecv(peer, 0, tensor.Vector{float64(r)}, peer, 0)
+			if err != nil {
+				t.Errorf("rank %d SendRecv: %v", r, err)
+				return
+			}
+			results[r] = data
+		}(r)
+	}
+	wg.Wait()
+	if results[0] == nil || results[1] == nil {
+		t.Fatal("missing results")
+	}
+	if results[0][0] != 1 || results[1][0] != 0 {
+		t.Fatalf("exchange wrong: %v %v", results[0], results[1])
+	}
+}
+
+func TestSendInvalidPeer(t *testing.T) {
+	w := world(t, 2)
+	if err := w[0].Send(5, 0, tensor.Vector{1}); err == nil {
+		t.Fatalf("expected error for out-of-range peer")
+	}
+	if _, _, err := w[0].Recv(9, 0); err == nil {
+		t.Fatalf("expected error for out-of-range source")
+	}
+}
+
+func TestRecvAfterCloseReturnsError(t *testing.T) {
+	w := transport.NewInprocWorld(2)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := w[1].Recv(0, 0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w[0].Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("expected error from Recv after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Recv did not unblock after close")
+	}
+}
+
+func TestConcurrentReceiversDistinctTags(t *testing.T) {
+	w := world(t, 2)
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, _, err := w[1].Recv(0, i)
+			errs[i] = err
+			if err == nil {
+				vals[i] = data[0]
+			}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := w[0].Send(1, i, tensor.Vector{float64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("receiver %d: %v", i, errs[i])
+		}
+		if vals[i] != float64(i*10) {
+			t.Fatalf("receiver %d got %v", i, vals[i])
+		}
+	}
+}
+
+func TestRecvCancelReturnsWhenCanceled(t *testing.T) {
+	w := world(t, 2)
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := w[1].RecvCancel(0, 99, cancel)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if err != comm.ErrCanceled {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecvCancel did not return after cancel")
+	}
+}
+
+func TestRecvCancelDeliversMessageBeforeCancel(t *testing.T) {
+	w := world(t, 2)
+	cancel := make(chan struct{})
+	defer close(cancel)
+	if err := w[0].Send(1, 4, tensor.Vector{9}); err != nil {
+		t.Fatal(err)
+	}
+	data, st, err := w[1].RecvCancel(0, 4, cancel)
+	if err != nil || data[0] != 9 || st.Tag != 4 {
+		t.Fatalf("got %v %+v err=%v", data, st, err)
+	}
+}
+
+func TestRecvCancelNilCancelBehavesLikeRecv(t *testing.T) {
+	w := world(t, 2)
+	go func() { _ = w[0].Send(1, 8, tensor.Vector{2}) }()
+	data, _, err := w[1].RecvCancel(0, 8, nil)
+	if err != nil || data[0] != 2 {
+		t.Fatalf("got %v err=%v", data, err)
+	}
+}
+
+func TestDiscardTagRange(t *testing.T) {
+	w := world(t, 2)
+	for _, tag := range []int{1, 5, 10, 15, 20} {
+		if err := w[0].Send(1, tag, tensor.Vector{float64(tag)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for w[1].Pending() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	removed := w[1].DiscardTagRange(5, 16)
+	if removed != 3 {
+		t.Fatalf("removed %d messages, want 3", removed)
+	}
+	if w[1].Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", w[1].Pending())
+	}
+	// Tags outside the range must still be receivable.
+	for _, tag := range []int{1, 20} {
+		data, _, err := w[1].Recv(0, tag)
+		if err != nil || data[0] != float64(tag) {
+			t.Fatalf("tag %d: %v %v", tag, data, err)
+		}
+	}
+}
+
+func TestManyToOneAnySource(t *testing.T) {
+	const p = 8
+	w := world(t, p)
+	for r := 1; r < p; r++ {
+		go func(r int) {
+			_ = w[r].Send(0, 1, tensor.Vector{float64(r)})
+		}(r)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < p-1; i++ {
+		data, st, err := w[0].Recv(comm.AnySource, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(data[0]) != st.Source {
+			t.Fatalf("payload %v does not match source %d", data, st.Source)
+		}
+		seen[st.Source] = true
+	}
+	if len(seen) != p-1 {
+		t.Fatalf("received from %d distinct sources, want %d", len(seen), p-1)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"eagersgd/internal/comm"
+	"eagersgd/internal/partial"
+	"eagersgd/internal/tensor"
+)
+
+// ADS (asynchronous distributed sum) is the round-indexed shared object the
+// convergence proof of §5.1 reasons about. Each round t, every process
+// invokes the object with its proposed update R_t^i and receives the tuple
+// (U_t, s_t^i): the update decided for the round and a bit saying whether its
+// own proposal was included. The object guarantees (Lemma 5.1):
+//
+//  1. Liveness — every invocation eventually returns.
+//  2. Safety — the returned update is the average of a subset of the round's
+//     proposals, the bit reflects membership in that subset, and every
+//     process observes the same update for a given round.
+//  3. Quorum — at least Q >= 1 proposals are included per round.
+//  4. Bounded staleness — a rejected proposal is folded into a later round's
+//     update rather than dropped (solo gives no a-priori bound; majority's
+//     randomized initiator bounds the expected staleness).
+//
+// ADS is a thin veneer over partial.Allreducer that divides by the world size
+// (so the update is the average of Algorithm 2, line 6) and exposes the
+// response in the proof's vocabulary. EagerExchanger uses the raw allreducer
+// directly; ADS exists for code that wants the paper's object semantics, and
+// for tests that check Lemma 5.1 explicitly.
+type ADS struct {
+	reducer *partial.Allreducer
+	size    int
+}
+
+// ADSResponse is the response tuple of one invocation.
+type ADSResponse struct {
+	// Update is U_t: the averaged update decided for the observed round.
+	Update tensor.Vector
+	// Included is s_t^i: whether this process's proposal is part of Update.
+	Included bool
+	// Round is the round whose update was observed (a later round than the
+	// invocation's if the caller fell behind and its rounds were overwritten).
+	Round int
+	// QuorumSize is the number of fresh proposals included in Update.
+	QuorumSize int
+}
+
+// NewADS creates the shared-object view for this rank over the communicator.
+// Every rank must create it with the same dimension and options.
+func NewADS(c *comm.Communicator, dim int, opts partial.Options) *ADS {
+	return &ADS{reducer: partial.New(c, dim, opts), size: c.Size()}
+}
+
+// Invoke proposes the update for this process's next round and returns the
+// decided tuple.
+func (a *ADS) Invoke(proposal tensor.Vector) (ADSResponse, error) {
+	sum, info, err := a.reducer.Exchange(proposal)
+	if err != nil {
+		return ADSResponse{}, err
+	}
+	sum.Scale(1 / float64(a.size))
+	return ADSResponse{
+		Update:     sum,
+		Included:   info.Included,
+		Round:      info.Round,
+		QuorumSize: info.ActiveProcesses,
+	}, nil
+}
+
+// PendingStaleNorm reports the norm of proposals not yet delivered to any
+// round (zero once all proposals have been accepted, per the staleness-bound
+// property).
+func (a *ADS) PendingStaleNorm() float64 { return a.reducer.PendingStale() }
+
+// Close marks the object closed (see partial.Allreducer.Close for the
+// collective shutdown contract).
+func (a *ADS) Close() { a.reducer.Close() }

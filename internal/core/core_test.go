@@ -1,0 +1,470 @@
+package core_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/core"
+	"eagersgd/internal/data"
+	"eagersgd/internal/imbalance"
+	"eagersgd/internal/nn"
+	"eagersgd/internal/optimizer"
+	"eagersgd/internal/partial"
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/transport"
+)
+
+func TestSynchStyleString(t *testing.T) {
+	if core.StyleDeep500.String() != "deep500" || core.StyleHorovod.String() != "horovod" {
+		t.Fatal("style names wrong")
+	}
+	if core.SynchStyle(9).String() == "" {
+		t.Fatal("unknown style must produce a name")
+	}
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	if _, err := core.NewTrainer(core.Config{}); err == nil {
+		t.Fatal("expected error for empty config")
+	}
+}
+
+// buildRegressionTask builds a small shared hyperplane task for the given
+// rank. Train and eval splits come from the same generated dataset so they
+// share the ground-truth coefficients.
+func buildRegressionTask(rank, size, dim, batch int) *core.RegressionTask {
+	full := data.Hyperplane(dim, 320, 0, 21)
+	train := &data.RegressionDataset{Inputs: full.Inputs[:256], Targets: full.Targets[:256], Coefficients: full.Coefficients}
+	eval := &data.RegressionDataset{Inputs: full.Inputs[256:], Targets: full.Targets[256:], Coefficients: full.Coefficients}
+	net := nn.NewNetwork(nn.MSE{}, nn.NewDense(dim, 1))
+	return core.NewRegressionTask("hyperplane", net, train, eval, batch, rank, size, 99)
+}
+
+func TestRegressionTaskBasics(t *testing.T) {
+	task := buildRegressionTask(0, 1, 6, 8)
+	if task.Name() != "hyperplane" {
+		t.Fatal("name")
+	}
+	if task.NumParams() != 7 {
+		t.Fatalf("NumParams = %d", task.NumParams())
+	}
+	loss := task.ComputeGradient(0)
+	if loss <= 0 {
+		t.Fatalf("initial loss %v should be positive", loss)
+	}
+	if task.Grads().Norm2() == 0 {
+		t.Fatal("gradient is zero")
+	}
+	if task.WorkloadUnits(0) != 0 {
+		t.Fatal("regression workload units should be 0")
+	}
+	m := task.Evaluate()
+	if m.Loss <= 0 || m.Top1 != 0 {
+		t.Fatalf("evaluate = %+v", m)
+	}
+	if task.StepsPerEpoch() <= 0 {
+		t.Fatal("StepsPerEpoch")
+	}
+}
+
+func TestClassificationTaskBasics(t *testing.T) {
+	train := data.Blobs(4, 6, 30, 0.3, 5)
+	eval := data.Blobs(4, 6, 10, 0.3, 6)
+	net := nn.NewNetwork(nn.SoftmaxCrossEntropy{}, nn.NewDense(6, 16), nn.NewTanh(16), nn.NewDense(16, 4))
+	task := core.NewClassificationTask("blobs", net, train, eval, 8, 0, 1, 3)
+	if task.NumParams() != net.NumParams() {
+		t.Fatal("NumParams mismatch")
+	}
+	loss := task.ComputeGradient(0)
+	if loss <= 0 || task.Grads().Norm2() == 0 {
+		t.Fatalf("gradient computation broken: loss=%v", loss)
+	}
+	m := task.Evaluate()
+	if m.Top1 < 0 || m.Top1 > 1 || m.Top5 < m.Top1 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if task.WorkloadUnits(0) != 0 {
+		t.Fatal("classification workload units should be 0")
+	}
+}
+
+func makeSequenceData(seed int64, samples int) *data.SequenceDataset {
+	return data.Sequences(data.SequenceConfig{
+		Classes: 3, FeatDim: 4, Samples: samples, Noise: 0.2,
+		Lengths: data.UCF101LengthDistribution{MinFrames: 4, MaxFrames: 24, Median: 8, Sigma: 0.5},
+		Seed:    seed,
+	})
+}
+
+func TestSequenceTaskBasics(t *testing.T) {
+	train := makeSequenceData(1, 40)
+	eval := makeSequenceData(2, 12)
+	model := nn.NewLSTMClassifier(4, 6, 3)
+	task := core.NewSequenceTask("video", model, train, eval, 4, 0, 1, 7)
+	loss := task.ComputeGradient(0)
+	if loss <= 0 || task.Grads().Norm2() == 0 {
+		t.Fatalf("sequence gradient broken: %v", loss)
+	}
+	if task.WorkloadUnits(0) <= 0 {
+		t.Fatal("sequence workload units must reflect batch frame count")
+	}
+	m := task.Evaluate()
+	if m.Top5 < m.Top1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// runWorld runs fn on every rank of a fresh world concurrently.
+func runWorld(t *testing.T, size int, fn func(rank int, c *comm.Communicator) error) {
+	t.Helper()
+	world := transport.NewInprocWorld(size)
+	defer world[0].Close()
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r, world[r])
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("distributed run did not finish (deadlock)")
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestSynchSGDMatchesSequentialSGD verifies the core data-parallel identity:
+// P ranks doing synch-SGD with per-rank batch B behave exactly like one rank
+// doing SGD with batch P*B when the per-rank batches partition the global
+// batch. We approximate by checking that all replicas stay bit-identical
+// across ranks and that the loss decreases.
+func TestSynchSGDReplicasStayIdentical(t *testing.T) {
+	const size = 4
+	const dim = 6
+	const steps = 15
+	finalParams := make([]tensor.Vector, size)
+	losses := make([][]float64, size)
+	runWorld(t, size, func(rank int, c *comm.Communicator) error {
+		task := buildRegressionTask(rank, size, dim, 4)
+		tr, err := core.NewTrainer(core.Config{
+			Comm:      c,
+			Task:      task,
+			Exchanger: core.NewSynchExchanger(c, core.StyleDeep500, 3),
+			Optimizer: optimizer.NewSGD(0.05),
+		})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		for s := 0; s < steps; s++ {
+			rec, err := tr.Step()
+			if err != nil {
+				return err
+			}
+			losses[rank] = append(losses[rank], rec.Loss)
+			if rec.ActiveProcesses != size || !rec.Included {
+				t.Errorf("synch step stats wrong: %+v", rec)
+			}
+		}
+		finalParams[rank] = task.Params().Clone()
+		return nil
+	})
+	for r := 1; r < size; r++ {
+		if !finalParams[r].AllClose(finalParams[0], 1e-9) {
+			t.Fatalf("rank %d replica diverged from rank 0 under synchronous SGD", r)
+		}
+	}
+	// Loss must drop substantially over training.
+	first, last := losses[0][0], losses[0][len(losses[0])-1]
+	if last > first*0.9 {
+		t.Fatalf("synch-SGD made no progress: first %v last %v", first, last)
+	}
+}
+
+func TestHorovodStyleAlsoKeepsReplicasIdentical(t *testing.T) {
+	const size = 3
+	finalParams := make([]tensor.Vector, size)
+	runWorld(t, size, func(rank int, c *comm.Communicator) error {
+		task := buildRegressionTask(rank, size, 5, 4)
+		tr, err := core.NewTrainer(core.Config{
+			Comm:      c,
+			Task:      task,
+			Exchanger: core.NewSynchExchanger(c, core.StyleHorovod, 0),
+			Optimizer: optimizer.NewSGD(0.05),
+		})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		for s := 0; s < 8; s++ {
+			if _, err := tr.Step(); err != nil {
+				return err
+			}
+		}
+		finalParams[rank] = task.Params().Clone()
+		return nil
+	})
+	for r := 1; r < size; r++ {
+		if !finalParams[r].AllClose(finalParams[0], 1e-9) {
+			t.Fatalf("rank %d replica diverged under Horovod-style synch-SGD", r)
+		}
+	}
+}
+
+func TestEagerSGDConvergesOnHyperplane(t *testing.T) {
+	// Light imbalance (injected delay is a fraction of the modelled per-step
+	// compute, as in Fig. 10), solo allreduce: the validation loss must drop
+	// by a large factor, mirroring Fig. 10's "equivalent loss" claim.
+	const size = 4
+	const steps = 200
+	evalLosses := make([]float64, size)
+	runWorld(t, size, func(rank int, c *comm.Communicator) error {
+		task := buildRegressionTask(rank, size, 8, 8)
+		tr, err := core.NewTrainer(core.Config{
+			Comm:            c,
+			Task:            task,
+			Exchanger:       core.NewEagerExchanger(c, task.NumParams(), partial.Solo, 17),
+			Optimizer:       optimizer.NewSGD(0.02),
+			Injector:        imbalance.RandomSubset{Size: size, K: 1, Amount: 6, Seed: 2},
+			Clock:           imbalance.ScaledClock(0.05),
+			BaseStepPaperMs: 20,
+			SyncEverySteps:  20,
+		})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		for s := 0; s < steps; s++ {
+			if _, err := tr.Step(); err != nil {
+				return err
+			}
+		}
+		if err := tr.SyncModel(); err != nil {
+			return err
+		}
+		evalLosses[rank] = task.Evaluate().Loss
+		return nil
+	})
+	initial := buildRegressionTask(0, 1, 8, 8).Evaluate().Loss
+	for r, l := range evalLosses {
+		if l > initial*0.2 {
+			t.Fatalf("rank %d eager-SGD did not converge: eval loss %v (initial %v)", r, l, initial)
+		}
+	}
+}
+
+func TestEagerSGDMajorityWaitsForQuorum(t *testing.T) {
+	// Under a linear skew, majority mode must report a mean NAP well above
+	// solo mode's (statistical guarantee of §4.2).
+	const size = 4
+	const steps = 20
+	meanNAP := func(mode partial.Mode) float64 {
+		naps := make([]float64, size)
+		runWorld(t, size, func(rank int, c *comm.Communicator) error {
+			task := buildRegressionTask(rank, size, 5, 4)
+			tr, err := core.NewTrainer(core.Config{
+				Comm:      c,
+				Task:      task,
+				Exchanger: core.NewEagerExchanger(c, task.NumParams(), mode, 5),
+				Optimizer: optimizer.NewSGD(0.01),
+				Injector:  imbalance.LinearSkew{StepMs: 30},
+				Clock:     imbalance.ScaledClock(0.2),
+			})
+			if err != nil {
+				return err
+			}
+			defer tr.Close()
+			for s := 0; s < steps; s++ {
+				if _, err := tr.Step(); err != nil {
+					return err
+				}
+			}
+			naps[rank] = tr.Recorder().MeanActiveProcesses()
+			return nil
+		})
+		best := 0.0
+		for _, n := range naps {
+			if n > best {
+				best = n
+			}
+		}
+		return best
+	}
+	solo := meanNAP(partial.Solo)
+	majority := meanNAP(partial.Majority)
+	if majority <= solo {
+		t.Fatalf("majority NAP %.2f should exceed solo NAP %.2f under linear skew", majority, solo)
+	}
+}
+
+func TestEagerSoloFasterThanSynchUnderSkew(t *testing.T) {
+	// The headline claim: under injected imbalance, eager-SGD (solo) steps
+	// complete faster than synch-SGD steps because nobody waits for the
+	// delayed rank.
+	const size = 4
+	const steps = 12
+	delay := 80.0 // paper ms
+	clock := imbalance.ScaledClock(0.25)
+
+	runVariant := func(eager bool) time.Duration {
+		times := make([]time.Duration, size)
+		runWorld(t, size, func(rank int, c *comm.Communicator) error {
+			task := buildRegressionTask(rank, size, 5, 4)
+			var ex core.GradientExchanger
+			if eager {
+				ex = core.NewEagerExchanger(c, task.NumParams(), partial.Solo, 3)
+			} else {
+				ex = core.NewSynchExchanger(c, core.StyleDeep500, 1)
+			}
+			tr, err := core.NewTrainer(core.Config{
+				Comm:      c,
+				Task:      task,
+				Exchanger: ex,
+				Optimizer: optimizer.NewSGD(0.01),
+				Injector:  imbalance.RandomSubset{Size: size, K: 1, Amount: delay, Seed: 9},
+				Clock:     clock,
+			})
+			if err != nil {
+				return err
+			}
+			defer tr.Close()
+			for s := 0; s < steps; s++ {
+				if _, err := tr.Step(); err != nil {
+					return err
+				}
+			}
+			times[rank] = tr.Recorder().TotalTime()
+			return nil
+		})
+		// Use the fastest rank's training time: in synch-SGD even the fastest
+		// rank is dragged down to the straggler's pace, which is exactly the
+		// effect eager-SGD removes.
+		best := times[0]
+		for _, d := range times {
+			if d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	synchTime := runVariant(false)
+	eagerTime := runVariant(true)
+	if eagerTime >= synchTime {
+		t.Fatalf("eager-SGD (%v) not faster than synch-SGD (%v) under injected skew", eagerTime, synchTime)
+	}
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	res, err := core.Run(core.RunConfig{
+		Name:           "synch-test",
+		Size:           2,
+		Steps:          10,
+		EvalEverySteps: 5,
+		FinalSync:      true,
+		Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
+			task := buildRegressionTask(rank, 2, 5, 4)
+			return core.NewTrainer(core.Config{
+				Comm:      c,
+				Task:      task,
+				Exchanger: core.NewSynchExchanger(c, core.StyleDeep500, 2),
+				Optimizer: optimizer.NewSGD(0.05),
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.TrainingTime <= 0 {
+		t.Fatalf("throughput %v training time %v", res.Throughput, res.TrainingTime)
+	}
+	if len(res.EvalLoss.Points) < 2 {
+		t.Fatalf("expected at least 2 evaluation points, got %d", len(res.EvalLoss.Points))
+	}
+	if res.MeanActiveProcesses != 2 {
+		t.Fatalf("MeanActiveProcesses = %v, want 2 for synch", res.MeanActiveProcesses)
+	}
+	if math.IsNaN(res.Final.Loss) || res.Final.Loss < 0 {
+		t.Fatalf("final metrics %+v", res.Final)
+	}
+	if len(res.PerRank) != 2 || res.PerRank[1].Steps() != 10 {
+		t.Fatal("per-rank recorders missing")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if _, err := core.Run(core.RunConfig{}); err == nil {
+		t.Fatal("expected error for empty run config")
+	}
+	if _, err := core.Run(core.RunConfig{Size: 1, Steps: 1, Build: func(int, *comm.Communicator) (*core.Trainer, error) {
+		return nil, comm.ErrClosed
+	}}); err == nil {
+		t.Fatal("expected build error to propagate")
+	}
+}
+
+func TestExchangerNames(t *testing.T) {
+	world := transport.NewInprocWorld(1)
+	defer world[0].Close()
+	se := core.NewSynchExchanger(world[0], core.StyleHorovod, 0)
+	if se.Name() != "synch-sgd (horovod)" {
+		t.Fatalf("name %q", se.Name())
+	}
+	ee := core.NewEagerExchanger(world[0], 3, partial.Majority, 1)
+	defer ee.Close()
+	if ee.Name() != "eager-sgd (majority)" {
+		t.Fatalf("name %q", ee.Name())
+	}
+	if ee.Reducer() == nil {
+		t.Fatal("Reducer accessor nil")
+	}
+	qe := core.NewQuorumExchanger(world[0], 3, 1, 1)
+	defer qe.Close()
+	if qe.Name() != "eager-sgd (quorum)" {
+		t.Fatalf("name %q", qe.Name())
+	}
+}
+
+func TestSyncModelAveragesReplicas(t *testing.T) {
+	const size = 3
+	results := make([]tensor.Vector, size)
+	runWorld(t, size, func(rank int, c *comm.Communicator) error {
+		task := buildRegressionTask(rank, size, 4, 4)
+		// Force divergent replicas.
+		task.Params().Fill(float64(rank + 1))
+		tr, err := core.NewTrainer(core.Config{
+			Comm:      c,
+			Task:      task,
+			Exchanger: core.NewSynchExchanger(c, core.StyleDeep500, 1),
+			Optimizer: optimizer.NewSGD(0.1),
+		})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		if err := tr.SyncModel(); err != nil {
+			return err
+		}
+		results[rank] = task.Params().Clone()
+		return nil
+	})
+	want := tensor.NewVector(len(results[0]))
+	want.Fill(2) // mean of 1, 2, 3
+	for r := 0; r < size; r++ {
+		if !results[r].AllClose(want, 1e-9) {
+			t.Fatalf("rank %d synced params %v, want all 2", r, results[r][:2])
+		}
+	}
+}

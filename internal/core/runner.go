@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/trace"
+	"eagersgd/internal/transport"
+)
+
+// RunConfig describes one end-to-end distributed training run executed with
+// every rank as a goroutine over an in-process world.
+type RunConfig struct {
+	// Name labels the run in curves and tables (e.g. "eager-SGD-300 (solo)").
+	Name string
+	// Size is the number of ranks.
+	Size int
+	// Steps is the number of optimizer steps every rank executes.
+	Steps int
+	// EvalEverySteps inserts an evaluation every that many steps (0 = only a
+	// final evaluation). Evaluation happens on every rank (so the load stays
+	// balanced) but only rank 0's metrics are recorded.
+	EvalEverySteps int
+	// FinalSync averages replicas across ranks before the final evaluation
+	// (recommended for eager-SGD, harmless for synch-SGD).
+	FinalSync bool
+	// Build constructs the rank's trainer over the provided communicator.
+	Build func(rank int, c *comm.Communicator) (*Trainer, error)
+}
+
+// RunResult aggregates the measurements of one run.
+type RunResult struct {
+	Name string
+	// PerRank holds each rank's step recorder.
+	PerRank []*trace.ThroughputRecorder
+	// TrainLoss is rank 0's minibatch loss averaged between evaluations,
+	// plotted against cumulative training time (seconds).
+	TrainLoss *trace.Curve
+	// EvalLoss, EvalTop1, and EvalTop5 are rank 0's held-out metrics against
+	// cumulative training time (seconds).
+	EvalLoss *trace.Curve
+	EvalTop1 *trace.Curve
+	EvalTop5 *trace.Curve
+	// Final is the last evaluation on rank 0.
+	Final Metrics
+	// TrainingTime is rank 0's cumulative step time (evaluation excluded).
+	TrainingTime time.Duration
+	// Throughput is rank 0's average steps per second of training time.
+	Throughput float64
+	// MeanActiveProcesses is the mean NAP over rank 0's steps.
+	MeanActiveProcesses float64
+}
+
+// Run executes the configured training on an in-process world and collects
+// the curves the paper's figures plot.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Size <= 0 || cfg.Steps <= 0 || cfg.Build == nil {
+		return nil, fmt.Errorf("core: run config requires positive Size and Steps and a Build function")
+	}
+	world := transport.NewInprocWorld(cfg.Size)
+	defer world[0].Close()
+
+	trainers := make([]*Trainer, cfg.Size)
+	for r := 0; r < cfg.Size; r++ {
+		tr, err := cfg.Build(r, world[r])
+		if err != nil {
+			return nil, fmt.Errorf("core: build trainer for rank %d: %w", r, err)
+		}
+		trainers[r] = tr
+	}
+
+	result := &RunResult{
+		Name:      cfg.Name,
+		PerRank:   make([]*trace.ThroughputRecorder, cfg.Size),
+		TrainLoss: &trace.Curve{Name: cfg.Name + " train-loss"},
+		EvalLoss:  &trace.Curve{Name: cfg.Name + " eval-loss"},
+		EvalTop1:  &trace.Curve{Name: cfg.Name + " top1"},
+		EvalTop5:  &trace.Curve{Name: cfg.Name + " top5"},
+	}
+
+	errs := make([]error, cfg.Size)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = runRank(cfg, trainers[r], r == 0, result)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+	}
+
+	for r := 0; r < cfg.Size; r++ {
+		result.PerRank[r] = trainers[r].Recorder()
+	}
+	rec := result.PerRank[0]
+	result.TrainingTime = rec.TotalTime()
+	result.Throughput = rec.StepsPerSecond()
+	result.MeanActiveProcesses = rec.MeanActiveProcesses()
+	return result, nil
+}
+
+// runRank executes the training loop for one rank. Only rank 0 (record=true)
+// appends to the shared result curves; ranks never write concurrently to the
+// same fields because exactly one rank records.
+func runRank(cfg RunConfig, tr *Trainer, record bool, result *RunResult) error {
+	defer tr.Close()
+	lossAccum := 0.0
+	lossCount := 0
+	evaluate := func() {
+		m := tr.cfg.Task.Evaluate()
+		if record {
+			x := tr.Recorder().TotalTime().Seconds()
+			if lossCount > 0 {
+				result.TrainLoss.Add(x, lossAccum/float64(lossCount))
+			}
+			result.EvalLoss.Add(x, m.Loss)
+			result.EvalTop1.Add(x, m.Top1)
+			result.EvalTop5.Add(x, m.Top5)
+			result.Final = m
+			lossAccum, lossCount = 0, 0
+		}
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		rec, err := tr.Step()
+		if err != nil {
+			return err
+		}
+		lossAccum += rec.Loss
+		lossCount++
+		if cfg.EvalEverySteps > 0 && (step+1)%cfg.EvalEverySteps == 0 && step+1 < cfg.Steps {
+			evaluate()
+		}
+	}
+	if cfg.FinalSync {
+		if err := tr.SyncModel(); err != nil {
+			return err
+		}
+	}
+	evaluate()
+	return nil
+}

@@ -1,0 +1,287 @@
+// Package core implements the paper's primary contribution at the training
+// level: eager-SGD (Algorithm 2) with the Fig. 7 send/receive-buffer
+// protocol, next to the synchronous SGD baselines it is compared against
+// (a Deep500-style ordered allreduce and a Horovod-style negotiated fused
+// allreduce). Trainers exchange gradients through pluggable exchangers and
+// update a local model replica; tasks (this file) bind a model from
+// internal/nn to a dataset shard from internal/data.
+package core
+
+import (
+	"math/rand"
+
+	"eagersgd/internal/data"
+	"eagersgd/internal/nn"
+	"eagersgd/internal/tensor"
+)
+
+// Metrics is an evaluation snapshot on held-out data.
+type Metrics struct {
+	Loss float64
+	// Top1 and Top5 are classification accuracies in [0, 1]; zero for
+	// regression tasks.
+	Top1 float64
+	Top5 float64
+}
+
+// Task is the per-rank training workload: it owns a local model replica and a
+// shard of the dataset, computes local minibatch gradients, and evaluates the
+// replica on held-out data.
+type Task interface {
+	// Name identifies the task in reports.
+	Name() string
+	// NumParams returns the model's parameter count.
+	NumParams() int
+	// Params returns the flat parameter vector of the local replica.
+	Params() tensor.Vector
+	// Grads returns the flat gradient vector filled by ComputeGradient.
+	Grads() tensor.Vector
+	// ComputeGradient computes the local mean minibatch gradient for the
+	// given step and returns the minibatch loss.
+	ComputeGradient(step int) float64
+	// Evaluate scores the local replica on the task's held-out set.
+	Evaluate() Metrics
+	// WorkloadUnits returns the size of the step's minibatch workload in
+	// task-specific units (frames for video, 0 when every batch costs the
+	// same); it drives inherent-imbalance cost modelling.
+	WorkloadUnits(step int) int
+}
+
+// RegressionTask trains an nn.Network on a data.RegressionDataset shard —
+// the hyperplane workload of §6.2.1.
+type RegressionTask struct {
+	name    string
+	net     *nn.Network
+	train   *data.RegressionDataset
+	eval    *data.RegressionDataset
+	sampler *data.BatchSampler
+}
+
+// NewRegressionTask builds the per-rank task. Every rank must pass the same
+// datasets and seed (the sampler shards them deterministically); model
+// initialization uses the shared seed so replicas start identical.
+func NewRegressionTask(name string, net *nn.Network, train, eval *data.RegressionDataset, batchSize, rank, size int, seed int64) *RegressionTask {
+	net.Init(rand.New(rand.NewSource(seed)))
+	return &RegressionTask{
+		name:    name,
+		net:     net,
+		train:   train,
+		eval:    eval,
+		sampler: data.NewBatchSampler(train.Len(), batchSize, rank, size, seed),
+	}
+}
+
+// Name returns the task name.
+func (t *RegressionTask) Name() string { return t.name }
+
+// NumParams returns the model size.
+func (t *RegressionTask) NumParams() int { return t.net.NumParams() }
+
+// Params returns the flat parameters.
+func (t *RegressionTask) Params() tensor.Vector { return t.net.Params() }
+
+// Grads returns the flat gradients.
+func (t *RegressionTask) Grads() tensor.Vector { return t.net.Grads() }
+
+// ComputeGradient computes the mean gradient of the step's minibatch.
+func (t *RegressionTask) ComputeGradient(int) float64 {
+	idx := t.sampler.Next()
+	xs := make([]tensor.Vector, len(idx))
+	ys := make([]tensor.Vector, len(idx))
+	for i, j := range idx {
+		xs[i] = t.train.Inputs[j]
+		ys[i] = t.train.Targets[j]
+	}
+	return t.net.BatchGradient(xs, ys)
+}
+
+// Evaluate returns the mean validation loss.
+func (t *RegressionTask) Evaluate() Metrics {
+	var total float64
+	for i := range t.eval.Inputs {
+		total += t.net.LossValue(t.eval.Inputs[i], t.eval.Targets[i])
+	}
+	return Metrics{Loss: total / float64(t.eval.Len())}
+}
+
+// WorkloadUnits returns 0: every regression batch costs the same.
+func (t *RegressionTask) WorkloadUnits(int) int { return 0 }
+
+// StepsPerEpoch returns the number of optimizer steps per pass over the
+// rank's shard.
+func (t *RegressionTask) StepsPerEpoch() int { return t.sampler.StepsPerEpoch() }
+
+// ClassificationTask trains an nn.Network softmax classifier on a
+// data.ClassificationDataset shard — the stand-in for ResNet-32/CIFAR-10 and
+// ResNet-50/ImageNet (§6.2.2, §6.2.3).
+type ClassificationTask struct {
+	name    string
+	net     *nn.Network
+	train   *data.ClassificationDataset
+	eval    *data.ClassificationDataset
+	sampler *data.BatchSampler
+}
+
+// NewClassificationTask builds the per-rank task (same sharing rules as
+// NewRegressionTask).
+func NewClassificationTask(name string, net *nn.Network, train, eval *data.ClassificationDataset, batchSize, rank, size int, seed int64) *ClassificationTask {
+	net.Init(rand.New(rand.NewSource(seed)))
+	return &ClassificationTask{
+		name:    name,
+		net:     net,
+		train:   train,
+		eval:    eval,
+		sampler: data.NewBatchSampler(train.Len(), batchSize, rank, size, seed),
+	}
+}
+
+// Name returns the task name.
+func (t *ClassificationTask) Name() string { return t.name }
+
+// NumParams returns the model size.
+func (t *ClassificationTask) NumParams() int { return t.net.NumParams() }
+
+// Params returns the flat parameters.
+func (t *ClassificationTask) Params() tensor.Vector { return t.net.Params() }
+
+// Grads returns the flat gradients.
+func (t *ClassificationTask) Grads() tensor.Vector { return t.net.Grads() }
+
+// ComputeGradient computes the mean gradient of the step's minibatch.
+func (t *ClassificationTask) ComputeGradient(int) float64 {
+	idx := t.sampler.Next()
+	xs := make([]tensor.Vector, len(idx))
+	ys := make([]tensor.Vector, len(idx))
+	for i, j := range idx {
+		xs[i] = t.train.Inputs[j]
+		ys[i] = nn.OneHot(t.train.Labels[j], t.train.Classes)
+	}
+	return t.net.BatchGradient(xs, ys)
+}
+
+// Evaluate returns held-out loss and top-1/top-5 accuracy.
+func (t *ClassificationTask) Evaluate() Metrics {
+	return evaluateClassifier(t.eval, t.net.Forward)
+}
+
+// WorkloadUnits returns 0: every classification batch costs the same.
+func (t *ClassificationTask) WorkloadUnits(int) int { return 0 }
+
+// StepsPerEpoch returns the number of optimizer steps per pass over the
+// rank's shard.
+func (t *ClassificationTask) StepsPerEpoch() int { return t.sampler.StepsPerEpoch() }
+
+func evaluateClassifier(eval *data.ClassificationDataset, forward func(tensor.Vector) tensor.Vector) Metrics {
+	var xent nn.SoftmaxCrossEntropy
+	var loss float64
+	top1, top5 := 0, 0
+	for i := range eval.Inputs {
+		logits := forward(eval.Inputs[i])
+		label := eval.Labels[i]
+		loss += xent.Loss(logits, nn.OneHot(label, eval.Classes))
+		if logits.ArgMax() == label {
+			top1++
+		}
+		if inTopK(logits, label, 5) {
+			top5++
+		}
+	}
+	n := float64(eval.Len())
+	return Metrics{Loss: loss / n, Top1: float64(top1) / n, Top5: float64(top5) / n}
+}
+
+func inTopK(logits tensor.Vector, label, k int) bool {
+	if k >= len(logits) {
+		return true
+	}
+	target := logits[label]
+	higher := 0
+	for i, v := range logits {
+		if i != label && v > target {
+			higher++
+		}
+	}
+	return higher < k
+}
+
+// SequenceTask trains an nn.LSTMClassifier on a variable-length
+// data.SequenceDataset shard — the video classification workload of §6.3
+// whose per-batch cost is proportional to the total number of frames.
+type SequenceTask struct {
+	name    string
+	model   *nn.LSTMClassifier
+	train   *data.SequenceDataset
+	eval    *data.SequenceDataset
+	sampler *data.BatchSampler
+
+	lastWorkload int
+}
+
+// NewSequenceTask builds the per-rank task (same sharing rules as the other
+// constructors).
+func NewSequenceTask(name string, model *nn.LSTMClassifier, train, eval *data.SequenceDataset, batchSize, rank, size int, seed int64) *SequenceTask {
+	model.Init(rand.New(rand.NewSource(seed)))
+	return &SequenceTask{
+		name:    name,
+		model:   model,
+		train:   train,
+		eval:    eval,
+		sampler: data.NewBatchSampler(train.Len(), batchSize, rank, size, seed),
+	}
+}
+
+// Name returns the task name.
+func (t *SequenceTask) Name() string { return t.name }
+
+// NumParams returns the model size.
+func (t *SequenceTask) NumParams() int { return t.model.NumParams() }
+
+// Params returns the flat parameters.
+func (t *SequenceTask) Params() tensor.Vector { return t.model.Params() }
+
+// Grads returns the flat gradients.
+func (t *SequenceTask) Grads() tensor.Vector { return t.model.Grads() }
+
+// ComputeGradient runs BPTT over the step's minibatch of sequences. Its cost
+// is genuinely proportional to the batch's total frame count, reproducing the
+// inherent load imbalance of the video workload.
+func (t *SequenceTask) ComputeGradient(int) float64 {
+	idx := t.sampler.Next()
+	seqs := make([][]tensor.Vector, len(idx))
+	labels := make([]int, len(idx))
+	workload := 0
+	for i, j := range idx {
+		seqs[i] = t.train.Sequences[j]
+		labels[i] = t.train.Labels[j]
+		workload += len(seqs[i])
+	}
+	t.lastWorkload = workload
+	return t.model.BatchGradient(seqs, labels)
+}
+
+// Evaluate returns held-out loss and top-1/top-5 accuracy.
+func (t *SequenceTask) Evaluate() Metrics {
+	var xent nn.SoftmaxCrossEntropy
+	var loss float64
+	top1, top5 := 0, 0
+	for i := range t.eval.Sequences {
+		logits := t.model.Forward(t.eval.Sequences[i])
+		label := t.eval.Labels[i]
+		loss += xent.Loss(logits, nn.OneHot(label, t.eval.Classes))
+		if logits.ArgMax() == label {
+			top1++
+		}
+		if inTopK(logits, label, 5) {
+			top5++
+		}
+	}
+	n := float64(t.eval.Len())
+	return Metrics{Loss: loss / n, Top1: float64(top1) / n, Top5: float64(top5) / n}
+}
+
+// WorkloadUnits returns the total frame count of the most recent minibatch.
+func (t *SequenceTask) WorkloadUnits(int) int { return t.lastWorkload }
+
+// StepsPerEpoch returns the number of optimizer steps per pass over the
+// rank's shard.
+func (t *SequenceTask) StepsPerEpoch() int { return t.sampler.StepsPerEpoch() }

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"eagersgd/internal/collectives"
+	"eagersgd/internal/comm"
+	"eagersgd/internal/imbalance"
+	"eagersgd/internal/optimizer"
+	"eagersgd/internal/partial"
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/trace"
+)
+
+// ExchangeStats describes one gradient exchange.
+type ExchangeStats struct {
+	// ActiveProcesses is the number of ranks whose fresh gradient was part of
+	// the exchanged sum (the world size for synchronous exchangers).
+	ActiveProcesses int
+	// Included reports whether this rank's fresh gradient was part of it.
+	Included bool
+}
+
+// GradientExchanger turns a local gradient into a global one. Implementations
+// are per-rank objects over a shared communicator.
+type GradientExchanger interface {
+	// Exchange contributes grad for the given step and returns the global
+	// gradient SUM (callers divide by the world size).
+	Exchange(step int, grad tensor.Vector) (tensor.Vector, ExchangeStats, error)
+	// Name identifies the exchanger in reports.
+	Name() string
+	// Close releases resources. For eager exchangers this is a local
+	// operation; the communicator owns the actual shutdown.
+	Close()
+}
+
+// SynchStyle selects which synchronous baseline a SynchExchanger models.
+type SynchStyle int
+
+const (
+	// StyleDeep500 models the Deep500 DSGD optimizer (§3): the gradient is
+	// reduced in a fixed number of ordered chunks, mirroring the control
+	// dependencies added to the computation DAG.
+	StyleDeep500 SynchStyle = iota
+	// StyleHorovod models Horovod (§3): a negotiation round (achieving
+	// consensus on readiness) followed by one fused allreduce over the whole
+	// gradient.
+	StyleHorovod
+)
+
+// String returns the style name.
+func (s SynchStyle) String() string {
+	switch s {
+	case StyleDeep500:
+		return "deep500"
+	case StyleHorovod:
+		return "horovod"
+	default:
+		return fmt.Sprintf("style(%d)", int(s))
+	}
+}
+
+// SynchExchanger implements synchronous allreduce-based gradient exchange —
+// the synch-SGD baseline. Every rank blocks until all ranks contribute.
+type SynchExchanger struct {
+	comm   *comm.Communicator
+	style  SynchStyle
+	chunks int
+	algo   collectives.Algorithm
+}
+
+// NewSynchExchanger builds a synchronous exchanger. chunks controls the
+// number of ordered reductions for the Deep500 style (values below 1 mean a
+// single fused reduction).
+func NewSynchExchanger(c *comm.Communicator, style SynchStyle, chunks int) *SynchExchanger {
+	if chunks < 1 {
+		chunks = 1
+	}
+	return &SynchExchanger{comm: c, style: style, chunks: chunks, algo: collectives.AlgoAuto}
+}
+
+// Name returns "synch-sgd (deep500)" or "synch-sgd (horovod)".
+func (s *SynchExchanger) Name() string { return fmt.Sprintf("synch-sgd (%s)", s.style) }
+
+// Close is a no-op; the communicator owns shutdown.
+func (s *SynchExchanger) Close() {}
+
+// Exchange performs the synchronous allreduce and returns the gradient sum.
+func (s *SynchExchanger) Exchange(_ int, grad tensor.Vector) (tensor.Vector, ExchangeStats, error) {
+	global := grad.Clone()
+	switch s.style {
+	case StyleHorovod:
+		// Negotiation: all ranks agree everyone is ready (Horovod's
+		// coordinator round), then one fused allreduce.
+		ready := tensor.Vector{1}
+		if err := collectives.Allreduce(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling); err != nil {
+			return nil, ExchangeStats{}, err
+		}
+		if err := collectives.Allreduce(s.comm, global, collectives.OpSum, s.algo); err != nil {
+			return nil, ExchangeStats{}, err
+		}
+	default: // StyleDeep500: ordered chunked reductions.
+		for _, chunk := range global.Chunk(s.chunks) {
+			if len(chunk) == 0 {
+				continue
+			}
+			if err := collectives.Allreduce(s.comm, chunk, collectives.OpSum, s.algo); err != nil {
+				return nil, ExchangeStats{}, err
+			}
+		}
+	}
+	return global, ExchangeStats{ActiveProcesses: s.comm.Size(), Included: true}, nil
+}
+
+// EagerExchanger implements the partial-collective gradient exchange of
+// eager-SGD (Algorithm 2): solo or majority allreduce with stale-gradient
+// accumulation handled by the underlying partial.Allreducer.
+type EagerExchanger struct {
+	reducer *partial.Allreducer
+	mode    partial.Mode
+}
+
+// NewEagerExchanger builds the eager exchanger for a gradient of length n.
+func NewEagerExchanger(c *comm.Communicator, n int, mode partial.Mode, seed int64) *EagerExchanger {
+	return &EagerExchanger{
+		reducer: partial.New(c, n, partial.Options{Mode: mode, Seed: seed}),
+		mode:    mode,
+	}
+}
+
+// NewQuorumExchanger builds an eager exchanger with an explicit candidate
+// count (the solo–majority–full spectrum of §8).
+func NewQuorumExchanger(c *comm.Communicator, n int, candidates int, seed int64) *EagerExchanger {
+	return &EagerExchanger{
+		reducer: partial.New(c, n, partial.Options{Mode: partial.Quorum, Candidates: candidates, Seed: seed}),
+		mode:    partial.Quorum,
+	}
+}
+
+// Name returns "eager-sgd (solo)" or "eager-sgd (majority)".
+func (e *EagerExchanger) Name() string { return fmt.Sprintf("eager-sgd (%s)", e.mode) }
+
+// Close marks the underlying allreducer closed.
+func (e *EagerExchanger) Close() { e.reducer.Close() }
+
+// Reducer exposes the underlying partial allreducer (used by diagnostics).
+func (e *EagerExchanger) Reducer() *partial.Allreducer { return e.reducer }
+
+// Exchange contributes the gradient to the current partial-allreduce round.
+func (e *EagerExchanger) Exchange(_ int, grad tensor.Vector) (tensor.Vector, ExchangeStats, error) {
+	global, info, err := e.reducer.Exchange(grad)
+	if err != nil {
+		return nil, ExchangeStats{}, err
+	}
+	return global, ExchangeStats{ActiveProcesses: info.ActiveProcesses, Included: info.Included}, nil
+}
+
+// Config assembles one rank's trainer.
+type Config struct {
+	Comm      *comm.Communicator
+	Task      Task
+	Exchanger GradientExchanger
+	Optimizer optimizer.Optimizer
+	// Injector and Clock simulate system-caused load imbalance (§6.2); leave
+	// Injector nil for none.
+	Injector imbalance.Injector
+	Clock    imbalance.Clock
+	// BaseStepPaperMs models the per-step compute cost (in paper
+	// milliseconds, slept through Clock) of the system the local model stands
+	// in for. The stand-in models are orders of magnitude cheaper than a
+	// P100 running ResNet-50, so without this the injected delays would
+	// dominate the step time and exaggerate the imbalance relative to the
+	// paper's setup. Zero disables it.
+	BaseStepPaperMs float64
+	// CostModel, when non-nil, adds modelled compute time proportional to the
+	// step's WorkloadUnits (used when the stand-in model is much cheaper than
+	// the system it represents).
+	CostModel *imbalance.SequenceCostModel
+	// SyncEverySteps, when positive, synchronizes (averages) model replicas
+	// across ranks every that many steps — the periodic model synchronization
+	// eager-SGD uses to bound replica divergence (§5). Ignored by synchronous
+	// exchangers, whose replicas never diverge.
+	SyncEverySteps int
+}
+
+// Trainer runs data-parallel SGD for one rank.
+type Trainer struct {
+	cfg      Config
+	recorder *trace.ThroughputRecorder
+	step     int
+}
+
+// NewTrainer validates the configuration and builds a trainer.
+func NewTrainer(cfg Config) (*Trainer, error) {
+	if cfg.Comm == nil || cfg.Task == nil || cfg.Exchanger == nil || cfg.Optimizer == nil {
+		return nil, fmt.Errorf("core: config requires Comm, Task, Exchanger, and Optimizer")
+	}
+	if cfg.Injector == nil {
+		cfg.Injector = imbalance.None{}
+	}
+	return &Trainer{cfg: cfg, recorder: trace.NewThroughputRecorder()}, nil
+}
+
+// Rank returns the trainer's rank.
+func (t *Trainer) Rank() int { return t.cfg.Comm.Rank() }
+
+// Size returns the world size.
+func (t *Trainer) Size() int { return t.cfg.Comm.Size() }
+
+// Recorder returns the per-step measurements collected so far.
+func (t *Trainer) Recorder() *trace.ThroughputRecorder { return t.recorder }
+
+// Step executes one training step: local gradient computation (plus any
+// injected or modelled imbalance), gradient exchange, averaging, and the
+// optimizer update, followed by the periodic model synchronization if due.
+func (t *Trainer) Step() (trace.StepRecord, error) {
+	start := time.Now()
+	step := t.step
+	t.step++
+
+	loss := t.cfg.Task.ComputeGradient(step)
+
+	// Modelled base compute cost of the system the local model stands in for.
+	if t.cfg.BaseStepPaperMs > 0 {
+		t.cfg.Clock.Sleep(t.cfg.BaseStepPaperMs)
+	}
+	// Inherent-imbalance cost model: charge time proportional to the batch
+	// workload (e.g. total frames).
+	if t.cfg.CostModel != nil {
+		if units := t.cfg.Task.WorkloadUnits(step); units > 0 {
+			t.cfg.Clock.Sleep(t.cfg.CostModel.Runtime(units))
+		}
+	}
+	// System-caused imbalance injection.
+	if d := t.cfg.Injector.Delay(step, t.Rank()); d > 0 {
+		t.cfg.Clock.Sleep(d)
+	}
+
+	global, stats, err := t.cfg.Exchanger.Exchange(step, t.cfg.Task.Grads())
+	if err != nil {
+		return trace.StepRecord{}, fmt.Errorf("core: step %d exchange: %w", step, err)
+	}
+	global.Scale(1 / float64(t.Size()))
+	t.cfg.Optimizer.Step(t.cfg.Task.Params(), global, step)
+
+	if t.cfg.SyncEverySteps > 0 && (step+1)%t.cfg.SyncEverySteps == 0 {
+		if err := t.SyncModel(); err != nil {
+			return trace.StepRecord{}, fmt.Errorf("core: step %d model sync: %w", step, err)
+		}
+	}
+
+	rec := trace.StepRecord{
+		Step:            step,
+		Duration:        time.Since(start),
+		Loss:            loss,
+		ActiveProcesses: stats.ActiveProcesses,
+		Included:        stats.Included,
+	}
+	t.recorder.Add(rec)
+	return rec, nil
+}
+
+// SyncModel averages the model replicas across all ranks (a synchronous
+// collective; every rank must call it at the same step).
+func (t *Trainer) SyncModel() error {
+	params := t.cfg.Task.Params()
+	if err := collectives.Allreduce(t.cfg.Comm, params, collectives.OpSum, collectives.AlgoAuto); err != nil {
+		return err
+	}
+	params.Scale(1 / float64(t.Size()))
+	return nil
+}
+
+// Steps returns how many steps the trainer has executed.
+func (t *Trainer) Steps() int { return t.step }
+
+// Name describes the trainer variant.
+func (t *Trainer) Name() string { return t.cfg.Exchanger.Name() }
+
+// Close releases the exchanger.
+func (t *Trainer) Close() { t.cfg.Exchanger.Close() }

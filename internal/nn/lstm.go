@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"eagersgd/internal/tensor"
+)
+
+// LSTMClassifier is a single-layer LSTM followed by a dense softmax read-out,
+// matching the video-classification model of §2.1/§6.3: a sequence of
+// per-frame feature vectors is consumed one step at a time and the final
+// hidden state is classified. The computational cost of one sample is
+// proportional to its sequence length, which is exactly the source of the
+// inherent load imbalance the paper studies.
+//
+// Gate layout within the stacked weight matrices is [input, forget, cell,
+// output], each block of HiddenSize rows.
+type LSTMClassifier struct {
+	InputSize  int
+	HiddenSize int
+	NumClasses int
+
+	params tensor.Vector
+	grads  tensor.Vector
+
+	// Parameter views.
+	wx   *tensor.Matrix // (4H x I) input-to-hidden
+	wh   *tensor.Matrix // (4H x H) hidden-to-hidden
+	bias tensor.Vector  // (4H)
+	wout *tensor.Matrix // (C x H) read-out
+	bout tensor.Vector  // (C)
+
+	// Gradient views.
+	gwx   *tensor.Matrix
+	gwh   *tensor.Matrix
+	gbias tensor.Vector
+	gwout *tensor.Matrix
+	gbout tensor.Vector
+}
+
+// NewLSTMClassifier allocates an LSTM classifier with the given feature size,
+// hidden width, and class count.
+func NewLSTMClassifier(inputSize, hiddenSize, numClasses int) *LSTMClassifier {
+	if inputSize <= 0 || hiddenSize <= 0 || numClasses <= 0 {
+		panic(fmt.Sprintf("nn: invalid LSTM shape in=%d hidden=%d classes=%d", inputSize, hiddenSize, numClasses))
+	}
+	m := &LSTMClassifier{InputSize: inputSize, HiddenSize: hiddenSize, NumClasses: numClasses}
+	total := m.NumParams()
+	m.params = tensor.NewVector(total)
+	m.grads = tensor.NewVector(total)
+	m.bind()
+	return m
+}
+
+// NumParams returns the total number of parameters.
+func (m *LSTMClassifier) NumParams() int {
+	h, i, c := m.HiddenSize, m.InputSize, m.NumClasses
+	return 4*h*i + 4*h*h + 4*h + c*h + c
+}
+
+func (m *LSTMClassifier) bind() {
+	h, i, c := m.HiddenSize, m.InputSize, m.NumClasses
+	off := 0
+	next := func(n int) tensor.Vector {
+		v := m.params[off : off+n]
+		off += n
+		return v
+	}
+	m.wx, _ = tensor.MatrixFromData(4*h, i, next(4*h*i))
+	m.wh, _ = tensor.MatrixFromData(4*h, h, next(4*h*h))
+	m.bias = next(4 * h)
+	m.wout, _ = tensor.MatrixFromData(c, h, next(c*h))
+	m.bout = next(c)
+
+	off = 0
+	nextG := func(n int) tensor.Vector {
+		v := m.grads[off : off+n]
+		off += n
+		return v
+	}
+	m.gwx, _ = tensor.MatrixFromData(4*h, i, nextG(4*h*i))
+	m.gwh, _ = tensor.MatrixFromData(4*h, h, nextG(4*h*h))
+	m.gbias = nextG(4 * h)
+	m.gwout, _ = tensor.MatrixFromData(c, h, nextG(c*h))
+	m.gbout = nextG(c)
+}
+
+// Init applies Xavier initialization to the weight matrices, zeroes the
+// biases, and sets the forget-gate bias to one (the standard trick that keeps
+// memory flowing early in training).
+func (m *LSTMClassifier) Init(rng *rand.Rand) {
+	m.wx.XavierInit(rng)
+	m.wh.XavierInit(rng)
+	m.bias.Zero()
+	h := m.HiddenSize
+	for j := h; j < 2*h; j++ { // forget gate block
+		m.bias[j] = 1
+	}
+	m.wout.XavierInit(rng)
+	m.bout.Zero()
+}
+
+// Params returns the flat parameter vector.
+func (m *LSTMClassifier) Params() tensor.Vector { return m.params }
+
+// Grads returns the flat gradient vector.
+func (m *LSTMClassifier) Grads() tensor.Vector { return m.grads }
+
+// ZeroGrads clears the accumulated gradients.
+func (m *LSTMClassifier) ZeroGrads() { m.grads.Zero() }
+
+// stepCache holds the per-time-step values needed by backpropagation through
+// time.
+type stepCache struct {
+	x          tensor.Vector
+	hPrev      tensor.Vector
+	cPrev      tensor.Vector
+	i, f, g, o tensor.Vector // gate activations
+	c, h       tensor.Vector
+}
+
+// forwardSequence runs the LSTM over the sequence and returns the logits plus
+// the per-step caches (nil caches if withCache is false).
+func (m *LSTMClassifier) forwardSequence(seq []tensor.Vector, withCache bool) (tensor.Vector, []stepCache) {
+	h := m.HiddenSize
+	hState := tensor.NewVector(h)
+	cState := tensor.NewVector(h)
+	var caches []stepCache
+	if withCache {
+		caches = make([]stepCache, 0, len(seq))
+	}
+	pre := tensor.NewVector(4 * h)
+	preH := tensor.NewVector(4 * h)
+	for _, x := range seq {
+		if len(x) != m.InputSize {
+			panic(fmt.Sprintf("nn: LSTM input size %d, want %d", len(x), m.InputSize))
+		}
+		m.wx.MulVec(x, pre)
+		m.wh.MulVec(hState, preH)
+		pre.Add(preH)
+		pre.Add(m.bias)
+
+		ig := tensor.NewVector(h)
+		fg := tensor.NewVector(h)
+		gg := tensor.NewVector(h)
+		og := tensor.NewVector(h)
+		for j := 0; j < h; j++ {
+			ig[j] = sigmoid(pre[j])
+			fg[j] = sigmoid(pre[h+j])
+			gg[j] = tanh(pre[2*h+j])
+			og[j] = sigmoid(pre[3*h+j])
+		}
+		newC := tensor.NewVector(h)
+		newH := tensor.NewVector(h)
+		for j := 0; j < h; j++ {
+			newC[j] = fg[j]*cState[j] + ig[j]*gg[j]
+			newH[j] = og[j] * tanh(newC[j])
+		}
+		if withCache {
+			caches = append(caches, stepCache{
+				x: x, hPrev: hState.Clone(), cPrev: cState.Clone(),
+				i: ig, f: fg, g: gg, o: og, c: newC.Clone(), h: newH.Clone(),
+			})
+		}
+		hState = newH
+		cState = newC
+	}
+	logits := tensor.NewVector(m.NumClasses)
+	m.wout.MulVec(hState, logits)
+	logits.Add(m.bout)
+	return logits, caches
+}
+
+// Forward returns the class logits for the sequence.
+func (m *LSTMClassifier) Forward(seq []tensor.Vector) tensor.Vector {
+	logits, _ := m.forwardSequence(seq, false)
+	return logits
+}
+
+// Predict returns the most likely class for the sequence.
+func (m *LSTMClassifier) Predict(seq []tensor.Vector) int {
+	return m.Forward(seq).ArgMax()
+}
+
+// AccumulateGradient runs forward and full backpropagation through time for
+// one labelled sequence, accumulating gradients, and returns the sample's
+// cross-entropy loss.
+func (m *LSTMClassifier) AccumulateGradient(seq []tensor.Vector, label int) float64 {
+	if len(seq) == 0 {
+		panic("nn: empty sequence")
+	}
+	h := m.HiddenSize
+	logits, caches := m.forwardSequence(seq, true)
+	target := OneHot(label, m.NumClasses)
+	var xent SoftmaxCrossEntropy
+	loss := xent.Loss(logits, target)
+	dLogits := xent.Grad(logits, target)
+
+	last := caches[len(caches)-1]
+	m.gwout.AddOuter(1, dLogits, last.h)
+	m.gbout.Add(dLogits)
+
+	dh := tensor.NewVector(h)
+	m.wout.MulVecT(dLogits, dh)
+	dc := tensor.NewVector(h)
+
+	dPre := tensor.NewVector(4 * h)
+	scratch := tensor.NewVector(h)
+	for t := len(caches) - 1; t >= 0; t-- {
+		cc := caches[t]
+		for j := 0; j < h; j++ {
+			tc := tanh(cc.c[j])
+			dcj := dc[j] + dh[j]*cc.o[j]*(1-tc*tc)
+			di := dcj * cc.g[j] * cc.i[j] * (1 - cc.i[j])
+			df := dcj * cc.cPrev[j] * cc.f[j] * (1 - cc.f[j])
+			dg := dcj * cc.i[j] * (1 - cc.g[j]*cc.g[j])
+			do := dh[j] * tc * cc.o[j] * (1 - cc.o[j])
+			dPre[j] = di
+			dPre[h+j] = df
+			dPre[2*h+j] = dg
+			dPre[3*h+j] = do
+			dc[j] = dcj * cc.f[j]
+		}
+		m.gwx.AddOuter(1, dPre, cc.x)
+		m.gwh.AddOuter(1, dPre, cc.hPrev)
+		m.gbias.Add(dPre)
+		m.wh.MulVecT(dPre, scratch)
+		dh.CopyFrom(scratch)
+	}
+	return loss
+}
+
+// BatchGradient zeroes the gradients, accumulates over the labelled
+// sequences, scales by the batch size, and returns the mean loss.
+func (m *LSTMClassifier) BatchGradient(seqs [][]tensor.Vector, labels []int) float64 {
+	if len(seqs) != len(labels) {
+		panic(fmt.Sprintf("nn: batch size mismatch %d sequences vs %d labels", len(seqs), len(labels)))
+	}
+	if len(seqs) == 0 {
+		panic("nn: empty batch")
+	}
+	m.ZeroGrads()
+	var total float64
+	for i, seq := range seqs {
+		total += m.AccumulateGradient(seq, labels[i])
+	}
+	inv := 1 / float64(len(seqs))
+	m.grads.Scale(inv)
+	return total * inv
+}
+
+func tanh(x float64) float64 { return math.Tanh(x) }

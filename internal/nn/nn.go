@@ -1,0 +1,386 @@
+// Package nn is the minimal neural-network substrate the training
+// experiments run on: dense layers, element-wise activations, classification
+// and regression losses, a feed-forward Network container, and an LSTM
+// sequence classifier (lstm.go) for the variable-length video workload.
+//
+// Every model keeps its parameters and gradients in single flat
+// tensor.Vector buffers. That mirrors how the paper's systems exchange
+// gradients (one fused allreduce over the flattened model) and lets the
+// distributed trainers in internal/core hand Grads() directly to a collective
+// without any marshalling.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"eagersgd/internal/tensor"
+)
+
+// Layer is one stage of a feed-forward network. A layer binds views into the
+// network's flat parameter and gradient vectors, then transforms activations
+// forward and gradients backward.
+type Layer interface {
+	// NumParams returns how many scalar parameters the layer owns.
+	NumParams() int
+	// Bind hands the layer its views of the network's flat parameter and
+	// gradient vectors. Both have length NumParams().
+	Bind(params, grads tensor.Vector)
+	// Init initializes the bound parameters.
+	Init(rng *rand.Rand)
+	// OutputSize returns the length of the activation vector the layer
+	// produces for an input of the configured size.
+	OutputSize() int
+	// Forward computes the layer output for one sample.
+	Forward(x tensor.Vector) tensor.Vector
+	// Backward consumes dL/d(output), accumulates parameter gradients into
+	// the bound gradient view, and returns dL/d(input). It must be called
+	// immediately after the Forward for the same sample.
+	Backward(dOut tensor.Vector) tensor.Vector
+}
+
+// Dense is a fully connected layer: y = W*x + b.
+type Dense struct {
+	In, Out int
+
+	w *tensor.Matrix
+	b tensor.Vector
+
+	gw *tensor.Matrix
+	gb tensor.Vector
+
+	lastIn tensor.Vector
+}
+
+// NewDense creates a fully connected layer with the given fan-in and fan-out.
+func NewDense(in, out int) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid dense shape %dx%d", out, in))
+	}
+	return &Dense{In: in, Out: out}
+}
+
+// NumParams returns Out*In weights plus Out biases.
+func (d *Dense) NumParams() int { return d.Out*d.In + d.Out }
+
+// OutputSize returns the fan-out.
+func (d *Dense) OutputSize() int { return d.Out }
+
+// Bind attaches parameter and gradient views.
+func (d *Dense) Bind(params, grads tensor.Vector) {
+	if len(params) != d.NumParams() || len(grads) != d.NumParams() {
+		panic(fmt.Sprintf("nn: dense bind size %d/%d, want %d", len(params), len(grads), d.NumParams()))
+	}
+	nw := d.Out * d.In
+	d.w, _ = tensor.MatrixFromData(d.Out, d.In, params[:nw])
+	d.b = params[nw:]
+	d.gw, _ = tensor.MatrixFromData(d.Out, d.In, grads[:nw])
+	d.gb = grads[nw:]
+}
+
+// Init applies Xavier initialization to the weights and zeros the biases.
+func (d *Dense) Init(rng *rand.Rand) {
+	d.w.XavierInit(rng)
+	d.b.Zero()
+}
+
+// Forward computes W*x + b.
+func (d *Dense) Forward(x tensor.Vector) tensor.Vector {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense forward input %d, want %d", len(x), d.In))
+	}
+	d.lastIn = x.Clone()
+	out := tensor.NewVector(d.Out)
+	d.w.MulVec(x, out)
+	out.Add(d.b)
+	return out
+}
+
+// Backward accumulates dW and db and returns dL/dx.
+func (d *Dense) Backward(dOut tensor.Vector) tensor.Vector {
+	if len(dOut) != d.Out {
+		panic(fmt.Sprintf("nn: dense backward grad %d, want %d", len(dOut), d.Out))
+	}
+	d.gw.AddOuter(1, dOut, d.lastIn)
+	d.gb.Add(dOut)
+	dIn := tensor.NewVector(d.In)
+	d.w.MulVecT(dOut, dIn)
+	return dIn
+}
+
+// activation is a parameter-free element-wise layer.
+type activation struct {
+	size    int
+	fn      func(float64) float64
+	deriv   func(x, y float64) float64 // derivative given input x and output y
+	lastIn  tensor.Vector
+	lastOut tensor.Vector
+	name    string
+}
+
+// NewReLU returns a rectified linear activation for vectors of length size.
+func NewReLU(size int) Layer {
+	return &activation{
+		size: size,
+		name: "relu",
+		fn:   func(x float64) float64 { return math.Max(0, x) },
+		deriv: func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// NewTanh returns a hyperbolic tangent activation for vectors of length size.
+func NewTanh(size int) Layer {
+	return &activation{
+		size:  size,
+		name:  "tanh",
+		fn:    math.Tanh,
+		deriv: func(_, y float64) float64 { return 1 - y*y },
+	}
+}
+
+// NewSigmoid returns a logistic activation for vectors of length size.
+func NewSigmoid(size int) Layer {
+	return &activation{
+		size:  size,
+		name:  "sigmoid",
+		fn:    sigmoid,
+		deriv: func(_, y float64) float64 { return y * (1 - y) },
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func (a *activation) NumParams() int          { return 0 }
+func (a *activation) OutputSize() int         { return a.size }
+func (a *activation) Bind(_, _ tensor.Vector) {}
+func (a *activation) Init(_ *rand.Rand)       {}
+func (a *activation) String() string          { return a.name }
+func (a *activation) Forward(x tensor.Vector) tensor.Vector {
+	if len(x) != a.size {
+		panic(fmt.Sprintf("nn: %s forward input %d, want %d", a.name, len(x), a.size))
+	}
+	a.lastIn = x.Clone()
+	out := tensor.NewVector(a.size)
+	for i, v := range x {
+		out[i] = a.fn(v)
+	}
+	a.lastOut = out.Clone()
+	return out
+}
+
+func (a *activation) Backward(dOut tensor.Vector) tensor.Vector {
+	dIn := tensor.NewVector(a.size)
+	for i, g := range dOut {
+		dIn[i] = g * a.deriv(a.lastIn[i], a.lastOut[i])
+	}
+	return dIn
+}
+
+// Loss maps a prediction and target to a scalar loss and its gradient with
+// respect to the prediction.
+type Loss interface {
+	// Loss returns the scalar loss for one sample.
+	Loss(pred, target tensor.Vector) float64
+	// Grad returns dLoss/dPred for one sample.
+	Grad(pred, target tensor.Vector) tensor.Vector
+	// Name identifies the loss in logs.
+	Name() string
+}
+
+// MSE is the mean squared error loss 0.5*||pred-target||^2 (the 0.5 keeps the
+// gradient free of constants).
+type MSE struct{}
+
+// Name returns "mse".
+func (MSE) Name() string { return "mse" }
+
+// Loss returns 0.5 * squared error.
+func (MSE) Loss(pred, target tensor.Vector) float64 {
+	var s float64
+	for i, p := range pred {
+		d := p - target[i]
+		s += d * d
+	}
+	return 0.5 * s
+}
+
+// Grad returns pred - target.
+func (MSE) Grad(pred, target tensor.Vector) tensor.Vector {
+	out := pred.Clone()
+	out.Sub(target)
+	return out
+}
+
+// SoftmaxCrossEntropy combines a softmax output layer with the cross-entropy
+// loss; Grad returns the numerically stable softmax(pred)-onehot form. The
+// target vector is a one-hot encoding of the class.
+type SoftmaxCrossEntropy struct{}
+
+// Name returns "softmax-xent".
+func (SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
+
+// Softmax returns the softmax distribution of logits.
+func Softmax(logits tensor.Vector) tensor.Vector {
+	maxLogit, _ := logits.Max()
+	out := tensor.NewVector(len(logits))
+	var sum float64
+	for i, l := range logits {
+		out[i] = math.Exp(l - maxLogit)
+		sum += out[i]
+	}
+	out.Scale(1 / sum)
+	return out
+}
+
+// Loss returns the cross entropy between softmax(pred) and the one-hot
+// target.
+func (SoftmaxCrossEntropy) Loss(pred, target tensor.Vector) float64 {
+	probs := Softmax(pred)
+	var loss float64
+	for i, t := range target {
+		if t > 0 {
+			loss -= t * math.Log(math.Max(probs[i], 1e-12))
+		}
+	}
+	return loss
+}
+
+// Grad returns softmax(pred) - target.
+func (SoftmaxCrossEntropy) Grad(pred, target tensor.Vector) tensor.Vector {
+	probs := Softmax(pred)
+	probs.Sub(target)
+	return probs
+}
+
+// OneHot returns a one-hot vector of the given length with index class set.
+func OneHot(class, length int) tensor.Vector {
+	if class < 0 || class >= length {
+		panic(fmt.Sprintf("nn: one-hot class %d out of range [0,%d)", class, length))
+	}
+	v := tensor.NewVector(length)
+	v[class] = 1
+	return v
+}
+
+// Network is a feed-forward stack of layers with a loss, holding all
+// parameters and gradients in flat vectors.
+type Network struct {
+	layers []Layer
+	loss   Loss
+	params tensor.Vector
+	grads  tensor.Vector
+}
+
+// NewNetwork assembles the layers into a network and allocates the flat
+// parameter and gradient buffers. Call Init before training.
+func NewNetwork(loss Loss, layers ...Layer) *Network {
+	if loss == nil {
+		panic("nn: nil loss")
+	}
+	if len(layers) == 0 {
+		panic("nn: network needs at least one layer")
+	}
+	total := 0
+	for _, l := range layers {
+		total += l.NumParams()
+	}
+	n := &Network{
+		layers: layers,
+		loss:   loss,
+		params: tensor.NewVector(total),
+		grads:  tensor.NewVector(total),
+	}
+	off := 0
+	for _, l := range layers {
+		sz := l.NumParams()
+		l.Bind(n.params[off:off+sz], n.grads[off:off+sz])
+		off += sz
+	}
+	return n
+}
+
+// Init initializes every layer's parameters.
+func (n *Network) Init(rng *rand.Rand) {
+	for _, l := range n.layers {
+		l.Init(rng)
+	}
+}
+
+// NumParams returns the total parameter count.
+func (n *Network) NumParams() int { return len(n.params) }
+
+// Params returns the flat parameter vector (aliased by the layers).
+func (n *Network) Params() tensor.Vector { return n.params }
+
+// Grads returns the flat gradient vector (aliased by the layers).
+func (n *Network) Grads() tensor.Vector { return n.grads }
+
+// ZeroGrads clears the accumulated gradients.
+func (n *Network) ZeroGrads() { n.grads.Zero() }
+
+// Forward runs one sample through the network and returns the output.
+func (n *Network) Forward(x tensor.Vector) tensor.Vector {
+	out := x
+	for _, l := range n.layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// LossValue returns the loss for one sample without touching gradients.
+func (n *Network) LossValue(x, target tensor.Vector) float64 {
+	return n.loss.Loss(n.Forward(x), target)
+}
+
+// BackwardFrom backpropagates the prediction gradient through the network,
+// accumulating parameter gradients. It must directly follow the Forward call
+// for the same sample.
+func (n *Network) BackwardFrom(dPred tensor.Vector) {
+	g := dPred
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+}
+
+// AccumulateGradient runs forward and backward for one sample and returns its
+// loss. Gradients accumulate into Grads (call ZeroGrads between batches and
+// scale by the batch size afterwards).
+func (n *Network) AccumulateGradient(x, target tensor.Vector) float64 {
+	pred := n.Forward(x)
+	loss := n.loss.Loss(pred, target)
+	n.BackwardFrom(n.loss.Grad(pred, target))
+	return loss
+}
+
+// BatchGradient zeroes the gradients, accumulates over the batch, divides by
+// the batch size, and returns the mean loss.
+func (n *Network) BatchGradient(xs, targets []tensor.Vector) float64 {
+	if len(xs) != len(targets) {
+		panic(fmt.Sprintf("nn: batch size mismatch %d inputs vs %d targets", len(xs), len(targets)))
+	}
+	if len(xs) == 0 {
+		panic("nn: empty batch")
+	}
+	n.ZeroGrads()
+	var total float64
+	for i, x := range xs {
+		total += n.AccumulateGradient(x, targets[i])
+	}
+	inv := 1 / float64(len(xs))
+	n.grads.Scale(inv)
+	return total * inv
+}
+
+// Predict returns the class index with the highest output for x.
+func (n *Network) Predict(x tensor.Vector) int {
+	return n.Forward(x).ArgMax()
+}
+
+// Loss returns the network's loss function.
+func (n *Network) Loss() Loss { return n.loss }

@@ -1,0 +1,342 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eagersgd/internal/tensor"
+)
+
+func TestDenseShapeAndParams(t *testing.T) {
+	d := NewDense(3, 2)
+	if d.NumParams() != 8 {
+		t.Fatalf("NumParams = %d, want 8", d.NumParams())
+	}
+	if d.OutputSize() != 2 {
+		t.Fatalf("OutputSize = %d", d.OutputSize())
+	}
+}
+
+func TestDenseInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(0, 3)
+}
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	d := NewDense(2, 2)
+	params := tensor.Vector{1, 2, 3, 4, 10, 20} // W=[[1,2],[3,4]], b=[10,20]
+	grads := tensor.NewVector(6)
+	d.Bind(params, grads)
+	out := d.Forward(tensor.Vector{1, 1})
+	if !out.Equal(tensor.Vector{13, 27}) {
+		t.Fatalf("Forward = %v", out)
+	}
+}
+
+func TestDenseBackwardAccumulates(t *testing.T) {
+	d := NewDense(2, 1)
+	params := tensor.Vector{2, 3, 0}
+	grads := tensor.NewVector(3)
+	d.Bind(params, grads)
+	d.Forward(tensor.Vector{5, 7})
+	dIn := d.Backward(tensor.Vector{1})
+	// dW = dOut * x^T = [5, 7]; db = 1; dx = W^T*dOut = [2, 3].
+	if !grads.Equal(tensor.Vector{5, 7, 1}) {
+		t.Fatalf("grads = %v", grads)
+	}
+	if !dIn.Equal(tensor.Vector{2, 3}) {
+		t.Fatalf("dIn = %v", dIn)
+	}
+	// A second backward must accumulate, not overwrite.
+	d.Forward(tensor.Vector{5, 7})
+	d.Backward(tensor.Vector{1})
+	if !grads.Equal(tensor.Vector{10, 14, 2}) {
+		t.Fatalf("grads after second backward = %v", grads)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	relu := NewReLU(3)
+	out := relu.Forward(tensor.Vector{-1, 0, 2})
+	if !out.Equal(tensor.Vector{0, 0, 2}) {
+		t.Fatalf("relu forward = %v", out)
+	}
+	dIn := relu.Backward(tensor.Vector{1, 1, 1})
+	if !dIn.Equal(tensor.Vector{0, 0, 1}) {
+		t.Fatalf("relu backward = %v", dIn)
+	}
+
+	tanhL := NewTanh(1)
+	y := tanhL.Forward(tensor.Vector{0.5})
+	if math.Abs(y[0]-math.Tanh(0.5)) > 1e-12 {
+		t.Fatalf("tanh forward = %v", y)
+	}
+	g := tanhL.Backward(tensor.Vector{1})
+	if math.Abs(g[0]-(1-y[0]*y[0])) > 1e-12 {
+		t.Fatalf("tanh backward = %v", g)
+	}
+
+	sig := NewSigmoid(1)
+	y = sig.Forward(tensor.Vector{0})
+	if math.Abs(y[0]-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", y)
+	}
+	if sig.NumParams() != 0 || tanhL.NumParams() != 0 || relu.NumParams() != 0 {
+		t.Fatal("activations must have no parameters")
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	var mse MSE
+	if mse.Name() == "" {
+		t.Fatal("empty loss name")
+	}
+	l := mse.Loss(tensor.Vector{1, 2}, tensor.Vector{0, 0})
+	if math.Abs(l-2.5) > 1e-12 {
+		t.Fatalf("MSE loss = %v, want 2.5", l)
+	}
+	g := mse.Grad(tensor.Vector{1, 2}, tensor.Vector{0, 1})
+	if !g.Equal(tensor.Vector{1, 1}) {
+		t.Fatalf("MSE grad = %v", g)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		logits := make(tensor.Vector, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			logits = append(logits, math.Mod(x, 50))
+		}
+		p := Softmax(logits)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	var xent SoftmaxCrossEntropy
+	if xent.Name() == "" {
+		t.Fatal("empty loss name")
+	}
+	// Uniform logits over 4 classes: loss = ln(4).
+	l := xent.Loss(tensor.Vector{1, 1, 1, 1}, OneHot(2, 4))
+	if math.Abs(l-math.Log(4)) > 1e-9 {
+		t.Fatalf("xent loss = %v, want ln4", l)
+	}
+	g := xent.Grad(tensor.Vector{1, 1, 1, 1}, OneHot(2, 4))
+	if math.Abs(g[2]-(0.25-1)) > 1e-9 || math.Abs(g[0]-0.25) > 1e-9 {
+		t.Fatalf("xent grad = %v", g)
+	}
+}
+
+func TestOneHotPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OneHot(5, 3)
+}
+
+func TestNetworkConstruction(t *testing.T) {
+	net := NewNetwork(MSE{}, NewDense(4, 8), NewReLU(8), NewDense(8, 2))
+	want := 4*8 + 8 + 8*2 + 2
+	if net.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", net.NumParams(), want)
+	}
+	if len(net.Params()) != want || len(net.Grads()) != want {
+		t.Fatal("flat buffers have wrong length")
+	}
+	net.Init(rand.New(rand.NewSource(1)))
+	if net.Params().Norm2() == 0 {
+		t.Fatal("Init left all parameters zero")
+	}
+	if net.Loss().Name() != "mse" {
+		t.Fatalf("Loss() = %v", net.Loss().Name())
+	}
+}
+
+func TestNetworkParamsAliasLayers(t *testing.T) {
+	net := NewNetwork(MSE{}, NewDense(1, 1))
+	net.Params()[0] = 3 // weight
+	net.Params()[1] = 1 // bias
+	out := net.Forward(tensor.Vector{2})
+	if out[0] != 7 {
+		t.Fatalf("Forward = %v, want 7 (params not aliased)", out)
+	}
+}
+
+func TestBatchGradientAveragesAndZeroes(t *testing.T) {
+	net := NewNetwork(MSE{}, NewDense(1, 1))
+	net.Params()[0] = 1
+	net.Params()[1] = 0
+	// Pollute the gradient buffer; BatchGradient must reset it.
+	net.Grads().Fill(42)
+	xs := []tensor.Vector{{1}, {3}}
+	ys := []tensor.Vector{{0}, {0}}
+	loss := net.BatchGradient(xs, ys)
+	// Per-sample losses: 0.5*1, 0.5*9 => mean 2.5.
+	if math.Abs(loss-2.5) > 1e-12 {
+		t.Fatalf("batch loss = %v", loss)
+	}
+	// dW per sample: (pred-target)*x = 1*1=1 and 3*3=9 => mean 5; db mean 2.
+	if math.Abs(net.Grads()[0]-5) > 1e-12 || math.Abs(net.Grads()[1]-2) > 1e-12 {
+		t.Fatalf("batch grads = %v", net.Grads())
+	}
+}
+
+func TestBatchGradientValidation(t *testing.T) {
+	net := NewNetwork(MSE{}, NewDense(1, 1))
+	for _, fn := range []func(){
+		func() { net.BatchGradient(nil, nil) },
+		func() { net.BatchGradient([]tensor.Vector{{1}}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// numericalGradient estimates dLoss/dParams with central differences.
+func numericalGradient(params tensor.Vector, lossFn func() float64) tensor.Vector {
+	const eps = 1e-5
+	grad := tensor.NewVector(len(params))
+	for i := range params {
+		orig := params[i]
+		params[i] = orig + eps
+		up := lossFn()
+		params[i] = orig - eps
+		down := lossFn()
+		params[i] = orig
+		grad[i] = (up - down) / (2 * eps)
+	}
+	return grad
+}
+
+func TestNetworkGradientMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork(SoftmaxCrossEntropy{}, NewDense(5, 7), NewTanh(7), NewDense(7, 3))
+	net.Init(rng)
+	x := tensor.NewVector(5)
+	x.Randomize(rng, 1)
+	target := OneHot(1, 3)
+
+	net.ZeroGrads()
+	net.AccumulateGradient(x, target)
+	analytic := net.Grads().Clone()
+	numeric := numericalGradient(net.Params(), func() float64 { return net.LossValue(x, target) })
+
+	for i := range analytic {
+		diff := math.Abs(analytic[i] - numeric[i])
+		scale := math.Max(1e-6, math.Abs(analytic[i])+math.Abs(numeric[i]))
+		if diff/scale > 1e-4 {
+			t.Fatalf("gradient mismatch at %d: analytic %v numeric %v", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestNetworkGradientMatchesNumericalMSEReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewNetwork(MSE{}, NewDense(4, 6), NewReLU(6), NewDense(6, 2), NewSigmoid(2))
+	net.Init(rng)
+	x := tensor.NewVector(4)
+	x.Randomize(rng, 1)
+	target := tensor.Vector{0.3, 0.9}
+
+	net.ZeroGrads()
+	net.AccumulateGradient(x, target)
+	analytic := net.Grads().Clone()
+	numeric := numericalGradient(net.Params(), func() float64 { return net.LossValue(x, target) })
+
+	for i := range analytic {
+		diff := math.Abs(analytic[i] - numeric[i])
+		scale := math.Max(1e-6, math.Abs(analytic[i])+math.Abs(numeric[i]))
+		if diff/scale > 1e-3 {
+			t.Fatalf("gradient mismatch at %d: analytic %v numeric %v", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestNetworkLearnsLinearRegression(t *testing.T) {
+	// One dense layer must recover a linear relationship with plain SGD.
+	rng := rand.New(rand.NewSource(11))
+	const dim = 8
+	truth := tensor.NewVector(dim)
+	truth.Randomize(rng, 1)
+	net := NewNetwork(MSE{}, NewDense(dim, 1))
+	net.Init(rng)
+
+	const lr = 0.1
+	for step := 0; step < 400; step++ {
+		xs := make([]tensor.Vector, 16)
+		ys := make([]tensor.Vector, 16)
+		for i := range xs {
+			x := tensor.NewVector(dim)
+			x.Randomize(rng, 1)
+			xs[i] = x
+			ys[i] = tensor.Vector{truth.Dot(x)}
+		}
+		net.BatchGradient(xs, ys)
+		net.Params().Axpy(-lr, net.Grads())
+	}
+	// Evaluate on fresh data.
+	var worst float64
+	for i := 0; i < 50; i++ {
+		x := tensor.NewVector(dim)
+		x.Randomize(rng, 1)
+		pred := net.Forward(x)[0]
+		if err := math.Abs(pred - truth.Dot(x)); err > worst {
+			worst = err
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("regression did not converge: worst error %v", worst)
+	}
+}
+
+func TestNetworkLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewNetwork(SoftmaxCrossEntropy{}, NewDense(2, 8), NewTanh(8), NewDense(8, 2))
+	net.Init(rng)
+	xs := []tensor.Vector{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	labels := []int{0, 1, 1, 0}
+	targets := make([]tensor.Vector, 4)
+	for i, l := range labels {
+		targets[i] = OneHot(l, 2)
+	}
+	for step := 0; step < 2000; step++ {
+		net.BatchGradient(xs, targets)
+		net.Params().Axpy(-0.5, net.Grads())
+	}
+	for i, x := range xs {
+		if net.Predict(x) != labels[i] {
+			t.Fatalf("XOR not learned: input %v predicted %d, want %d", x, net.Predict(x), labels[i])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package optimizer implements the parameter update rules U(G, w, t) of
+// Algorithm 1/2: plain SGD and SGD with momentum, plus simple learning-rate
+// schedules. Updates operate in place on the flat parameter vectors exposed
+// by internal/nn, so the distributed trainers can apply a globally reduced
+// gradient with one call.
+package optimizer
+
+import (
+	"fmt"
+
+	"eagersgd/internal/tensor"
+)
+
+// Schedule maps a step index to a learning rate.
+type Schedule interface {
+	// LearningRate returns the learning rate for the given step.
+	LearningRate(step int) float64
+}
+
+// ConstantLR always returns the same learning rate.
+type ConstantLR float64
+
+// LearningRate returns the constant value.
+func (c ConstantLR) LearningRate(int) float64 { return float64(c) }
+
+// StepDecay multiplies the base rate by Factor every Every steps.
+type StepDecay struct {
+	Base   float64
+	Factor float64
+	Every  int
+}
+
+// LearningRate returns Base * Factor^(step/Every).
+func (s StepDecay) LearningRate(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	lr := s.Base
+	for k := 0; k < step/s.Every; k++ {
+		lr *= s.Factor
+	}
+	return lr
+}
+
+// Optimizer applies a gradient to a parameter vector.
+type Optimizer interface {
+	// Step applies the update w <- w + U(grad, w, step) in place.
+	Step(params, grad tensor.Vector, step int)
+	// Name identifies the optimizer in reports.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent: w <- w - lr*grad.
+type SGD struct {
+	LR Schedule
+}
+
+// NewSGD returns plain SGD with a constant learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: ConstantLR(lr)} }
+
+// Name returns "sgd".
+func (s *SGD) Name() string { return "sgd" }
+
+// Step applies w <- w - lr*grad.
+func (s *SGD) Step(params, grad tensor.Vector, step int) {
+	params.Axpy(-s.LR.LearningRate(step), grad)
+}
+
+// Momentum is SGD with classical (heavy-ball) momentum:
+// v <- beta*v + grad; w <- w - lr*v.
+type Momentum struct {
+	LR       Schedule
+	Beta     float64
+	velocity tensor.Vector
+}
+
+// NewMomentum returns momentum SGD with a constant learning rate.
+func NewMomentum(lr, beta float64) *Momentum {
+	if beta < 0 || beta >= 1 {
+		panic(fmt.Sprintf("optimizer: momentum beta %v out of [0,1)", beta))
+	}
+	return &Momentum{LR: ConstantLR(lr), Beta: beta}
+}
+
+// Name returns "momentum".
+func (m *Momentum) Name() string { return "momentum" }
+
+// Step applies the heavy-ball update.
+func (m *Momentum) Step(params, grad tensor.Vector, step int) {
+	if m.velocity == nil {
+		m.velocity = tensor.NewVector(len(params))
+	}
+	if len(m.velocity) != len(params) {
+		panic(fmt.Sprintf("optimizer: parameter length changed from %d to %d", len(m.velocity), len(params)))
+	}
+	m.velocity.Scale(m.Beta)
+	m.velocity.Add(grad)
+	params.Axpy(-m.LR.LearningRate(step), m.velocity)
+}

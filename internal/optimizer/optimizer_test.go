@@ -1,0 +1,89 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"eagersgd/internal/tensor"
+)
+
+func TestConstantLR(t *testing.T) {
+	lr := ConstantLR(0.1)
+	if lr.LearningRate(0) != 0.1 || lr.LearningRate(1000) != 0.1 {
+		t.Fatal("constant LR must not vary")
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 1, Factor: 0.5, Every: 10}
+	if s.LearningRate(0) != 1 || s.LearningRate(9) != 1 {
+		t.Fatal("decay applied too early")
+	}
+	if s.LearningRate(10) != 0.5 || s.LearningRate(25) != 0.25 {
+		t.Fatalf("decay wrong: %v %v", s.LearningRate(10), s.LearningRate(25))
+	}
+	if (StepDecay{Base: 2, Factor: 0.1, Every: 0}).LearningRate(100) != 2 {
+		t.Fatal("Every=0 must disable decay")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	opt := NewSGD(0.1)
+	if opt.Name() != "sgd" {
+		t.Fatal("name")
+	}
+	params := tensor.Vector{1, 2}
+	opt.Step(params, tensor.Vector{10, -10}, 0)
+	if !params.AllClose(tensor.Vector{0, 3}, 1e-12) {
+		t.Fatalf("params = %v", params)
+	}
+}
+
+func TestMomentumAccumulatesVelocity(t *testing.T) {
+	opt := NewMomentum(1, 0.5)
+	if opt.Name() != "momentum" {
+		t.Fatal("name")
+	}
+	params := tensor.Vector{0}
+	opt.Step(params, tensor.Vector{1}, 0) // v=1, w=-1
+	opt.Step(params, tensor.Vector{1}, 1) // v=1.5, w=-2.5
+	if math.Abs(params[0]+2.5) > 1e-12 {
+		t.Fatalf("params = %v, want -2.5", params)
+	}
+}
+
+func TestMomentumInvalidBetaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMomentum(0.1, 1.5)
+}
+
+func TestMomentumParamLengthChangePanics(t *testing.T) {
+	opt := NewMomentum(0.1, 0.9)
+	opt.Step(tensor.Vector{1, 2}, tensor.Vector{1, 1}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	opt.Step(tensor.Vector{1}, tensor.Vector{1}, 1)
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = 0.5*||w - target||^2 with both optimizers.
+	target := tensor.Vector{3, -2, 0.5}
+	for _, opt := range []Optimizer{NewSGD(0.2), NewMomentum(0.1, 0.9)} {
+		w := tensor.Vector{0, 0, 0}
+		for step := 0; step < 200; step++ {
+			grad := w.Clone()
+			grad.Sub(target)
+			opt.Step(w, grad, step)
+		}
+		if !w.AllClose(target, 1e-3) {
+			t.Fatalf("%s did not converge: %v", opt.Name(), w)
+		}
+	}
+}

@@ -1,0 +1,466 @@
+// Package partial implements the paper's partial collective operations (§4):
+// solo allreduce, majority allreduce, and the generalized quorum allreduce
+// mentioned as future work (§8), all without a central parameter server.
+//
+// An Allreducer owns a background engine goroutine (the "communication
+// library" of §4.3) that executes one persistent schedule per round. The
+// schedule (built by internal/sched) contains an activation broadcast and a
+// recursive-doubling allreduce. Fast ranks activate the round internally;
+// slow ranks are activated externally by the broadcast and contribute
+// whatever their send buffer holds — null gradients, or stale gradients
+// accumulated from earlier rounds (Fig. 7 semantics). The application-facing
+// Exchange call therefore never waits for stragglers in Solo mode, and in
+// Majority mode waits only for a per-round randomly designated initiator,
+// giving the statistical ≥P/2 participation guarantee of §4.2.
+package partial
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/sched"
+	"eagersgd/internal/tensor"
+)
+
+// Mode selects which partial collective the Allreducer implements.
+type Mode int
+
+const (
+	// Solo lets any rank initiate the collective: a wait-free operation where
+	// the fastest rank triggers completion (§4.1).
+	Solo Mode = iota
+	// Majority designates one random initiator per round (same seeded choice
+	// on every rank), so on average half the ranks contribute fresh data
+	// (§4.2).
+	Majority
+	// Quorum generalizes the two: Candidates ranks are designated per round
+	// and the first of them to arrive initiates. Candidates=1 is Majority,
+	// Candidates=P is Solo; intermediate values trade latency for expected
+	// participation (§8).
+	Quorum
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Solo:
+		return "solo"
+	case Majority:
+		return "majority"
+	case Quorum:
+		return "quorum"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DefaultBaseTag is the start of the tag namespace used by partial
+// collectives. It is far above the namespace used by internal/collectives so
+// the two can share a communicator.
+const DefaultBaseTag = 1 << 24
+
+// Options configures an Allreducer.
+type Options struct {
+	// Mode selects solo, majority, or quorum behaviour. Default Solo.
+	Mode Mode
+	// Seed drives the shared pseudo-random initiator selection for Majority
+	// and Quorum modes. Every rank must use the same seed (the consensus of
+	// §4.2 is achieved by using the same seed on all processes).
+	Seed int64
+	// Candidates is the number of designated initiators per round in Quorum
+	// mode. Values below 1 are treated as 1; values above the communicator
+	// size behave like Solo.
+	Candidates int
+	// BaseTag is the first tag of the private tag namespace. Defaults to
+	// DefaultBaseTag.
+	BaseTag int
+}
+
+// RoundInfo describes the completed round an Exchange call observed.
+type RoundInfo struct {
+	// Round is the round index whose result was returned. If the caller fell
+	// behind by more than one round, this is the latest completed round (the
+	// receive buffer only retains the most recent result, §5 of the paper).
+	Round int
+	// ActiveProcesses is the number of ranks whose fresh contribution for
+	// that round arrived before the collective was activated — the NAP metric
+	// of Fig. 9.
+	ActiveProcesses int
+	// Included reports whether the caller's contribution to this Exchange was
+	// part of the returned result. When false the gradient remains in the
+	// send buffer and will be folded into a later round (stale gradient).
+	Included bool
+}
+
+// ErrClosed is returned by Exchange after Close has been called.
+var ErrClosed = errors.New("partial: allreducer closed")
+
+type roundRecord struct {
+	snapshotSeq uint64
+	nap         int
+}
+
+// retainedRounds bounds the per-round bookkeeping kept for late callers.
+const retainedRounds = 128
+
+// Allreducer provides partial allreduce over a fixed-size gradient vector.
+// It is safe for concurrent use by one application goroutine per rank plus
+// its internal engine; the usual usage is one Allreducer per rank, called
+// from that rank's training loop.
+type Allreducer struct {
+	comm *comm.Communicator
+	n    int
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	sendBuf     tensor.Vector // accumulated not-yet-contributed gradients
+	contribSeq  uint64        // bumped on every accumulation into sendBuf
+	appRound    int           // next round index the application will exchange
+	appArrived  int           // highest round for which the application has arrived (-1 none)
+	pendingInit int           // highest round the app wants internally activated (-1 none)
+
+	engineRound    int // round currently armed by the engine
+	completedRound int // highest completed round (-1 none)
+	lastResult     tensor.Vector
+	records        map[int]roundRecord
+
+	currentEx   *sched.Executor
+	currentPlan sched.PartialAllreducePlan
+
+	closed   bool
+	engineWG sync.WaitGroup
+	err      error
+}
+
+// New creates an Allreducer for vectors of length n over the communicator.
+// Every rank of the communicator must create one with identical n and
+// options; the engines start immediately.
+func New(c *comm.Communicator, n int, opts Options) *Allreducer {
+	if opts.BaseTag == 0 {
+		opts.BaseTag = DefaultBaseTag
+	}
+	if opts.Candidates < 1 {
+		opts.Candidates = 1
+	}
+	a := &Allreducer{
+		comm:           c,
+		n:              n,
+		opts:           opts,
+		sendBuf:        tensor.NewVector(n),
+		appArrived:     -1,
+		pendingInit:    -1,
+		completedRound: -1,
+		lastResult:     tensor.NewVector(n),
+		records:        make(map[int]roundRecord),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	a.engineWG.Add(1)
+	go a.engineLoop()
+	return a
+}
+
+// Mode returns the configured mode.
+func (a *Allreducer) Mode() Mode { return a.opts.Mode }
+
+// Size returns the number of participating ranks.
+func (a *Allreducer) Size() int { return a.comm.Size() }
+
+// Rank returns the local rank.
+func (a *Allreducer) Rank() int { return a.comm.Rank() }
+
+// isInitiator reports whether this rank may internally activate the given
+// round under the configured mode.
+func (a *Allreducer) isInitiator(round int) bool {
+	switch a.opts.Mode {
+	case Solo:
+		return true
+	case Majority:
+		return a.initiatorFor(round, 0) == a.comm.Rank()
+	case Quorum:
+		c := a.opts.Candidates
+		if c >= a.comm.Size() {
+			return true
+		}
+		me := a.comm.Rank()
+		for i := 0; i < c; i++ {
+			if a.initiatorFor(round, i) == me {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// DesignatedInitiators returns the ranks allowed to internally activate the
+// given round: nil for Solo (every rank may initiate), the single designated
+// initiator for Majority, and the candidate set for Quorum. Every rank
+// computes the same answer (the shared-seed consensus of §4.2), which makes
+// this useful for diagnostics and for tests that need to control who
+// activates a round.
+func (a *Allreducer) DesignatedInitiators(round int) []int {
+	switch a.opts.Mode {
+	case Majority:
+		return []int{a.initiatorFor(round, 0)}
+	case Quorum:
+		c := a.opts.Candidates
+		if c >= a.comm.Size() {
+			return nil
+		}
+		set := make(map[int]bool, c)
+		var out []int
+		for i := 0; i < c; i++ {
+			r := a.initiatorFor(round, i)
+			if !set[r] {
+				set[r] = true
+				out = append(out, r)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// initiatorFor returns the idx-th designated initiator for the round. All
+// ranks compute the same value because the hash depends only on the shared
+// seed, the round, and the index.
+func (a *Allreducer) initiatorFor(round, idx int) int {
+	h := splitmix64(uint64(a.opts.Seed) ^ (uint64(round)+1)*0x9e3779b97f4a7c15 ^ uint64(idx)*0xbf58476d1ce4e5b9)
+	return int(h % uint64(a.comm.Size()))
+}
+
+// splitmix64 is the SplitMix64 hash finalizer, used as a tiny shared PRNG so
+// initiator selection needs no state that could drift between ranks.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Exchange contributes grad to the current round of the partial allreduce and
+// returns the reduced gradient sum visible to this rank, following the
+// eager-SGD buffer protocol of Fig. 7:
+//
+//   - If the round has not completed yet, the gradient (plus any stale
+//     gradients from earlier rounds) is contributed, the call blocks until
+//     the round completes (which in Solo mode happens as soon as the fastest
+//     rank arrives), and Included is true if this rank's data made it into
+//     the snapshot.
+//   - If the round already completed (this rank is a straggler), the latest
+//     receive-buffer contents are returned immediately, Included is false,
+//     and the gradient is kept in the send buffer to be folded into a later
+//     round.
+//
+// The returned vector is a copy owned by the caller. The result is the
+// element-wise sum over contributions; divide by Size() for the average used
+// by eager-SGD.
+func (a *Allreducer) Exchange(grad tensor.Vector) (tensor.Vector, RoundInfo, error) {
+	if len(grad) != a.n {
+		return nil, RoundInfo{}, fmt.Errorf("partial: gradient length %d, want %d", len(grad), a.n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, RoundInfo{}, ErrClosed
+	}
+	round := a.appRound
+	a.appRound++
+	a.appArrived = round
+
+	// Fold the new gradient into the send buffer together with any stale
+	// gradients waiting there.
+	a.sendBuf.Add(grad)
+	a.contribSeq++
+	mySeq := a.contribSeq
+
+	if a.err != nil {
+		return nil, RoundInfo{}, a.err
+	}
+	if a.completedRound >= round {
+		// Straggler path: the engine already completed this round on our
+		// behalf using whatever was in the send buffer at the time.
+		info := RoundInfo{Round: a.completedRound, Included: false}
+		if rec, ok := a.records[a.completedRound]; ok {
+			info.ActiveProcesses = rec.nap
+		}
+		return a.lastResult.Clone(), info, nil
+	}
+
+	// The round is still open. Request internal activation if this rank is
+	// allowed to initiate under the configured mode.
+	if a.isInitiator(round) {
+		a.pendingInit = round
+		a.triggerIfArmedLocked(round)
+	}
+
+	// Wait for the round to complete (possibly activated externally).
+	for a.completedRound < round && !a.closed && a.err == nil {
+		a.cond.Wait()
+	}
+	if a.err != nil {
+		return nil, RoundInfo{}, a.err
+	}
+	if a.closed {
+		return nil, RoundInfo{}, ErrClosed
+	}
+	info := RoundInfo{Round: round}
+	if rec, ok := a.records[round]; ok {
+		info.ActiveProcesses = rec.nap
+		info.Included = mySeq <= rec.snapshotSeq
+	}
+	return a.lastResult.Clone(), info, nil
+}
+
+// triggerIfArmedLocked triggers the internal activation of the armed round if
+// it matches the requested one; otherwise the engine triggers it itself when
+// it arms the round (it checks pendingInit). Caller holds a.mu. Holding a.mu
+// across Trigger is safe: schedule computations (including the snapshot hook)
+// run on their own goroutines and only take a.mu while no executor lock is
+// held, so there is no lock cycle.
+func (a *Allreducer) triggerIfArmedLocked(round int) {
+	if a.currentEx != nil && a.engineRound == round {
+		_ = a.currentEx.Trigger(a.currentPlan.InternalActivation)
+	}
+}
+
+// snapshot is invoked by the schedule's prepare hook at activation time: it
+// moves the send buffer into the schedule's data buffer (appending the
+// "fresh contribution" flag used to compute the number of active processes)
+// and resets the send buffer to null gradients.
+func (a *Allreducer) snapshot(round int, data tensor.Vector) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	copy(data[:a.n], a.sendBuf)
+	if a.appArrived >= round {
+		data[a.n] = 1 // this rank's application reached the collective in time
+	} else {
+		data[a.n] = 0
+	}
+	a.records[round] = roundRecord{snapshotSeq: a.contribSeq, nap: -1}
+	a.sendBuf.Zero()
+}
+
+// engineLoop is the background communication engine: it arms one schedule per
+// round, lets it be activated internally or externally, and publishes the
+// result.
+func (a *Allreducer) engineLoop() {
+	defer a.engineWG.Done()
+	rank, size := a.comm.Rank(), a.comm.Size()
+	for round := 0; ; round++ {
+		baseTag := a.opts.BaseTag + round*sched.TagStride
+		r := round
+		plan := sched.BuildPartialAllreduceWithPrepare(rank, size, baseTag, a.n+1, sched.SumReduce,
+			func(data tensor.Vector) { a.snapshot(r, data) })
+		ex, err := sched.NewExecutor(a.comm, plan.Schedule)
+		if err != nil {
+			a.fail(err)
+			return
+		}
+
+		// Start first so a Trigger from the application (which only happens
+		// after currentEx is published below) is never rejected as premature.
+		ex.Start()
+
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			return
+		}
+		a.engineRound = round
+		a.currentEx = ex
+		a.currentPlan = plan
+		trigger := a.pendingInit >= round
+		a.mu.Unlock()
+
+		if trigger {
+			_ = ex.Trigger(plan.InternalActivation)
+		}
+
+		if err := ex.Wait(); err != nil {
+			if errors.Is(err, comm.ErrClosed) {
+				a.fail(ErrClosed)
+				return
+			}
+			a.fail(err)
+			return
+		}
+
+		data := plan.Schedule.Buffer(sched.DataBuffer)
+		a.publish(round, data)
+
+		// Purge stray duplicate activation messages from completed rounds so
+		// the unexpected queue stays short over long trainings.
+		a.comm.DiscardTagRange(a.opts.BaseTag, baseTag)
+
+		a.mu.Lock()
+		closed := a.closed
+		a.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// publish records the result of a completed round and wakes waiting Exchange
+// calls.
+func (a *Allreducer) publish(round int, data tensor.Vector) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastResult.CopyFrom(data[:a.n])
+	nap := int(data[a.n] + 0.5)
+	rec := a.records[round]
+	rec.nap = nap
+	a.records[round] = rec
+	delete(a.records, round-retainedRounds)
+	if round > a.completedRound {
+		a.completedRound = round
+	}
+	a.cond.Broadcast()
+}
+
+// fail records a fatal engine error and wakes all waiters.
+func (a *Allreducer) fail(err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err == nil && !errors.Is(err, ErrClosed) {
+		a.err = err
+	}
+	if errors.Is(err, ErrClosed) {
+		a.closed = true
+	}
+	a.cond.Broadcast()
+}
+
+// LastRound returns the highest completed round, or -1 if none completed yet.
+func (a *Allreducer) LastRound() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.completedRound
+}
+
+// PendingStale returns the L2 norm of the gradients currently parked in the
+// send buffer (stale gradients not yet contributed). Useful for diagnostics
+// and tests of the Fig. 7 protocol.
+func (a *Allreducer) PendingStale() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sendBuf.Norm2()
+}
+
+// Close marks the allreducer closed. Pending and future Exchange calls return
+// ErrClosed. The background engine exits once the underlying communicator is
+// closed (closing the communicator is the collective shutdown point, after
+// all ranks have stopped exchanging); Close itself does not block.
+func (a *Allreducer) Close() {
+	a.mu.Lock()
+	a.closed = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}

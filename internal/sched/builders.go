@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"fmt"
+
+	"eagersgd/internal/tensor"
+)
+
+// Buffer names used by the builders in this file. The application reads and
+// writes these via Schedule.Buffer / SetBuffer.
+const (
+	// DataBuffer holds the local contribution on entry and the reduced result
+	// after the schedule completes.
+	DataBuffer = "data"
+	// ActivationBuffer holds the tiny activation payload (one element carrying
+	// the initiator rank, for diagnostics).
+	ActivationBuffer = "activation"
+)
+
+// TagStride is the number of distinct tags a single round of a partial
+// allreduce schedule may use. Per-round base tags must be spaced at least
+// this far apart.
+const TagStride = 64
+
+// Tag offsets within a round's tag block.
+const (
+	tagActivation = 0 // activation broadcast
+	tagFold       = 1 // non-power-of-two pre/post fold
+	tagDataBase   = 2 // recursive-doubling exchange, one tag per step
+)
+
+// PartialAllreducePlan describes one rank's solo/majority allreduce schedule
+// for one round, as produced by BuildPartialAllreduce.
+type PartialAllreducePlan struct {
+	Schedule *Schedule
+	// InternalActivation is the NOP the application triggers when it reaches
+	// the collective call (internal activation, §4.1.1). Externally activated
+	// ranks never trigger it.
+	InternalActivation OpID
+	// AllreduceActivated is the NOP that marks the start of the allreduce
+	// phase; it completes on the first internal or external activation.
+	AllreduceActivated OpID
+	// Completion is the operation after which DataBuffer holds the reduced
+	// result on this rank.
+	Completion OpID
+}
+
+// BuildPartialAllreduce constructs the schedule of Fig. 6 for one rank: an
+// activation phase (a recursive-doubling broadcast equivalent to the union of
+// P binomial trees, so any rank can be the initiator) feeding an allreduce
+// phase (recursive doubling with the standard fold for non-power-of-two
+// process counts).
+//
+// rank and size describe the communicator, baseTag is the first tag of this
+// round's tag block (use round*TagStride), n is the element count of the data
+// buffer, and reduce combines contributions (SumReduce for gradient
+// accumulation).
+//
+// The returned schedule owns freshly allocated DataBuffer and
+// ActivationBuffer buffers; callers overwrite DataBuffer with their
+// contribution before activation (or let the engine contribute whatever the
+// buffer holds — null or stale gradients — on behalf of a slow rank).
+func BuildPartialAllreduce(rank, size, baseTag, n int, reduce ReduceFunc) PartialAllreducePlan {
+	return BuildPartialAllreduceWithPrepare(rank, size, baseTag, n, reduce, nil)
+}
+
+// BuildPartialAllreduceWithPrepare is BuildPartialAllreduce with an optional
+// prepare hook that runs after activation and before the first data-phase
+// operation. The partial-collective engine uses it to snapshot the
+// application's send buffer into DataBuffer at the moment the collective
+// actually starts (so a slow rank contributes whatever — null or stale
+// gradients — is in its buffer at that point, per Fig. 7 of the paper).
+func BuildPartialAllreduceWithPrepare(rank, size, baseTag, n int, reduce ReduceFunc, prepare func(data tensor.Vector)) PartialAllreducePlan {
+	if size <= 0 {
+		panic(fmt.Sprintf("sched: invalid communicator size %d", size))
+	}
+	if reduce == nil {
+		reduce = SumReduce
+	}
+	s := NewSchedule()
+	s.SetBuffer(DataBuffer, tensor.NewVector(n))
+	act := tensor.NewVector(1)
+	act[0] = float64(rank)
+	s.SetBuffer(ActivationBuffer, act)
+
+	actTag := baseTag + tagActivation
+
+	// --- Activation phase -------------------------------------------------
+	// Internal activation NOP (N0 in Fig. 6): fired by Executor.Trigger when
+	// the local application reaches the collective call.
+	n0 := s.AddNop(DepAnd)
+
+	// External activation receives (R0, R1, ... in Fig. 6): one per
+	// recursive-doubling distance, posted immediately. Any of them completing
+	// also activates the schedule.
+	var actRecvs []OpID
+	var peers []int
+	for d := 1; d < size; d *= 2 {
+		peer := rank ^ d
+		if peer >= size {
+			continue
+		}
+		peers = append(peers, peer)
+		actRecvs = append(actRecvs, s.AddRecv(peer, actTag, ActivationBuffer, DepAnd))
+	}
+
+	// Activation forwarding sends (S0, S1, ...): consumable, fired on the
+	// first activation from any source other than the peer they target (no
+	// echo back to the rank that just told us).
+	for i, peer := range peers {
+		deps := []OpID{n0}
+		for j, r := range actRecvs {
+			if j != i {
+				deps = append(deps, r)
+			}
+		}
+		s.AddSend(peer, actTag, ActivationBuffer, DepOr, deps...)
+	}
+
+	// N1 in Fig. 6: the allreduce phase starts on the first activation of any
+	// kind.
+	allreduceDeps := append([]OpID{n0}, actRecvs...)
+	n1 := s.AddNop(DepOr, allreduceDeps...)
+
+	// Optional prepare hook: snapshot the application's send buffer into the
+	// schedule's data buffer at activation time.
+	start := n1
+	if prepare != nil {
+		start = s.AddCompute(func(bufs map[string]tensor.Vector) {
+			prepare(bufs[DataBuffer])
+		}, DepAnd, n1)
+	}
+
+	// --- Allreduce phase ---------------------------------------------------
+	completion := buildRecursiveDoubling(s, rank, size, baseTag, reduce, start)
+
+	plan := PartialAllreducePlan{
+		Schedule:           s,
+		InternalActivation: n0,
+		AllreduceActivated: n1,
+		Completion:         completion,
+	}
+	s.SetCompletionOps(completion)
+	return plan
+}
+
+// BuildAllreduce constructs a plain synchronous allreduce schedule (no
+// activation phase): the schedule starts executing as soon as the executor
+// starts, which matches the internal activation of a synchronous collective.
+// It exists so the schedule engine can also express the baseline collective,
+// and for tests comparing the two paths.
+func BuildAllreduce(rank, size, baseTag, n int, reduce ReduceFunc) PartialAllreducePlan {
+	if reduce == nil {
+		reduce = SumReduce
+	}
+	s := NewSchedule()
+	s.SetBuffer(DataBuffer, tensor.NewVector(n))
+	start := s.AddNop(DepAnd) // triggered by the caller when its data is ready
+	completion := buildRecursiveDoubling(s, rank, size, baseTag, reduce, start)
+	s.SetCompletionOps(completion)
+	return PartialAllreducePlan{
+		Schedule:           s,
+		InternalActivation: start,
+		AllreduceActivated: start,
+		Completion:         completion,
+	}
+}
+
+// buildRecursiveDoubling appends a recursive-doubling allreduce to s, gated
+// on the given start operation, and returns the operation after which
+// DataBuffer holds the reduced value on this rank.
+//
+// Non-power-of-two sizes use the standard MPICH approach: the first 2*rem
+// ranks (rem = size - 2^k) fold pairwise so 2^k ranks run the doubling loop,
+// and the result is copied back to the folded-out ranks afterwards.
+func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, reduce ReduceFunc, start OpID) OpID {
+	pof2 := 1
+	for pof2*2 <= size {
+		pof2 *= 2
+	}
+	rem := size - pof2
+	foldTag := baseTag + tagFold
+
+	prev := start
+	inDoubling := true
+	doublingRank := rank
+
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		// Fold out: send contribution to rank+1, then wait for the final
+		// result in the post phase.
+		prev = s.AddSend(rank+1, foldTag, DataBuffer, DepAnd, prev)
+		inDoubling = false
+	case rank < 2*rem && rank%2 == 1:
+		// Fold in: absorb the even neighbour's contribution.
+		prev = s.AddRecvReduce(rank-1, foldTag, DataBuffer, reduce, DepAnd, prev)
+		doublingRank = rank / 2
+	default:
+		doublingRank = rank - rem
+	}
+
+	if inDoubling {
+		for d := 1; d < pof2; d *= 2 {
+			peerDoubling := doublingRank ^ d
+			peer := doublingToRank(peerDoubling, rem)
+			dataTag := baseTag + tagDataBase + log2(d)
+			send := s.AddSend(peer, dataTag, DataBuffer, DepAnd, prev)
+			// The receive-reduce waits for the send so the outgoing payload is
+			// snapshotted before the buffer is modified.
+			prev = s.AddRecvReduce(peer, dataTag, DataBuffer, reduce, DepAnd, send)
+		}
+	}
+
+	// Post phase for non-power-of-two sizes: odd folded ranks push the result
+	// back to their even neighbours.
+	switch {
+	case rank < 2*rem && rank%2 == 1:
+		prev = s.AddSend(rank-1, foldTag+TagStride/2, DataBuffer, DepAnd, prev)
+	case rank < 2*rem && rank%2 == 0:
+		prev = s.AddRecv(rank+1, foldTag+TagStride/2, DataBuffer, DepAnd, prev)
+	}
+	return prev
+}
+
+// doublingToRank maps a rank id in the folded power-of-two group back to the
+// original communicator rank.
+func doublingToRank(doublingRank, rem int) int {
+	if doublingRank < rem {
+		return doublingRank*2 + 1
+	}
+	return doublingRank + rem
+}
+
+func log2(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

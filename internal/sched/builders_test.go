@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/transport"
+)
+
+// runPlans starts one executor per rank for the given plans, triggers the
+// internal activation on the ranks listed in triggers, waits for every
+// executor, and returns each rank's data buffer.
+func runPlans(t *testing.T, world []*comm.Communicator, plans []PartialAllreducePlan, triggers []int) []tensor.Vector {
+	t.Helper()
+	p := len(plans)
+	execs := make([]*Executor, p)
+	for r := 0; r < p; r++ {
+		ex, err := NewExecutor(world[r], plans[r].Schedule)
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		execs[r] = ex
+		ex.Start()
+	}
+	for _, r := range triggers {
+		if err := execs[r].Trigger(plans[r].InternalActivation); err != nil {
+			t.Fatalf("trigger rank %d: %v", r, err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = execs[r].Wait()
+		}(r)
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(20 * time.Second):
+		t.Fatal("schedule execution did not complete (deadlock)")
+	}
+	out := make([]tensor.Vector, p)
+	for r := 0; r < p; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		out[r] = plans[r].Schedule.Buffer(DataBuffer)
+	}
+	return out
+}
+
+func allRanks(p int) []int {
+	out := make([]int, p)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func buildContributingPlans(p, n int, build func(rank int) PartialAllreducePlan) ([]PartialAllreducePlan, tensor.Vector) {
+	plans := make([]PartialAllreducePlan, p)
+	want := tensor.NewVector(n)
+	for r := 0; r < p; r++ {
+		plans[r] = build(r)
+		contrib := tensor.NewVector(n)
+		for i := range contrib {
+			contrib[i] = float64(r + i + 1)
+			want[i] += contrib[i]
+		}
+		plans[r].Schedule.Buffer(DataBuffer).CopyFrom(contrib)
+	}
+	return plans, want
+}
+
+func TestBuildAllreduceSumAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16} {
+		p := p
+		t.Run(sizeName(p), func(t *testing.T) {
+			world := transport.NewInprocWorld(p)
+			defer world[0].Close()
+			const n = 17
+			plans, want := buildContributingPlans(p, n, func(r int) PartialAllreducePlan {
+				return BuildAllreduce(r, p, 0, n, SumReduce)
+			})
+			results := runPlans(t, world, plans, allRanks(p))
+			for r, got := range results {
+				if !got.AllClose(want, 1e-9) {
+					t.Fatalf("rank %d result %v, want %v", r, got[:minInt(4, n)], want[:minInt(4, n)])
+				}
+			}
+		})
+	}
+}
+
+func TestBuildPartialAllreduceAllTriggered(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 6, 8} {
+		p := p
+		t.Run(sizeName(p), func(t *testing.T) {
+			world := transport.NewInprocWorld(p)
+			defer world[0].Close()
+			const n = 9
+			plans, want := buildContributingPlans(p, n, func(r int) PartialAllreducePlan {
+				return BuildPartialAllreduce(r, p, 0, n, SumReduce)
+			})
+			results := runPlans(t, world, plans, allRanks(p))
+			for r, got := range results {
+				if !got.AllClose(want, 1e-9) {
+					t.Fatalf("rank %d result %v, want %v", r, got, want)
+				}
+			}
+		})
+	}
+}
+
+// A single initiator must be enough to complete the collective on every rank
+// (external activation): this is the defining property of a solo collective.
+func TestBuildPartialAllreduceSingleInitiator(t *testing.T) {
+	for _, p := range []int{2, 4, 5, 8} {
+		for _, initiator := range []int{0, p - 1, p / 2} {
+			p, initiator := p, initiator
+			t.Run(sizeName(p)+"-init"+sizeName(initiator), func(t *testing.T) {
+				world := transport.NewInprocWorld(p)
+				defer world[0].Close()
+				const n = 5
+				// Every rank's buffer already holds its contribution (the
+				// engine contributes whatever is in the buffer on behalf of
+				// slow ranks), so the result is still the full sum.
+				plans, want := buildContributingPlans(p, n, func(r int) PartialAllreducePlan {
+					return BuildPartialAllreduce(r, p, 0, n, SumReduce)
+				})
+				results := runPlans(t, world, plans, []int{initiator})
+				for r, got := range results {
+					if !got.AllClose(want, 1e-9) {
+						t.Fatalf("rank %d result %v, want %v", r, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Slow ranks that never set their buffer contribute zeros ("null gradients"),
+// and the result must reflect only the initiators' data.
+func TestBuildPartialAllreduceNullContributions(t *testing.T) {
+	const p = 4
+	const n = 3
+	world := transport.NewInprocWorld(p)
+	defer world[0].Close()
+	plans := make([]PartialAllreducePlan, p)
+	for r := 0; r < p; r++ {
+		plans[r] = BuildPartialAllreduce(r, p, 0, n, SumReduce)
+	}
+	// Only rank 2 contributes real data and activates.
+	plans[2].Schedule.Buffer(DataBuffer).CopyFrom(tensor.Vector{1, 2, 3})
+	results := runPlans(t, world, plans, []int{2})
+	for r, got := range results {
+		if !got.AllClose(tensor.Vector{1, 2, 3}, 1e-9) {
+			t.Fatalf("rank %d result %v, want [1 2 3]", r, got)
+		}
+	}
+}
+
+func TestBuildPartialAllreduceMultipleInitiatorsExecuteOnce(t *testing.T) {
+	// All ranks trigger at nearly the same time; consumable operations must
+	// guarantee the collective still executes exactly once, i.e. the result
+	// equals the plain sum (no double counting).
+	const p = 8
+	const n = 4
+	world := transport.NewInprocWorld(p)
+	defer world[0].Close()
+	plans, want := buildContributingPlans(p, n, func(r int) PartialAllreducePlan {
+		return BuildPartialAllreduce(r, p, 100*TagStride, n, SumReduce)
+	})
+	results := runPlans(t, world, plans, allRanks(p))
+	for r, got := range results {
+		if !got.AllClose(want, 1e-9) {
+			t.Fatalf("rank %d result %v, want %v (double counting?)", r, got, want)
+		}
+	}
+}
+
+func TestBuildPartialAllreduceConsecutiveRounds(t *testing.T) {
+	const p = 4
+	const n = 2
+	world := transport.NewInprocWorld(p)
+	defer world[0].Close()
+	for round := 0; round < 5; round++ {
+		plans := make([]PartialAllreducePlan, p)
+		want := tensor.NewVector(n)
+		for r := 0; r < p; r++ {
+			plans[r] = BuildPartialAllreduce(r, p, round*TagStride, n, SumReduce)
+			contrib := tensor.Vector{float64(round), float64(r)}
+			want.Add(contrib)
+			plans[r].Schedule.Buffer(DataBuffer).CopyFrom(contrib)
+		}
+		results := runPlans(t, world, plans, []int{round % p})
+		for r, got := range results {
+			if !got.AllClose(want, 1e-9) {
+				t.Fatalf("round %d rank %d: %v want %v", round, r, got, want)
+			}
+		}
+		// Purge stray duplicate activation messages from this round before
+		// the next one, as the partial engine does.
+		for r := 0; r < p; r++ {
+			world[r].DiscardTagRange(0, (round+1)*TagStride)
+		}
+	}
+}
+
+func TestBuildAllreduceMaxReduce(t *testing.T) {
+	const p = 4
+	const n = 3
+	world := transport.NewInprocWorld(p)
+	defer world[0].Close()
+	plans := make([]PartialAllreducePlan, p)
+	for r := 0; r < p; r++ {
+		plans[r] = BuildAllreduce(r, p, 0, n, MaxReduce)
+		plans[r].Schedule.Buffer(DataBuffer).CopyFrom(tensor.Vector{float64(r), float64(-r), 1})
+	}
+	results := runPlans(t, world, plans, allRanks(p))
+	want := tensor.Vector{3, 0, 1}
+	for r, got := range results {
+		if !got.AllClose(want, 1e-9) {
+			t.Fatalf("rank %d max-reduce result %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestDoublingToRankRoundTrip(t *testing.T) {
+	f := func(sizeRaw uint8) bool {
+		size := int(sizeRaw%29) + 1
+		pof2 := 1
+		for pof2*2 <= size {
+			pof2 *= 2
+		}
+		rem := size - pof2
+		seen := make(map[int]bool)
+		for d := 0; d < pof2; d++ {
+			r := doublingToRank(d, rem)
+			if r < 0 || r >= size || seen[r] {
+				return false
+			}
+			seen[r] = true
+			// Ranks that survive folding are odd ranks below 2*rem and all
+			// ranks at or above 2*rem.
+			if r < 2*rem && r%2 == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 16: 4, 64: 6}
+	for in, want := range cases {
+		if got := log2(in); got != want {
+			t.Fatalf("log2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func sizeName(p int) string {
+	return "p" + string(rune('0'+p/10)) + string(rune('0'+p%10))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,582 @@
+// Package sched implements the communication-schedule engine described in
+// §4.1 of the paper: a collective operation is expressed as a directed acyclic
+// graph of operations (point-to-point sends and receives, local computations,
+// and NOPs) connected by happens-before dependencies with AND or OR
+// semantics.
+//
+// The engine supports the features partial collectives rely on:
+//
+//   - Consumable operations: an operation fires at most once even if its
+//     dependencies are satisfied multiple times (needed when several
+//     initiators activate the same solo collective).
+//   - Internal and external activation: a schedule can be triggered by the
+//     local application (Trigger on a NOP) or by the arrival of a message
+//     (a Recv with no dependencies), whichever happens first.
+//   - Asynchronous execution by library offloading (§4.3): Executor.Run
+//     drives the schedule on background goroutines, so a slow application
+//     thread still progresses the collective on behalf of faster peers.
+//   - Persistent schedules (§4.1.1): RunPersistent re-instantiates a schedule
+//     round after round without application intervention.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// OpKind identifies the type of a schedule operation.
+type OpKind int
+
+// The operation kinds defined by §4.1.1: point-to-point communication,
+// computation, and non-operations used to build dependencies.
+const (
+	OpNop OpKind = iota
+	OpSend
+	OpRecv
+	OpRecvReduce
+	OpCompute
+)
+
+// String returns a human-readable name for the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpNop:
+		return "nop"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpRecvReduce:
+		return "recv-reduce"
+	case OpCompute:
+		return "compute"
+	default:
+		return fmt.Sprintf("opkind(%d)", int(k))
+	}
+}
+
+// DepMode selects how an operation's dependencies combine.
+type DepMode int
+
+const (
+	// DepAnd fires the operation after all dependencies complete.
+	DepAnd DepMode = iota
+	// DepOr fires the operation as soon as any one dependency completes.
+	DepOr
+)
+
+// OpID identifies an operation within its schedule.
+type OpID int
+
+// ReduceFunc combines an incoming payload into a local buffer (e.g. addition
+// for allreduce-sum).
+type ReduceFunc func(local, incoming tensor.Vector)
+
+// SumReduce adds the incoming vector into the local buffer element-wise.
+func SumReduce(local, incoming tensor.Vector) { local.Add(incoming) }
+
+// MaxReduce keeps the element-wise maximum in the local buffer.
+func MaxReduce(local, incoming tensor.Vector) {
+	for i, x := range incoming {
+		if x > local[i] {
+			local[i] = x
+		}
+	}
+}
+
+// Op is one node of the schedule DAG. Fields are interpreted according to
+// Kind; the zero values of unused fields are ignored.
+type Op struct {
+	ID   OpID
+	Kind OpKind
+
+	// Peer and Tag describe the communication partner for send/recv kinds.
+	Peer int
+	Tag  int
+
+	// Buffer names the schedule buffer a send reads from or a receive writes
+	// to. For OpRecvReduce the incoming payload is folded into the buffer
+	// with Reduce.
+	Buffer string
+	Reduce ReduceFunc
+
+	// Fn is the body of an OpCompute operation. It receives the schedule's
+	// buffer table and may read or modify any buffer.
+	Fn func(bufs map[string]tensor.Vector)
+
+	// Deps lists the operations that must complete (per Mode) before this one
+	// fires. An operation with no dependencies is eligible immediately when
+	// the schedule starts, except NOPs, which only fire via Trigger or
+	// dependencies.
+	Deps []OpID
+	Mode DepMode
+}
+
+// Schedule is a DAG of operations plus the named buffers they operate on.
+// Build one with NewSchedule and the Add* methods, then execute it with an
+// Executor.
+type Schedule struct {
+	ops        []*Op
+	buffers    map[string]tensor.Vector
+	completion []OpID
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule {
+	return &Schedule{buffers: make(map[string]tensor.Vector)}
+}
+
+// SetCompletionOps designates the operations whose completion means the
+// schedule has logically finished. Operations that have not fired by then —
+// redundant activation receives, the internal-activation NOP of an externally
+// activated schedule — are abandoned: pending receives are canceled and the
+// executor's Wait returns. If never called, every operation must complete.
+func (s *Schedule) SetCompletionOps(ids ...OpID) { s.completion = append([]OpID(nil), ids...) }
+
+// SetBuffer registers (or replaces) a named buffer. Buffers are shared by
+// reference: the caller and the schedule observe each other's writes.
+func (s *Schedule) SetBuffer(name string, v tensor.Vector) { s.buffers[name] = v }
+
+// Buffer returns the named buffer, or nil if it was never registered.
+func (s *Schedule) Buffer(name string) tensor.Vector { return s.buffers[name] }
+
+// NumOps returns the number of operations added so far.
+func (s *Schedule) NumOps() int { return len(s.ops) }
+
+func (s *Schedule) add(op *Op) OpID {
+	op.ID = OpID(len(s.ops))
+	s.ops = append(s.ops, op)
+	return op.ID
+}
+
+// AddNop adds a non-operation used purely as a dependency anchor (an
+// activation point, typically).
+func (s *Schedule) AddNop(mode DepMode, deps ...OpID) OpID {
+	return s.add(&Op{Kind: OpNop, Mode: mode, Deps: deps})
+}
+
+// AddSend adds an operation that sends the current contents of buffer to peer
+// with the given tag when it fires. The payload is snapshotted at fire time.
+func (s *Schedule) AddSend(peer, tag int, buffer string, mode DepMode, deps ...OpID) OpID {
+	return s.add(&Op{Kind: OpSend, Peer: peer, Tag: tag, Buffer: buffer, Mode: mode, Deps: deps})
+}
+
+// AddRecv adds an operation that receives a message from peer with the given
+// tag into buffer (overwriting its contents).
+func (s *Schedule) AddRecv(peer, tag int, buffer string, mode DepMode, deps ...OpID) OpID {
+	return s.add(&Op{Kind: OpRecv, Peer: peer, Tag: tag, Buffer: buffer, Mode: mode, Deps: deps})
+}
+
+// AddRecvReduce adds an operation that receives a message from peer and folds
+// it into buffer using reduce.
+func (s *Schedule) AddRecvReduce(peer, tag int, buffer string, reduce ReduceFunc, mode DepMode, deps ...OpID) OpID {
+	return s.add(&Op{Kind: OpRecvReduce, Peer: peer, Tag: tag, Buffer: buffer, Reduce: reduce, Mode: mode, Deps: deps})
+}
+
+// AddCompute adds a local computation over the schedule buffers.
+func (s *Schedule) AddCompute(fn func(bufs map[string]tensor.Vector), mode DepMode, deps ...OpID) OpID {
+	return s.add(&Op{Kind: OpCompute, Fn: fn, Mode: mode, Deps: deps})
+}
+
+// Validate checks that every dependency references an existing operation and
+// that the dependency graph is acyclic.
+func (s *Schedule) Validate() error {
+	n := len(s.ops)
+	for _, op := range s.ops {
+		for _, d := range op.Deps {
+			if int(d) < 0 || int(d) >= n {
+				return fmt.Errorf("sched: op %d depends on unknown op %d", op.ID, d)
+			}
+			if d == op.ID {
+				return fmt.Errorf("sched: op %d depends on itself", op.ID)
+			}
+		}
+	}
+	// Cycle detection via DFS coloring.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	var visit func(i int) error
+	visit = func(i int) error {
+		color[i] = gray
+		for _, d := range s.ops[i].Deps {
+			switch color[d] {
+			case gray:
+				return fmt.Errorf("sched: dependency cycle involving op %d", i)
+			case white:
+				if err := visit(int(d)); err != nil {
+					return err
+				}
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if color[i] == white {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ErrNotNop is returned by Trigger when the target operation is not a NOP.
+var ErrNotNop = errors.New("sched: Trigger target is not a NOP")
+
+// Executor drives one schedule over a communicator. Executors are single-use:
+// create one per schedule execution (PersistentRunner manages this for you).
+type Executor struct {
+	comm  *comm.Communicator
+	sched *Schedule
+
+	mu         sync.Mutex
+	fired      []bool // operation has been started (consumable guard)
+	completed  []bool
+	err        error
+	pending    int // completion ops not yet completed
+	isCompl    []bool
+	done       chan struct{}
+	cancel     chan struct{}
+	doneClosed bool
+	started    bool
+	wg         sync.WaitGroup
+}
+
+// NewExecutor prepares an executor for the schedule. The schedule must pass
+// Validate.
+func NewExecutor(c *comm.Communicator, s *Schedule) (*Executor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Executor{
+		comm:      c,
+		sched:     s,
+		fired:     make([]bool, len(s.ops)),
+		completed: make([]bool, len(s.ops)),
+		isCompl:   make([]bool, len(s.ops)),
+		done:      make(chan struct{}),
+		cancel:    make(chan struct{}),
+	}
+	if len(s.completion) == 0 {
+		for i := range e.isCompl {
+			e.isCompl[i] = true
+		}
+		e.pending = len(s.ops)
+	} else {
+		for _, id := range s.completion {
+			if int(id) < 0 || int(id) >= len(s.ops) {
+				return nil, fmt.Errorf("sched: completion op %d out of range", id)
+			}
+			if !e.isCompl[id] {
+				e.isCompl[id] = true
+				e.pending++
+			}
+		}
+	}
+	return e, nil
+}
+
+// Start begins asynchronous execution: every non-NOP operation whose
+// dependency set is already satisfied (in particular, operations with no
+// dependencies) is fired. NOPs with no dependencies wait for Trigger, which
+// is how internal activation is expressed.
+func (e *Executor) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	if e.pending == 0 {
+		e.closeDoneLocked()
+		return
+	}
+	for _, op := range e.sched.ops {
+		if len(op.Deps) == 0 && op.Kind != OpNop {
+			e.fireLocked(op)
+		}
+	}
+}
+
+// Trigger fires a dependency-free NOP from the application thread — the
+// internal activation of §4.1.1. Triggering an already-fired NOP is a no-op
+// (the operation is consumable). Triggering a non-NOP returns ErrNotNop.
+func (e *Executor) Trigger(id OpID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(e.sched.ops) {
+		return fmt.Errorf("sched: Trigger of unknown op %d", id)
+	}
+	op := e.sched.ops[id]
+	if op.Kind != OpNop {
+		return ErrNotNop
+	}
+	if !e.started {
+		return errors.New("sched: Trigger before Start")
+	}
+	e.fireLocked(op)
+	return nil
+}
+
+// Wait blocks until every operation has completed (or execution failed) and
+// returns the first error encountered.
+func (e *Executor) Wait() error {
+	<-e.done
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Done returns a channel closed when the schedule has fully executed.
+func (e *Executor) Done() <-chan struct{} { return e.done }
+
+// depsSatisfied reports whether op's dependencies allow it to fire.
+// Caller holds e.mu.
+func (e *Executor) depsSatisfied(op *Op) bool {
+	if len(op.Deps) == 0 {
+		// Dependency-free NOPs fire only via Trigger; everything else fires
+		// at Start.
+		return op.Kind != OpNop
+	}
+	switch op.Mode {
+	case DepOr:
+		for _, d := range op.Deps {
+			if e.completed[d] {
+				return true
+			}
+		}
+		return false
+	default: // DepAnd
+		for _, d := range op.Deps {
+			if !e.completed[d] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// fireLocked starts op if it has not fired yet. Caller holds e.mu.
+func (e *Executor) fireLocked(op *Op) {
+	if e.fired[op.ID] {
+		return // consumable: never execute twice
+	}
+	e.fired[op.ID] = true
+	switch op.Kind {
+	case OpNop:
+		e.completeLocked(op, nil)
+	case OpCompute:
+		fn := op.Fn
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			var err error
+			if fn != nil {
+				fn(e.sched.buffers)
+			}
+			e.mu.Lock()
+			e.completeLocked(op, err)
+			e.mu.Unlock()
+		}()
+	case OpSend:
+		payload := e.sched.buffers[op.Buffer].Clone() // snapshot at fire time
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			err := e.comm.Send(op.Peer, op.Tag, payload)
+			e.mu.Lock()
+			e.completeLocked(op, err)
+			e.mu.Unlock()
+		}()
+	case OpRecv, OpRecvReduce:
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			data, _, err := e.comm.RecvCancel(op.Peer, op.Tag, e.cancel)
+			e.mu.Lock()
+			if errors.Is(err, comm.ErrCanceled) {
+				// The schedule already reached its completion set; this
+				// receive was an abandoned redundant path (e.g. a duplicate
+				// activation). Complete it silently.
+				e.completeLocked(op, nil)
+				e.mu.Unlock()
+				return
+			}
+			if err == nil {
+				buf := e.sched.buffers[op.Buffer]
+				switch {
+				case op.Kind == OpRecvReduce && op.Reduce != nil:
+					op.Reduce(buf, data)
+				case op.Kind == OpRecvReduce:
+					SumReduce(buf, data)
+				default:
+					if len(buf) != len(data) {
+						err = fmt.Errorf("sched: recv into buffer %q: length %d != %d", op.Buffer, len(buf), len(data))
+					} else {
+						buf.CopyFrom(data)
+					}
+				}
+			}
+			e.completeLocked(op, err)
+			e.mu.Unlock()
+		}()
+	}
+}
+
+// completeLocked marks op complete, records errors, and fires any dependents
+// whose dependencies are now satisfied. Caller holds e.mu.
+func (e *Executor) completeLocked(op *Op, err error) {
+	if e.completed[op.ID] {
+		return
+	}
+	e.completed[op.ID] = true
+	if e.isCompl[op.ID] {
+		e.pending--
+	}
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+	if !e.doneClosed {
+		for _, candidate := range e.sched.ops {
+			if e.fired[candidate.ID] || len(candidate.Deps) == 0 {
+				continue
+			}
+			if e.dependsOn(candidate, op.ID) && e.depsSatisfied(candidate) {
+				e.fireLocked(candidate)
+			}
+		}
+	}
+	if e.pending == 0 {
+		e.closeDoneLocked()
+	}
+}
+
+// closeDoneLocked marks the schedule complete and cancels abandoned receives.
+// Caller holds e.mu.
+func (e *Executor) closeDoneLocked() {
+	if e.doneClosed {
+		return
+	}
+	e.doneClosed = true
+	close(e.cancel)
+	close(e.done)
+}
+
+func (e *Executor) dependsOn(op *Op, id OpID) bool {
+	for _, d := range op.Deps {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Completed reports whether the operation has completed. Intended for tests.
+func (e *Executor) Completed(id OpID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.completed[id]
+}
+
+// Fired reports whether the operation has fired (started). Intended for tests.
+func (e *Executor) Fired(id OpID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired[id]
+}
+
+// ScheduleFactory builds the schedule for a given round of a persistent
+// collective. Tags must be unique per round so consecutive rounds do not
+// interfere.
+type ScheduleFactory func(round int) *Schedule
+
+// PersistentRunner re-instantiates a schedule round after round, implementing
+// the persistent schedules of §4.1.1: once one execution completes, the next
+// is armed immediately without application intervention.
+type PersistentRunner struct {
+	comm    *comm.Communicator
+	factory ScheduleFactory
+
+	mu      sync.Mutex
+	round   int
+	current *Executor
+	sched   *Schedule
+	stopped bool
+}
+
+// NewPersistentRunner creates a runner and arms round 0.
+func NewPersistentRunner(c *comm.Communicator, factory ScheduleFactory) (*PersistentRunner, error) {
+	r := &PersistentRunner{comm: c, factory: factory}
+	if err := r.arm(0); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *PersistentRunner) arm(round int) error {
+	s := r.factory(round)
+	ex, err := NewExecutor(r.comm, s)
+	if err != nil {
+		return err
+	}
+	r.round = round
+	r.sched = s
+	r.current = ex
+	ex.Start()
+	return nil
+}
+
+// Round returns the round number currently armed.
+func (r *PersistentRunner) Round() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.round
+}
+
+// Current returns the executor and schedule for the currently armed round.
+func (r *PersistentRunner) Current() (*Executor, *Schedule) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current, r.sched
+}
+
+// Advance waits for the current round to complete, then arms the next round.
+// It returns the completed round's schedule (whose buffers hold the results)
+// and any execution error.
+func (r *PersistentRunner) Advance() (*Schedule, error) {
+	r.mu.Lock()
+	ex, s := r.current, r.sched
+	round := r.round
+	stopped := r.stopped
+	r.mu.Unlock()
+	if stopped {
+		return nil, errors.New("sched: persistent runner stopped")
+	}
+	err := ex.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.stopped && r.round == round {
+		if armErr := r.arm(round + 1); armErr != nil && err == nil {
+			err = armErr
+		}
+	}
+	return s, err
+}
+
+// Stop prevents further rounds from being armed. The currently armed round is
+// left to drain naturally.
+func (r *PersistentRunner) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stopped = true
+}

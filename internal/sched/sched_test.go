@@ -1,0 +1,363 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/transport"
+)
+
+func TestOpKindString(t *testing.T) {
+	for _, k := range []OpKind{OpNop, OpSend, OpRecv, OpRecvReduce, OpCompute} {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", k)
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Fatalf("unknown kind should still produce a string")
+	}
+}
+
+func TestValidateRejectsBadDeps(t *testing.T) {
+	s := NewSchedule()
+	a := s.AddNop(DepAnd)
+	s.AddCompute(nil, DepAnd, OpID(42))
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for unknown dependency")
+	}
+	_ = a
+
+	s2 := NewSchedule()
+	op := s2.AddNop(DepAnd)
+	s2.ops[op].Deps = []OpID{op}
+	if err := s2.Validate(); err == nil {
+		t.Fatal("expected error for self dependency")
+	}
+
+	s3 := NewSchedule()
+	x := s3.AddNop(DepAnd)
+	y := s3.AddNop(DepAnd, x)
+	s3.ops[x].Deps = []OpID{y}
+	if err := s3.Validate(); err == nil {
+		t.Fatal("expected error for dependency cycle")
+	}
+}
+
+func TestValidateAcceptsDAG(t *testing.T) {
+	s := NewSchedule()
+	a := s.AddNop(DepAnd)
+	b := s.AddCompute(nil, DepAnd, a)
+	s.AddCompute(nil, DepOr, a, b)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.NumOps() != 3 {
+		t.Fatalf("NumOps = %d", s.NumOps())
+	}
+}
+
+func TestComputeChainRunsInDependencyOrder(t *testing.T) {
+	w := transport.NewInprocWorld(1)
+	defer w[0].Close()
+
+	s := NewSchedule()
+	s.SetBuffer("x", tensor.Vector{1})
+	start := s.AddNop(DepAnd)
+	double := s.AddCompute(func(b map[string]tensor.Vector) { b["x"][0] *= 2 }, DepAnd, start)
+	s.AddCompute(func(b map[string]tensor.Vector) { b["x"][0] += 3 }, DepAnd, double)
+
+	ex, err := NewExecutor(w[0], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	if err := ex.Trigger(start); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Buffer("x")[0]; got != 5 {
+		t.Fatalf("x = %v, want 5 (order-dependent result)", got)
+	}
+}
+
+func TestOrDependencyFiresOnFirst(t *testing.T) {
+	w := transport.NewInprocWorld(1)
+	defer w[0].Close()
+
+	s := NewSchedule()
+	s.SetBuffer("n", tensor.Vector{0})
+	a := s.AddNop(DepAnd)
+	b := s.AddNop(DepAnd)
+	c := s.AddCompute(func(bufs map[string]tensor.Vector) { bufs["n"][0]++ }, DepOr, a, b)
+	s.SetCompletionOps(c)
+
+	ex, err := NewExecutor(w[0], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	if err := ex.Trigger(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Buffer("n")[0]; got != 1 {
+		t.Fatalf("compute ran %v times, want 1", got)
+	}
+	if ex.Fired(b) {
+		t.Fatal("unrelated NOP b should not have fired")
+	}
+}
+
+func TestConsumableComputeRunsOnce(t *testing.T) {
+	w := transport.NewInprocWorld(1)
+	defer w[0].Close()
+
+	s := NewSchedule()
+	s.SetBuffer("n", tensor.Vector{0})
+	a := s.AddNop(DepAnd)
+	b := s.AddNop(DepAnd)
+	count := s.AddCompute(func(bufs map[string]tensor.Vector) { bufs["n"][0]++ }, DepOr, a, b)
+	s.SetCompletionOps(count)
+
+	ex, err := NewExecutor(w[0], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	// Both sources fire; the OR-dependent compute must still run exactly once.
+	if err := ex.Trigger(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Trigger(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Buffer("n")[0]; got != 1 {
+		t.Fatalf("compute ran %v times, want 1", got)
+	}
+}
+
+func TestTriggerTwiceIsIdempotent(t *testing.T) {
+	w := transport.NewInprocWorld(1)
+	defer w[0].Close()
+	s := NewSchedule()
+	s.SetBuffer("n", tensor.Vector{0})
+	a := s.AddNop(DepAnd)
+	s.AddCompute(func(bufs map[string]tensor.Vector) { bufs["n"][0]++ }, DepAnd, a)
+	ex, _ := NewExecutor(w[0], s)
+	ex.Start()
+	if err := ex.Trigger(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Trigger(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Buffer("n")[0]; got != 1 {
+		t.Fatalf("compute ran %v times, want 1", got)
+	}
+}
+
+func TestTriggerErrors(t *testing.T) {
+	w := transport.NewInprocWorld(1)
+	defer w[0].Close()
+	s := NewSchedule()
+	nop := s.AddNop(DepAnd)
+	cmp := s.AddCompute(nil, DepAnd, nop)
+	ex, _ := NewExecutor(w[0], s)
+	if err := ex.Trigger(nop); err == nil {
+		t.Fatal("expected error for Trigger before Start")
+	}
+	ex.Start()
+	if err := ex.Trigger(cmp); err != ErrNotNop {
+		t.Fatalf("err = %v, want ErrNotNop", err)
+	}
+	if err := ex.Trigger(OpID(99)); err == nil {
+		t.Fatal("expected error for unknown op")
+	}
+	if err := ex.Trigger(nop); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyScheduleCompletesImmediately(t *testing.T) {
+	w := transport.NewInprocWorld(1)
+	defer w[0].Close()
+	ex, err := NewExecutor(w[0], NewSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	done := make(chan error, 1)
+	go func() { done <- ex.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("empty schedule did not complete")
+	}
+}
+
+func TestCompletionOpsOutOfRange(t *testing.T) {
+	w := transport.NewInprocWorld(1)
+	defer w[0].Close()
+	s := NewSchedule()
+	s.AddNop(DepAnd)
+	s.SetCompletionOps(OpID(7))
+	if _, err := NewExecutor(w[0], s); err == nil {
+		t.Fatal("expected error for out-of-range completion op")
+	}
+}
+
+func TestExternalActivationViaRecv(t *testing.T) {
+	w := transport.NewInprocWorld(2)
+	defer w[0].Close()
+
+	// Rank 1 runs a schedule that starts when a message arrives from rank 0.
+	s := NewSchedule()
+	s.SetBuffer("in", tensor.NewVector(1))
+	s.SetBuffer("out", tensor.NewVector(1))
+	recv := s.AddRecv(0, 5, "in", DepAnd)
+	done := s.AddCompute(func(b map[string]tensor.Vector) { b["out"][0] = b["in"][0] * 10 }, DepAnd, recv)
+	s.SetCompletionOps(done)
+
+	ex, err := NewExecutor(w[1], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	if err := w[0].Send(1, 5, tensor.Vector{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Buffer("out")[0]; got != 70 {
+		t.Fatalf("out = %v, want 70", got)
+	}
+}
+
+func TestSendSnapshotsBufferAtFireTime(t *testing.T) {
+	w := transport.NewInprocWorld(2)
+	defer w[0].Close()
+
+	s := NewSchedule()
+	s.SetBuffer("d", tensor.Vector{1})
+	start := s.AddNop(DepAnd)
+	send := s.AddSend(1, 3, "d", DepAnd, start)
+	// A compute that clobbers the buffer right after the send fires.
+	s.AddCompute(func(b map[string]tensor.Vector) { b["d"][0] = 999 }, DepAnd, send)
+
+	ex, _ := NewExecutor(w[0], s)
+	ex.Start()
+	if err := ex.Trigger(start); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := w[1].Recv(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 1 {
+		t.Fatalf("send payload = %v, want the value at fire time (1)", data[0])
+	}
+}
+
+func TestRecvLengthMismatchIsError(t *testing.T) {
+	w := transport.NewInprocWorld(2)
+	defer w[0].Close()
+	s := NewSchedule()
+	s.SetBuffer("in", tensor.NewVector(2))
+	recv := s.AddRecv(0, 1, "in", DepAnd)
+	s.SetCompletionOps(recv)
+	ex, _ := NewExecutor(w[1], s)
+	ex.Start()
+	if err := w[0].Send(1, 1, tensor.Vector{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestPersistentRunnerAdvancesRounds(t *testing.T) {
+	w := transport.NewInprocWorld(1)
+	defer w[0].Close()
+
+	factory := func(round int) *Schedule {
+		s := NewSchedule()
+		s.SetBuffer("x", tensor.Vector{0})
+		start := s.AddNop(DepAnd)
+		s.AddCompute(func(b map[string]tensor.Vector) { b["x"][0] = float64(round) }, DepAnd, start)
+		return s
+	}
+	r, err := NewPersistentRunner(w[0], factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for want := 0; want < 3; want++ {
+		if r.Round() != want {
+			t.Fatalf("Round() = %d, want %d", r.Round(), want)
+		}
+		ex, _ := r.Current()
+		sched := mustTriggerStart(t, ex)
+		s, err := r.Advance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = sched
+		if got := s.Buffer("x")[0]; got != float64(want) {
+			t.Fatalf("round %d result = %v", want, got)
+		}
+	}
+}
+
+// mustTriggerStart triggers the first NOP of the currently armed schedule.
+func mustTriggerStart(t *testing.T, ex *Executor) *Schedule {
+	t.Helper()
+	for id, op := range ex.sched.ops {
+		if op.Kind == OpNop && len(op.Deps) == 0 {
+			if err := ex.Trigger(OpID(id)); err != nil {
+				t.Fatal(err)
+			}
+			return ex.sched
+		}
+	}
+	t.Fatal("no activation NOP found")
+	return nil
+}
+
+func TestPersistentRunnerStop(t *testing.T) {
+	w := transport.NewInprocWorld(1)
+	defer w[0].Close()
+	factory := func(round int) *Schedule {
+		s := NewSchedule()
+		s.AddNop(DepAnd)
+		return s
+	}
+	r, err := NewPersistentRunner(w[0], factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Stop()
+	if _, err := r.Advance(); err == nil {
+		t.Fatal("Advance after Stop should fail")
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestThroughputRecorder(t *testing.T) {
+	r := NewThroughputRecorder()
+	if r.StepsPerSecond() != 0 || r.MeanLoss() != 0 || r.MeanActiveProcesses() != 0 || r.InclusionRate() != 0 {
+		t.Fatal("empty recorder must report zeros")
+	}
+	r.Add(StepRecord{Step: 0, Duration: 100 * time.Millisecond, Loss: 2, ActiveProcesses: 4, Included: true})
+	r.Add(StepRecord{Step: 1, Duration: 300 * time.Millisecond, Loss: 4, ActiveProcesses: 2, Included: false})
+	if r.Steps() != 2 {
+		t.Fatalf("Steps = %d", r.Steps())
+	}
+	if r.TotalTime() != 400*time.Millisecond {
+		t.Fatalf("TotalTime = %v", r.TotalTime())
+	}
+	if math.Abs(r.StepsPerSecond()-5) > 1e-9 {
+		t.Fatalf("StepsPerSecond = %v", r.StepsPerSecond())
+	}
+	if r.MeanLoss() != 3 || r.MeanActiveProcesses() != 3 || r.InclusionRate() != 0.5 {
+		t.Fatalf("aggregates wrong: %v %v %v", r.MeanLoss(), r.MeanActiveProcesses(), r.InclusionRate())
+	}
+	if got := r.DurationPercentile(50); got != 100*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := r.DurationPercentile(100); got != 300*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if len(r.Records()) != 2 {
+		t.Fatal("Records copy wrong")
+	}
+	// Records must return a copy, not the internal slice header.
+	recs := r.Records()
+	recs[0].Loss = 999
+	if r.Records()[0].Loss == 999 {
+		t.Fatal("Records leaked internal storage")
+	}
+}
+
+func TestDurationPercentileEmpty(t *testing.T) {
+	if NewThroughputRecorder().DurationPercentile(50) != 0 {
+		t.Fatal("empty percentile must be zero")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c := &Curve{Name: "acc"}
+	if c.Last() != (CurvePoint{}) || c.MaxY() != 0 || c.FinalY() != 0 {
+		t.Fatal("empty curve accessors wrong")
+	}
+	c.Add(1, 0.5)
+	c.Add(2, 0.8)
+	c.Add(3, 0.7)
+	if c.Last().Y != 0.7 || c.FinalY() != 0.7 {
+		t.Fatal("Last/FinalY wrong")
+	}
+	if c.MaxY() != 0.8 {
+		t.Fatalf("MaxY = %v", c.MaxY())
+	}
+	if x, ok := c.XAtY(0.75); !ok || x != 2 {
+		t.Fatalf("XAtY = %v %v", x, ok)
+	}
+	if _, ok := c.XAtY(0.95); ok {
+		t.Fatal("XAtY should report not reached")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := NewTable("Table 1. Networks", "model", "params", "speedup", "time")
+	tab.AddRow("resnet-50", 25559081, 1.25, 1500*time.Millisecond)
+	tab.AddRow("lstm", 34663525.0, 1.27, time.Second)
+	out := tab.Render()
+	for _, want := range []string{"Table 1. Networks", "model", "resnet-50", "25559081", "1.250", "1.5s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "model,params,speedup,time\n") {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Fatalf("csv row count wrong: %q", csv)
+	}
+}
+
+func TestFormatFloatBranches(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(3.0)
+	tab.AddRow(123.456)
+	tab.AddRow(0.123456)
+	if tab.Rows[0][0] != "3" || tab.Rows[1][0] != "123.5" || tab.Rows[2][0] != "0.123" {
+		t.Fatalf("float formatting: %v", tab.Rows)
+	}
+}
+
+func TestRenderCurves(t *testing.T) {
+	a := &Curve{Name: "eager"}
+	a.Add(1, 0.5)
+	b := &Curve{Name: "synch"}
+	b.Add(2, 0.6)
+	out := RenderCurves("Figure 10", "time", "loss", a, b)
+	for _, want := range []string{"Figure 10", "eager", "synch", "series", "time", "loss"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered curves missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package transport provides the wire layers beneath internal/comm: an
+// in-process transport where ranks are goroutines exchanging messages through
+// channels (the default used by all experiments), and a TCP transport that
+// runs the same collectives across OS processes using the net package.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"eagersgd/internal/comm"
+)
+
+// ErrClosed is returned when sending through a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// DefaultInboxDepth is the per-rank buffered channel capacity of the
+// in-process hub. It is deep enough that the collectives used in this
+// repository never block a sender on a receiver that has not yet entered the
+// collective (a requirement for solo activation, where the initiator must be
+// able to send to a rank still busy computing).
+const DefaultInboxDepth = 4096
+
+// Hub connects p in-process endpoints. Message delivery is FIFO per
+// (sender, receiver) pair and reliable; there is no loss or reordering.
+type Hub struct {
+	size    int
+	inboxes []chan comm.Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewHub creates an in-process hub for size ranks with the default inbox
+// depth.
+func NewHub(size int) *Hub {
+	return NewHubDepth(size, DefaultInboxDepth)
+}
+
+// NewHubDepth creates an in-process hub with an explicit per-rank inbox
+// capacity. depth must be at least 1.
+func NewHubDepth(size, depth int) *Hub {
+	if size <= 0 {
+		panic(fmt.Sprintf("transport: hub size %d must be positive", size))
+	}
+	if depth < 1 {
+		panic(fmt.Sprintf("transport: inbox depth %d must be at least 1", depth))
+	}
+	h := &Hub{size: size, inboxes: make([]chan comm.Message, size)}
+	for i := range h.inboxes {
+		h.inboxes[i] = make(chan comm.Message, depth)
+	}
+	return h
+}
+
+// Size returns the number of ranks connected by the hub.
+func (h *Hub) Size() int { return h.size }
+
+// Endpoint returns the endpoint for the given rank.
+func (h *Hub) Endpoint(rank int) *InprocEndpoint {
+	if rank < 0 || rank >= h.size {
+		panic(fmt.Sprintf("transport: rank %d out of range [0,%d)", rank, h.size))
+	}
+	return &InprocEndpoint{hub: h, rank: rank}
+}
+
+// Close shuts down every endpoint of the hub. It is safe to call more than
+// once.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	for _, ch := range h.inboxes {
+		close(ch)
+	}
+	return nil
+}
+
+func (h *Hub) send(dest int, m comm.Message) (err error) {
+	if dest < 0 || dest >= h.size {
+		return fmt.Errorf("transport: destination %d out of range [0,%d)", dest, h.size)
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	ch := h.inboxes[dest]
+	h.mu.Unlock()
+	// The inbox is buffered; sends only block when a rank is severely behind,
+	// which provides natural flow control without unbounded memory use.
+	defer func() {
+		// If the hub was closed concurrently the channel send panics; convert
+		// that into ErrClosed for the caller.
+		if recover() != nil {
+			err = ErrClosed
+		}
+	}()
+	ch <- m
+	return nil
+}
+
+// InprocEndpoint is the per-rank view of a Hub. It implements comm.Endpoint.
+type InprocEndpoint struct {
+	hub  *Hub
+	rank int
+}
+
+// Rank returns the endpoint's rank.
+func (e *InprocEndpoint) Rank() int { return e.rank }
+
+// Size returns the number of ranks connected by the hub.
+func (e *InprocEndpoint) Size() int { return e.hub.size }
+
+// Send delivers m to dest's inbox.
+func (e *InprocEndpoint) Send(dest int, m comm.Message) error { return e.hub.send(dest, m) }
+
+// Inbox returns the stream of messages addressed to this rank.
+func (e *InprocEndpoint) Inbox() <-chan comm.Message { return e.hub.inboxes[e.rank] }
+
+// Close closes the entire hub. All ranks share the hub's lifetime, matching
+// the collective shutdown of an MPI job.
+func (e *InprocEndpoint) Close() error { return e.hub.Close() }
+
+// NewInprocWorld is a convenience constructor that builds a hub for size ranks
+// and returns one ready-to-use Communicator per rank. The caller should close
+// any one of the communicators (or the hub) when done; closing one closes all.
+func NewInprocWorld(size int) []*comm.Communicator {
+	hub := NewHub(size)
+	world := make([]*comm.Communicator, size)
+	for r := 0; r < size; r++ {
+		world[r] = comm.NewCommunicator(hub.Endpoint(r))
+	}
+	return world
+}

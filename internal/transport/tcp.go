@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// maxFrameElements bounds the payload of a single TCP frame. 64M float64
+// elements (512 MiB) is far above any gradient exchanged in this repository
+// and protects the reader from corrupt length headers.
+const maxFrameElements = 64 << 20
+
+// TCPConfig describes a TCP job: the addresses of every rank, indexed by
+// rank, and this process's rank.
+type TCPConfig struct {
+	Rank      int
+	Addrs     []string      // listen address of every rank, e.g. "127.0.0.1:9000"
+	DialRetry time.Duration // total time to keep retrying dials (default 5s)
+}
+
+// TCPEndpoint implements comm.Endpoint over one duplex TCP connection per
+// peer pair. Rank i accepts connections from ranks j < i and dials ranks
+// j > i, so exactly one connection exists between every pair.
+type TCPEndpoint struct {
+	rank  int
+	size  int
+	inbox chan comm.Message
+
+	mu     sync.Mutex
+	conns  []net.Conn   // indexed by peer rank; nil for self
+	wlocks []sync.Mutex // per-connection write locks
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPEndpoint establishes the full mesh of connections described by cfg
+// and returns a ready endpoint. It blocks until every peer connection is
+// established or the dial retry budget is exhausted.
+func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
+	size := len(cfg.Addrs)
+	if size == 0 {
+		return nil, fmt.Errorf("transport: empty address list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= size {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d addresses", cfg.Rank, size)
+	}
+	retry := cfg.DialRetry
+	if retry <= 0 {
+		retry = 5 * time.Second
+	}
+	ep := &TCPEndpoint{
+		rank:   cfg.Rank,
+		size:   size,
+		inbox:  make(chan comm.Message, DefaultInboxDepth),
+		conns:  make([]net.Conn, size),
+		wlocks: make([]sync.Mutex, size),
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.Rank], err)
+	}
+	ep.ln = ln
+
+	var acceptErr error
+	var acceptWG sync.WaitGroup
+	expected := cfg.Rank // ranks below us dial in
+	acceptWG.Add(1)
+	go func() {
+		defer acceptWG.Done()
+		for i := 0; i < expected; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr = err
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				acceptErr = fmt.Errorf("transport: handshake read: %w", err)
+				conn.Close()
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hdr[:]))
+			if peer < 0 || peer >= size {
+				acceptErr = fmt.Errorf("transport: handshake from invalid rank %d", peer)
+				conn.Close()
+				return
+			}
+			ep.mu.Lock()
+			ep.conns[peer] = conn
+			ep.mu.Unlock()
+		}
+	}()
+
+	// Dial every higher rank, retrying until its listener is up.
+	for peer := cfg.Rank + 1; peer < size; peer++ {
+		conn, err := dialRetry(cfg.Addrs[peer], retry)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", peer, cfg.Addrs[peer], err)
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(cfg.Rank))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("transport: handshake write to rank %d: %w", peer, err)
+		}
+		ep.conns[peer] = conn
+	}
+
+	acceptWG.Wait()
+	if acceptErr != nil {
+		ln.Close()
+		return nil, acceptErr
+	}
+
+	for peer, conn := range ep.conns {
+		if peer == cfg.Rank || conn == nil {
+			continue
+		}
+		ep.wg.Add(1)
+		go ep.readLoop(conn)
+	}
+	return ep, nil
+}
+
+func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Rank returns this endpoint's rank.
+func (e *TCPEndpoint) Rank() int { return e.rank }
+
+// Size returns the number of ranks in the job.
+func (e *TCPEndpoint) Size() int { return e.size }
+
+// Inbox returns the stream of messages addressed to this rank.
+func (e *TCPEndpoint) Inbox() <-chan comm.Message { return e.inbox }
+
+// Send encodes m as a length-prefixed frame and writes it to the connection
+// for dest. Sending to self delivers directly to the local inbox.
+func (e *TCPEndpoint) Send(dest int, m comm.Message) error {
+	if dest < 0 || dest >= e.size {
+		return fmt.Errorf("transport: destination %d out of range [0,%d)", dest, e.size)
+	}
+	if dest == e.rank {
+		return e.deliverLocal(m)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	conn := e.conns[dest]
+	e.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("transport: no connection to rank %d", dest)
+	}
+
+	frame := encodeFrame(m)
+	e.wlocks[dest].Lock()
+	defer e.wlocks[dest].Unlock()
+	_, err := conn.Write(frame)
+	return err
+}
+
+func (e *TCPEndpoint) deliverLocal(m comm.Message) (err error) {
+	defer func() {
+		if recover() != nil {
+			err = ErrClosed
+		}
+	}()
+	e.inbox <- m
+	return nil
+}
+
+// Close tears down the listener, the peer connections, and the inbox.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := append([]net.Conn(nil), e.conns...)
+	e.mu.Unlock()
+
+	e.ln.Close()
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	e.wg.Wait()
+	close(e.inbox)
+	return nil
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	for {
+		m, err := decodeFrame(conn)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		if err := e.deliverLocal(m); err != nil {
+			return
+		}
+	}
+}
+
+// Frame layout (little endian):
+//
+//	uint32 source | uint32 tag+1<<31 offset (tags may be negative, stored as int32) | uint32 count | count * float64
+func encodeFrame(m comm.Message) []byte {
+	buf := make([]byte, 12+8*len(m.Data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(int32(m.Source)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(int32(m.Tag)))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(m.Data)))
+	for i, x := range m.Data {
+		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+func decodeFrame(r io.Reader) (comm.Message, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return comm.Message{}, err
+	}
+	source := int(int32(binary.LittleEndian.Uint32(hdr[0:4])))
+	tag := int(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+	count := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if count < 0 || count > maxFrameElements {
+		return comm.Message{}, fmt.Errorf("transport: invalid frame length %d", count)
+	}
+	payload := make([]byte, 8*count)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return comm.Message{}, err
+	}
+	data := make(tensor.Vector, count)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return comm.Message{Source: source, Tag: tag, Data: data}, nil
+}
+
+// NewTCPWorld starts size TCP endpoints on consecutive loopback ports
+// beginning at basePort and returns a communicator per rank. It exists mainly
+// for tests and examples that want the TCP path exercised within one process;
+// production deployments construct one NewTCPEndpoint per OS process.
+func NewTCPWorld(size, basePort int) ([]*comm.Communicator, error) {
+	addrs := make([]string, size)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", basePort+i)
+	}
+	eps := make([]*TCPEndpoint, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			eps[r], errs[r] = NewTCPEndpoint(TCPConfig{Rank: r, Addrs: addrs})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, ep := range eps {
+				if ep != nil {
+					ep.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	world := make([]*comm.Communicator, size)
+	for r := 0; r < size; r++ {
+		world[r] = comm.NewCommunicator(eps[r])
+	}
+	return world, nil
+}

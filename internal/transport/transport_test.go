@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+func TestHubSizeAndEndpoints(t *testing.T) {
+	h := NewHub(3)
+	defer h.Close()
+	if h.Size() != 3 {
+		t.Fatalf("Size = %d", h.Size())
+	}
+	for r := 0; r < 3; r++ {
+		ep := h.Endpoint(r)
+		if ep.Rank() != r || ep.Size() != 3 {
+			t.Fatalf("endpoint %d has rank %d size %d", r, ep.Rank(), ep.Size())
+		}
+	}
+}
+
+func TestHubInvalidConstruction(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHub(0) },
+		func() { NewHub(-3) },
+		func() { NewHubDepth(2, 0) },
+		func() { NewHub(2).Endpoint(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHubDelivery(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	a, b := h.Endpoint(0), h.Endpoint(1)
+	if err := a.Send(1, comm.Message{Source: 0, Tag: 3, Data: tensor.Vector{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Inbox():
+		if m.Source != 0 || m.Tag != 3 || !m.Data.Equal(tensor.Vector{1, 2}) {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestHubSendToSelf(t *testing.T) {
+	h := NewHub(1)
+	defer h.Close()
+	ep := h.Endpoint(0)
+	if err := ep.Send(0, comm.Message{Source: 0, Tag: 1, Data: tensor.Vector{7}}); err != nil {
+		t.Fatal(err)
+	}
+	m := <-ep.Inbox()
+	if m.Data[0] != 7 {
+		t.Fatalf("self-delivery broken: %+v", m)
+	}
+}
+
+func TestHubSendInvalidDest(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	if err := h.Endpoint(0).Send(7, comm.Message{}); err == nil {
+		t.Fatal("expected error for invalid destination")
+	}
+}
+
+func TestHubSendAfterClose(t *testing.T) {
+	h := NewHub(2)
+	ep := h.Endpoint(0)
+	h.Close()
+	if err := ep.Send(1, comm.Message{}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Closing twice must be a no-op.
+	if err := h.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestHubCloseClosesInbox(t *testing.T) {
+	h := NewHub(2)
+	ep := h.Endpoint(1)
+	h.Close()
+	select {
+	case _, ok := <-ep.Inbox():
+		if ok {
+			t.Fatal("expected closed inbox")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("inbox not closed")
+	}
+}
+
+func TestHubFIFOPerPair(t *testing.T) {
+	h := NewHub(2)
+	defer h.Close()
+	a, b := h.Endpoint(0), h.Endpoint(1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, comm.Message{Source: 0, Tag: i, Data: nil}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m := <-b.Inbox()
+		if m.Tag != i {
+			t.Fatalf("message %d arrived with tag %d (reordered)", i, m.Tag)
+		}
+	}
+}
+
+func TestNewInprocWorldRoundTrip(t *testing.T) {
+	w := NewInprocWorld(4)
+	defer w[0].Close()
+	for r := 1; r < 4; r++ {
+		if err := w[0].Send(r, 0, tensor.Vector{float64(r)}); err != nil {
+			t.Fatal(err)
+		}
+		data, _, err := w[r].Recv(0, 0)
+		if err != nil || data[0] != float64(r) {
+			t.Fatalf("rank %d: %v %v", r, data, err)
+		}
+	}
+}
+
+func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(source int32, tag int32, payload []float64) bool {
+		m := comm.Message{Source: int(source), Tag: int(tag), Data: tensor.Vector(payload)}
+		buf := encodeFrame(m)
+		got, err := decodeFrame(bytes.NewReader(buf))
+		if err != nil {
+			return false
+		}
+		if got.Source != m.Source || got.Tag != m.Tag || len(got.Data) != len(m.Data) {
+			return false
+		}
+		for i := range m.Data {
+			// NaN payloads must survive the round trip too, so compare bit
+			// patterns rather than using ==.
+			if math.Float64bits(got.Data[i]) != math.Float64bits(m.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFrameRejectsHugeLength(t *testing.T) {
+	m := comm.Message{Source: 1, Tag: 2, Data: tensor.Vector{1}}
+	buf := encodeFrame(m)
+	// Corrupt the length field to an absurd value.
+	buf[8], buf[9], buf[10], buf[11] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := decodeFrame(bytes.NewReader(buf)); err == nil {
+		t.Fatal("expected error for corrupt frame length")
+	}
+}
+
+func TestTCPWorldSendRecv(t *testing.T) {
+	w, err := NewTCPWorld(3, 39200)
+	if err != nil {
+		t.Skipf("TCP unavailable in this environment: %v", err)
+	}
+	defer func() {
+		for _, c := range w {
+			c.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 1; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := w[r].Send(0, r, tensor.Vector{float64(r), float64(r * 2)}); err != nil {
+				t.Errorf("rank %d send: %v", r, err)
+			}
+		}(r)
+	}
+	for i := 0; i < 2; i++ {
+		data, st, err := w[0].Recv(comm.AnySource, comm.AnyTag)
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if int(data[0]) != st.Source || st.Tag != st.Source {
+			t.Fatalf("mismatched message %v %+v", data, st)
+		}
+	}
+	wg.Wait()
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	w, err := NewTCPWorld(2, 39300)
+	if err != nil {
+		t.Skipf("TCP unavailable in this environment: %v", err)
+	}
+	defer func() {
+		for _, c := range w {
+			c.Close()
+		}
+	}()
+	if err := w[1].Send(1, 5, tensor.Vector{42}); err != nil {
+		t.Fatal(err)
+	}
+	data, st, err := w[1].Recv(1, 5)
+	if err != nil || data[0] != 42 || st.Source != 1 {
+		t.Fatalf("self send failed: %v %+v %v", data, st, err)
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	w, err := NewTCPWorld(2, 39400)
+	if err != nil {
+		t.Skipf("TCP unavailable in this environment: %v", err)
+	}
+	defer func() {
+		for _, c := range w {
+			c.Close()
+		}
+	}()
+	payload := make(tensor.Vector, 1<<16)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	go func() { _ = w[0].Send(1, 0, payload) }()
+	data, _, err := w[1].Recv(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !data.Equal(payload) {
+		t.Fatal("large payload corrupted in transit")
+	}
+}
+
+func TestTCPEndpointConfigValidation(t *testing.T) {
+	if _, err := NewTCPEndpoint(TCPConfig{Rank: 0, Addrs: nil}); err == nil {
+		t.Fatal("expected error for empty address list")
+	}
+	if _, err := NewTCPEndpoint(TCPConfig{Rank: 5, Addrs: []string{"127.0.0.1:0"}}); err == nil {
+		t.Fatal("expected error for out-of-range rank")
+	}
+}
