@@ -13,7 +13,7 @@ package eagersgd_test
 import (
 	"testing"
 
-	"eagersgd/internal/harness"
+	"eagersgd/harness"
 )
 
 func benchConfig(b *testing.B) harness.Config {

@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"eagersgd/internal/harness"
+	"eagersgd/harness"
 )
 
 func main() {

@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"os"
 
-	"eagersgd/internal/harness"
+	"eagersgd/harness"
 )
 
 func main() {

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"eagersgd/internal/harness"
+	"eagersgd/harness"
 )
 
 func main() {

@@ -1,0 +1,101 @@
+package collective
+
+// DefaultBasePort is the first loopback port a TCP world listens on when
+// WithBasePort is not given.
+const DefaultBasePort = 29500
+
+// config collects the settings shared by NewWorld, Node.Reducer, and
+// NewReducer. World-level options (transport, base port) are ignored by
+// reducer construction and vice versa where they do not apply.
+type config struct {
+	transport Transport
+	basePort  int
+	mode      Mode
+	algorithm Algorithm
+	syncEvery int
+	seed      int64
+	chunks    int
+	negotiate bool
+}
+
+func defaultConfig() config {
+	return config{
+		transport: Inproc,
+		basePort:  DefaultBasePort,
+		mode:      Sync,
+		algorithm: Auto,
+		chunks:    1,
+	}
+}
+
+func (c config) with(opts []Option) config {
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
+
+// Option configures a World or a Reducer. Options are applied in order; later
+// options override earlier ones.
+type Option func(*config)
+
+// WithTransport selects the wire layer (Inproc or TCP) the world runs on.
+// Default Inproc.
+func WithTransport(t Transport) Option {
+	return func(c *config) { c.transport = t }
+}
+
+// WithBasePort sets the first loopback port of a TCP world; rank r listens on
+// basePort+r. Default DefaultBasePort. Ignored by Inproc worlds.
+func WithBasePort(port int) Option {
+	return func(c *config) { c.basePort = port }
+}
+
+// WithMode selects the reduction behaviour: Sync, Solo, Majority, or
+// Quorum(k). Default Sync.
+func WithMode(m Mode) Option {
+	return func(c *config) { c.mode = m }
+}
+
+// WithAlgorithm selects the allreduce wire algorithm used by Sync reductions
+// and the periodic full synchronization. Default Auto.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) { c.algorithm = a }
+}
+
+// WithSyncEvery makes every n-th Reduce call of an eager reducer a full
+// synchronous allreduce that includes all ranks and drains the stale-gradient
+// buffer — the periodic synchronization eager-SGD uses to bound staleness
+// (§5). Every rank must use the same n (the calls are matched by index).
+// n <= 0 (the default) disables it. Ignored by Sync reducers, which are
+// always fully synchronous.
+func WithSyncEvery(n int) Option {
+	return func(c *config) { c.syncEvery = n }
+}
+
+// WithSeed sets the shared seed that drives the per-round random initiator
+// selection of Majority and Quorum modes. Every rank must use the same seed
+// (the shared-seed consensus of §4.2). Default 0.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithChunks makes a Sync reducer reduce the gradient in n ordered chunks
+// instead of one fused allreduce, modelling the control dependencies a
+// DAG-scheduled framework adds (the Deep500 baseline of §3). Values below 2
+// mean a single fused reduction (the default).
+func WithChunks(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.chunks = n
+	}
+}
+
+// WithNegotiation prefixes every Sync reduction with a readiness consensus
+// round before the fused allreduce, modelling Horovod's coordinator (§3).
+// Off by default.
+func WithNegotiation() Option {
+	return func(c *config) { c.negotiate = true }
+}

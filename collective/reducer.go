@@ -1,0 +1,211 @@
+package collective
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"eagersgd/internal/collectives"
+	"eagersgd/internal/comm"
+	"eagersgd/internal/partial"
+	"eagersgd/internal/tensor"
+)
+
+// NewReducer builds a Reducer of the configured mode directly over a
+// communicator. This is the advanced constructor used by the internal
+// training engine and by code that manages its own transport; most programs
+// obtain reducers from World.Node(r).Reducer, which forwards here with the
+// world's options.
+//
+// dim is the fixed gradient length; every rank must construct its reducer
+// with the same dim and the same mode, seed, and sync period (the engines are
+// SPMD).
+func NewReducer(c *comm.Communicator, dim int, opts ...Option) (Reducer, error) {
+	if c == nil {
+		return nil, errors.New("collective: nil communicator")
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("collective: reducer dimension %d must be positive", dim)
+	}
+	cfg := defaultConfig().with(opts)
+	algo, err := wireAlgorithm(cfg.algorithm)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.mode.kind {
+	case kindSync:
+		return &syncReducer{comm: c, dim: dim, algo: algo, chunks: cfg.chunks, negotiate: cfg.negotiate}, nil
+	case kindSolo, kindMajority, kindQuorum:
+		popts := partial.Options{Seed: cfg.seed}
+		switch cfg.mode.kind {
+		case kindSolo:
+			popts.Mode = partial.Solo
+		case kindMajority:
+			popts.Mode = partial.Majority
+		default:
+			popts.Mode = partial.Quorum
+			popts.Candidates = cfg.mode.candidates
+		}
+		return &eagerReducer{
+			comm:      c,
+			ar:        partial.New(c, dim, popts),
+			mode:      cfg.mode,
+			algo:      algo,
+			dim:       dim,
+			syncEvery: cfg.syncEvery,
+		}, nil
+	default:
+		return nil, fmt.Errorf("collective: unknown mode %v", cfg.mode)
+	}
+}
+
+func wireAlgorithm(a Algorithm) (collectives.Algorithm, error) {
+	switch a {
+	case Auto:
+		return collectives.AlgoAuto, nil
+	case RecursiveDoubling:
+		return collectives.AlgoRecursiveDoubling, nil
+	case Ring:
+		return collectives.AlgoRing, nil
+	case Rabenseifner:
+		return collectives.AlgoRabenseifner, nil
+	default:
+		return 0, fmt.Errorf("collective: unknown algorithm %v", a)
+	}
+}
+
+// ctxError converts the comm layer's cancellation sentinel into the context's
+// own error so callers see context.Canceled / DeadlineExceeded.
+func ctxError(ctx context.Context, err error) error {
+	if errors.Is(err, comm.ErrCanceled) && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// syncReducer is the Sync mode: a blocking allreduce per call, optionally
+// chunked (Deep500-style) or preceded by a negotiation round (Horovod-style).
+type syncReducer struct {
+	comm      *comm.Communicator
+	dim       int
+	algo      collectives.Algorithm
+	chunks    int
+	negotiate bool
+	calls     int
+}
+
+// Name identifies the reducer in reports.
+func (s *syncReducer) Name() string {
+	switch {
+	case s.negotiate:
+		return "synch-sgd (horovod)"
+	case s.chunks > 1:
+		return "synch-sgd (deep500)"
+	default:
+		return "synch-sgd"
+	}
+}
+
+// Reduce performs the synchronous allreduce. Canceling ctx aborts a blocked
+// reduction; the collective is then mid-protocol on this rank, so the only
+// safe follow-up is closing the world.
+func (s *syncReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, error) {
+	if len(grad) != s.dim {
+		return Result{}, fmt.Errorf("collective: gradient length %d, want %d", len(grad), s.dim)
+	}
+	call := s.calls
+	s.calls++
+	cancel := ctx.Done()
+	sum := grad.Clone()
+	if s.negotiate {
+		// Readiness consensus (Horovod's coordinator round), then one fused
+		// allreduce over the whole gradient.
+		ready := tensor.Vector{1}
+		if err := collectives.AllreduceCancel(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, cancel); err != nil {
+			return Result{}, ctxError(ctx, err)
+		}
+	}
+	if s.chunks > 1 {
+		for _, chunk := range sum.Chunk(s.chunks) {
+			if len(chunk) == 0 {
+				continue
+			}
+			if err := collectives.AllreduceCancel(s.comm, chunk, collectives.OpSum, s.algo, cancel); err != nil {
+				return Result{}, ctxError(ctx, err)
+			}
+		}
+	} else if err := collectives.AllreduceCancel(s.comm, sum, collectives.OpSum, s.algo, cancel); err != nil {
+		return Result{}, ctxError(ctx, err)
+	}
+	size := s.comm.Size()
+	return Result{Sum: sum, Ranks: size, ActiveRanks: size, Included: true, Round: call}, nil
+}
+
+// Close is a no-op: the communicator owns shutdown.
+func (s *syncReducer) Close() error { return nil }
+
+// eagerReducer wraps a partial.Allreducer in the Reducer interface and adds
+// the periodic full synchronization of WithSyncEvery.
+type eagerReducer struct {
+	comm      *comm.Communicator
+	ar        *partial.Allreducer
+	mode      Mode
+	algo      collectives.Algorithm
+	dim       int
+	syncEvery int
+	calls     int
+}
+
+// Name identifies the reducer in reports.
+func (e *eagerReducer) Name() string { return fmt.Sprintf("eager-sgd (%s)", e.mode) }
+
+// Allreducer exposes the underlying partial allreducer for diagnostics (NAP
+// counters, designated initiators, pending stale norm).
+func (e *eagerReducer) Allreducer() *partial.Allreducer { return e.ar }
+
+// Reduce contributes grad to the current partial-allreduce round, or — on
+// every syncEvery-th call — performs a full synchronous allreduce that also
+// drains the stale-gradient buffer, so no contribution outlives a
+// synchronization period. Canceling ctx on the eager path abandons only the
+// wait: the contribution stays buffered and the engine keeps serving peers,
+// so the reducer remains usable.
+func (e *eagerReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, error) {
+	if len(grad) != e.dim {
+		return Result{}, fmt.Errorf("collective: gradient length %d, want %d", len(grad), e.dim)
+	}
+	call := e.calls
+	e.calls++
+	if e.syncEvery > 0 && (call+1)%e.syncEvery == 0 {
+		drained := e.ar.DrainPending()
+		sum := grad.Clone()
+		sum.Add(drained)
+		if err := collectives.AllreduceCancel(e.comm, sum, collectives.OpSum, e.algo, ctx.Done()); err != nil {
+			// Preserve the no-gradient-lost guarantee: the fresh gradient and
+			// the drained stale contributions return to the send buffer and
+			// are delivered in a later round.
+			drained.Add(grad)
+			e.ar.RestorePending(drained)
+			return Result{}, ctxError(ctx, err)
+		}
+		size := e.comm.Size()
+		return Result{Sum: sum, Ranks: size, ActiveRanks: size, Included: true, Round: call}, nil
+	}
+	sum, info, err := e.ar.ExchangeContext(ctx, grad)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Sum:         sum,
+		Ranks:       e.comm.Size(),
+		ActiveRanks: info.ActiveProcesses,
+		Included:    info.Included,
+		Round:       info.Round,
+	}, nil
+}
+
+// Close marks the underlying allreducer closed. The background engine exits
+// when the world (communicator) is closed.
+func (e *eagerReducer) Close() error {
+	e.ar.Close()
+	return nil
+}

@@ -1,0 +1,121 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/transport"
+)
+
+// World is a fixed-size collective job: one Node per rank over a shared
+// transport, built from a single NewWorld call. All ranks live in this
+// process (goroutines over channels for Inproc, loopback sockets for TCP),
+// which is the deployment every experiment and test in this repository uses;
+// multi-process TCP jobs construct their endpoints individually and use
+// NewReducer directly.
+//
+// Closing the world releases every rank's transport resources, whichever
+// transport is in use — callers must not rely on the in-process transport's
+// close-one-closes-all behaviour, which TCP does not share.
+type World struct {
+	cfg   config
+	nodes []*Node
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Node is one rank's view of a World: the handle reducers are minted from.
+type Node struct {
+	world *World
+	comm  *comm.Communicator
+	rank  int
+}
+
+// NewWorld builds a world of size ranks over the configured transport.
+// Reducer-level options given here become the defaults for every
+// Node.Reducer call.
+func NewWorld(size int, opts ...Option) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("collective: world size %d must be positive", size)
+	}
+	cfg := defaultConfig().with(opts)
+	var comms []*comm.Communicator
+	switch cfg.transport {
+	case Inproc:
+		comms = transport.NewInprocWorld(size)
+	case TCP:
+		var err error
+		comms, err = transport.NewTCPWorld(size, cfg.basePort)
+		if err != nil {
+			return nil, fmt.Errorf("collective: tcp world: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("collective: unknown transport %v", cfg.transport)
+	}
+	w := &World{cfg: cfg, nodes: make([]*Node, size)}
+	for r := 0; r < size; r++ {
+		w.nodes[r] = &Node{world: w, comm: comms[r], rank: r}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return len(w.nodes) }
+
+// Transport returns the wire layer the world runs on.
+func (w *World) Transport() Transport { return w.cfg.transport }
+
+// Mode returns the default reduction mode nodes mint reducers with.
+func (w *World) Mode() Mode { return w.cfg.mode }
+
+// Node returns the per-rank handle for rank r.
+func (w *World) Node(r int) *Node {
+	if r < 0 || r >= len(w.nodes) {
+		panic(fmt.Sprintf("collective: rank %d out of range [0,%d)", r, len(w.nodes)))
+	}
+	return w.nodes[r]
+}
+
+// Nodes returns all per-rank handles, indexed by rank.
+func (w *World) Nodes() []*Node {
+	out := make([]*Node, len(w.nodes))
+	copy(out, w.nodes)
+	return out
+}
+
+// Close shuts down every rank's communicator and transport endpoint. It is
+// the collective shutdown point of the job (call it after all ranks have
+// stopped reducing), is safe to call more than once, and returns the first
+// error encountered.
+func (w *World) Close() error {
+	w.closeOnce.Do(func() {
+		for _, n := range w.nodes {
+			if err := n.comm.Close(); err != nil && w.closeErr == nil {
+				w.closeErr = err
+			}
+		}
+	})
+	return w.closeErr
+}
+
+// Rank returns this node's rank in [0, Size).
+func (n *Node) Rank() int { return n.rank }
+
+// Size returns the number of ranks in the world.
+func (n *Node) Size() int { return len(n.world.nodes) }
+
+// Reducer builds this rank's Reducer for gradient vectors of length dim,
+// using the world's options overridden by any options given here. Every rank
+// must build its reducer with the same dim and options (the engines are
+// SPMD).
+func (n *Node) Reducer(dim int, opts ...Option) (Reducer, error) {
+	cfg := n.world.cfg.with(opts)
+	return NewReducer(n.comm, dim, func(c *config) { *c = cfg })
+}
+
+// Communicator exposes the node's underlying point-to-point communicator for
+// advanced use (diagnostics, custom collectives, the internal training
+// engine). The returned value is of an internal type; treat it as opaque.
+func (n *Node) Communicator() *comm.Communicator { return n.comm }

@@ -10,97 +10,41 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
-	"eagersgd/internal/comm"
-	"eagersgd/internal/core"
-	"eagersgd/internal/data"
-	"eagersgd/internal/imbalance"
-	"eagersgd/internal/nn"
-	"eagersgd/internal/optimizer"
-	"eagersgd/internal/partial"
+	"eagersgd/train"
 )
-
-// cloudInjector delays a few random ranks per step by the excess of a sample
-// from the cloud runtime distribution over its minimum (the "noise tail" of
-// Fig. 4).
-type cloudInjector struct {
-	size, k int
-	dist    imbalance.Distribution
-	seed    int64
-}
-
-func (c cloudInjector) Name() string { return "cloud-noise" }
-
-func (c cloudInjector) Delay(step, rank int) float64 {
-	rng := rand.New(rand.NewSource(c.seed ^ int64(step)*104729))
-	perm := rng.Perm(c.size)
-	for i := 0; i < c.k; i++ {
-		if perm[i] == rank {
-			return c.dist.Sample(rng) - c.dist.MinMs
-		}
-	}
-	return 0
-}
 
 func main() {
 	const (
-		ranks   = 16
-		classes = 8
-		dim     = 24
-		hidden  = 24
-		batch   = 8
-		steps   = 50
+		ranks = 16
+		steps = 50
 	)
-	clock := imbalance.ScaledClock(0.004)
-	injector := cloudInjector{size: ranks, k: 2, dist: imbalance.CloudBatchRuntime(), seed: 17}
+	workload := train.Images(train.ImagesConfig{Classes: 8, Dim: 24, Hidden: 24, Samples: 160, Batch: 8})
 
-	full := data.Blobs(classes, dim, 160, 0.6, 23)
-	cut := full.Len() - full.Len()/8
-	train := &data.ClassificationDataset{Inputs: full.Inputs[:cut], Labels: full.Labels[:cut], Classes: classes}
-	eval := &data.ClassificationDataset{Inputs: full.Inputs[cut:], Labels: full.Labels[cut:], Classes: classes}
-
-	run := func(name string, build func(c *comm.Communicator, n int) core.GradientExchanger, syncEvery int) *core.RunResult {
-		res, err := core.Run(core.RunConfig{
-			Name:      name,
-			Size:      ranks,
-			Steps:     steps,
-			FinalSync: true,
-			Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
-				net := nn.NewNetwork(nn.SoftmaxCrossEntropy{},
-					nn.NewDense(dim, hidden), nn.NewTanh(hidden), nn.NewDense(hidden, classes))
-				task := core.NewClassificationTask("cloud-images", net, train, eval, batch, rank, ranks, 29)
-				return core.NewTrainer(core.Config{
-					Comm:            c,
-					Task:            task,
-					Exchanger:       build(c, task.NumParams()),
-					Optimizer:       optimizer.NewSGD(0.1),
-					Injector:        injector,
-					Clock:           clock,
-					BaseStepPaperMs: 400, // the fixed compute floor of the Fig. 4 distribution
-					SyncEverySteps:  syncEvery,
-				})
-			},
+	run := func(v train.Variant) *train.Result {
+		res, err := train.Run(train.Spec{
+			Ranks:      ranks,
+			Steps:      steps,
+			Workload:   workload,
+			Variant:    v,
+			Imbalance:  train.CloudNoise(2), // the multi-tenant noise tail of Fig. 4
+			ClockScale: 0.004,
+			BaseStepMs: 400, // the fixed compute floor of the Fig. 4 distribution
+			Seed:       17,
 		})
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			log.Fatalf("%s: %v", v.Name, err)
 		}
 		return res
 	}
 
-	deep500 := run("synch-SGD (Deep500)", func(c *comm.Communicator, n int) core.GradientExchanger {
-		return core.NewSynchExchanger(c, core.StyleDeep500, 4)
-	}, 0)
-	horovod := run("synch-SGD (Horovod)", func(c *comm.Communicator, n int) core.GradientExchanger {
-		return core.NewSynchExchanger(c, core.StyleHorovod, 0)
-	}, 0)
-	eager := run("eager-SGD (solo)", func(c *comm.Communicator, n int) core.GradientExchanger {
-		return core.NewEagerExchanger(c, n, partial.Solo, 31)
-	}, 10)
+	deep500 := run(train.SynchDeep500())
+	horovod := run(train.SynchHorovod())
+	eager := run(train.EagerSolo(10))
 
 	fmt.Printf("%-22s %12s %14s %10s\n", "variant", "steps/s", "train time", "top-1")
-	for _, r := range []*core.RunResult{deep500, horovod, eager} {
-		fmt.Printf("%-22s %12.2f %14v %9.1f%%\n", r.Name, r.Throughput, r.TrainingTime.Round(1e6), 100*r.Final.Top1)
+	for _, r := range []*train.Result{deep500, horovod, eager} {
+		fmt.Printf("%-22s %12.2f %14v %9.1f%%\n", r.Name, r.Throughput, r.TrainingTime.Round(1e6), 100*r.Top1)
 	}
 	fmt.Printf("\neager-SGD speedup: %.2fx vs Deep500, %.2fx vs Horovod (paper: 1.23-1.25x and 1.14-1.22x on ResNet-50)\n",
 		eager.Throughput/deep500.Throughput, eager.Throughput/horovod.Throughput)

@@ -11,70 +11,40 @@ import (
 	"fmt"
 	"log"
 
-	"eagersgd/internal/comm"
-	"eagersgd/internal/core"
-	"eagersgd/internal/data"
-	"eagersgd/internal/imbalance"
-	"eagersgd/internal/nn"
-	"eagersgd/internal/optimizer"
-	"eagersgd/internal/partial"
+	"eagersgd/train"
 )
 
 func main() {
 	const (
 		ranks     = 8
-		dim       = 128
-		batch     = 16
 		steps     = 60
 		injection = 300 // paper milliseconds injected on one random rank per step
 	)
-	clock := imbalance.ScaledClock(0.004) // replay paper milliseconds at 0.4% of real time
+	workload := train.Hyperplane(train.HyperplaneConfig{Dim: 128, Samples: 2048, Batch: 16})
 
-	full := data.Hyperplane(dim, 2048, 0.05, 7)
-	train := &data.RegressionDataset{Inputs: full.Inputs[:1792], Targets: full.Targets[:1792], Coefficients: full.Coefficients}
-	eval := &data.RegressionDataset{Inputs: full.Inputs[1792:], Targets: full.Targets[1792:], Coefficients: full.Coefficients}
-
-	run := func(name string, eager bool) *core.RunResult {
-		res, err := core.Run(core.RunConfig{
-			Name:      name,
-			Size:      ranks,
-			Steps:     steps,
-			FinalSync: true,
-			Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
-				net := nn.NewNetwork(nn.MSE{}, nn.NewDense(dim, 1))
-				task := core.NewRegressionTask("hyperplane", net, train, eval, batch, rank, ranks, 11)
-				var ex core.GradientExchanger
-				syncEvery := 0
-				if eager {
-					ex = core.NewEagerExchanger(c, task.NumParams(), partial.Solo, 1)
-					syncEvery = 20
-				} else {
-					ex = core.NewSynchExchanger(c, core.StyleDeep500, 4)
-				}
-				return core.NewTrainer(core.Config{
-					Comm:            c,
-					Task:            task,
-					Exchanger:       ex,
-					Optimizer:       optimizer.NewSGD(0.05),
-					Injector:        imbalance.RandomSubset{Size: ranks, K: 1, Amount: injection, Seed: 3},
-					Clock:           clock,
-					BaseStepPaperMs: 195,
-					SyncEverySteps:  syncEvery,
-				})
-			},
+	run := func(v train.Variant) *train.Result {
+		res, err := train.Run(train.Spec{
+			Ranks:      ranks,
+			Steps:      steps,
+			Workload:   workload,
+			Variant:    v,
+			Imbalance:  train.RandomDelays(1, injection),
+			ClockScale: 0.004, // replay paper milliseconds at 0.4% of real time
+			BaseStepMs: 195,
+			Seed:       7,
 		})
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			log.Fatalf("%s: %v", v.Name, err)
 		}
 		return res
 	}
 
-	synch := run("synch-SGD (Deep500)", false)
-	eager := run("eager-SGD (solo)", true)
+	synch := run(train.SynchDeep500())
+	eager := run(train.EagerSolo(20))
 
 	fmt.Printf("%-22s %12s %14s %16s\n", "variant", "steps/s", "train time", "final val loss")
-	for _, r := range []*core.RunResult{synch, eager} {
-		fmt.Printf("%-22s %12.2f %14v %16.4f\n", r.Name, r.Throughput, r.TrainingTime.Round(1e6), r.Final.Loss)
+	for _, r := range []*train.Result{synch, eager} {
+		fmt.Printf("%-22s %12.2f %14v %16.4f\n", r.Name, r.Throughput, r.TrainingTime.Round(1e6), r.Loss)
 	}
 	fmt.Printf("\neager-SGD speedup over synch-SGD: %.2fx (paper reports 1.75x at 300 ms injection)\n",
 		eager.Throughput/synch.Throughput)

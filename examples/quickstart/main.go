@@ -1,4 +1,5 @@
-// Quickstart: the smallest end-to-end use of partial collectives.
+// Quickstart: the smallest end-to-end use of partial collectives through the
+// public API.
 //
 // Four "processes" (goroutines over the in-process transport) contribute a
 // gradient-like vector. One of them is artificially slow. With a solo
@@ -10,26 +11,33 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
-	"eagersgd/internal/partial"
-	"eagersgd/internal/tensor"
-	"eagersgd/internal/transport"
+	"eagersgd"
 )
 
 func main() {
 	const ranks = 4
 	const dim = 4
 
-	world := transport.NewInprocWorld(ranks)
-	defer world[0].Close()
+	world, err := eagersgd.NewWorld(ranks, eagersgd.WithMode(eagersgd.Solo))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
 
-	reducers := make([]*partial.Allreducer, ranks)
+	reducers := make([]eagersgd.Reducer, ranks)
 	for r := 0; r < ranks; r++ {
-		reducers[r] = partial.New(world[r], dim, partial.Options{Mode: partial.Solo})
-		defer reducers[r].Close()
+		red, err := world.Node(r).Reducer(dim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reducers[r] = red
+		defer red.Close()
 	}
 
 	runRound := func(round int, slowRank int, slowDelay time.Duration) {
@@ -43,16 +51,16 @@ func main() {
 				if r == slowRank {
 					time.Sleep(slowDelay)
 				}
-				grad := tensor.NewVector(dim)
+				grad := eagersgd.NewVector(dim)
 				grad.Fill(float64(r + 1)) // rank r contributes r+1 everywhere
 				start := time.Now()
-				result, info, err := reducers[r].Exchange(grad)
+				res, err := reducers[r].Reduce(context.Background(), grad)
 				if err != nil {
 					panic(err)
 				}
 				mu.Lock()
 				fmt.Printf("rank %d: latency %8v  included=%-5v  active=%d  result=%v\n",
-					r, time.Since(start).Round(time.Microsecond), info.Included, info.ActiveProcesses, result)
+					r, time.Since(start).Round(time.Microsecond), res.Included, res.ActiveRanks, res.Sum)
 				mu.Unlock()
 			}(r)
 		}

@@ -12,75 +12,43 @@ import (
 	"fmt"
 	"log"
 
-	"eagersgd/internal/comm"
-	"eagersgd/internal/core"
-	"eagersgd/internal/data"
-	"eagersgd/internal/imbalance"
-	"eagersgd/internal/nn"
-	"eagersgd/internal/optimizer"
-	"eagersgd/internal/partial"
+	"eagersgd/train"
 )
 
 func main() {
 	const (
-		ranks   = 4
-		classes = 5
-		featDim = 8
-		hidden  = 16
-		batch   = 4
-		steps   = 50
+		ranks = 4
+		steps = 50
 	)
-	clock := imbalance.ScaledClock(0.01)
-	costModel := &imbalance.SequenceCostModel{BaseMs: 20, PerUnitMs: 2}
-
-	full := data.Sequences(data.SequenceConfig{
-		Classes: classes, FeatDim: featDim, Samples: 300, Noise: 0.3,
-		Lengths: data.UCF101LengthDistribution{MinFrames: 5, MaxFrames: 60, Median: 14, Sigma: 0.5},
-		Seed:    5,
+	workload := train.Video(train.VideoConfig{
+		Classes: 5, FeatDim: 8, Hidden: 16, Samples: 300, Batch: 4,
+		MinFrames: 5, MaxFrames: 60, MedianFrames: 14,
+		BaseMs: 20, PerFrameMs: 2, // inherent-imbalance cost model
 	})
-	train := &data.SequenceDataset{Sequences: full.Sequences[:260], Labels: full.Labels[:260], Classes: classes, FeatDim: featDim}
-	eval := &data.SequenceDataset{Sequences: full.Sequences[260:], Labels: full.Labels[260:], Classes: classes, FeatDim: featDim}
 
-	run := func(name string, build func(c *comm.Communicator, n int) core.GradientExchanger, syncEvery int) *core.RunResult {
-		res, err := core.Run(core.RunConfig{
-			Name:      name,
-			Size:      ranks,
-			Steps:     steps,
-			FinalSync: true,
-			Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
-				model := nn.NewLSTMClassifier(featDim, hidden, classes)
-				task := core.NewSequenceTask("video", model, train, eval, batch, rank, ranks, 13)
-				return core.NewTrainer(core.Config{
-					Comm:           c,
-					Task:           task,
-					Exchanger:      build(c, task.NumParams()),
-					Optimizer:      optimizer.NewSGD(0.08),
-					Clock:          clock,
-					CostModel:      costModel,
-					SyncEverySteps: syncEvery,
-				})
-			},
+	run := func(v train.Variant) *train.Result {
+		res, err := train.Run(train.Spec{
+			Ranks:      ranks,
+			Steps:      steps,
+			Workload:   workload,
+			Variant:    v,
+			ClockScale: 0.01,
+			Seed:       13,
 		})
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			log.Fatalf("%s: %v", v.Name, err)
 		}
 		return res
 	}
 
-	synch := run("synch-SGD (Horovod)", func(c *comm.Communicator, n int) core.GradientExchanger {
-		return core.NewSynchExchanger(c, core.StyleHorovod, 0)
-	}, 0)
-	majority := run("eager-SGD (majority)", func(c *comm.Communicator, n int) core.GradientExchanger {
-		return core.NewEagerExchanger(c, n, partial.Majority, 13)
-	}, 10)
-	solo := run("eager-SGD (solo)", func(c *comm.Communicator, n int) core.GradientExchanger {
-		return core.NewEagerExchanger(c, n, partial.Solo, 13)
-	}, 10)
+	synch := run(train.SynchHorovod())
+	majority := run(train.EagerMajority(10))
+	solo := run(train.EagerSolo(10))
 
 	fmt.Printf("%-22s %12s %14s %10s %10s\n", "variant", "steps/s", "train time", "top-1", "top-5")
-	for _, r := range []*core.RunResult{synch, majority, solo} {
+	for _, r := range []*train.Result{synch, majority, solo} {
 		fmt.Printf("%-22s %12.2f %14v %9.1f%% %9.1f%%\n",
-			r.Name, r.Throughput, r.TrainingTime.Round(1e6), 100*r.Final.Top1, 100*r.Final.Top5)
+			r.Name, r.Throughput, r.TrainingTime.Round(1e6), 100*r.Top1, 100*r.Top5)
 	}
 	fmt.Printf("\nmajority speedup %.2fx, solo speedup %.2fx over synch-SGD (paper: 1.27x and 1.64x, with solo losing accuracy)\n",
 		majority.Throughput/synch.Throughput, solo.Throughput/synch.Throughput)

@@ -1,0 +1,3 @@
+module eagersgd
+
+go 1.22

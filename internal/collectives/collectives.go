@@ -7,6 +7,11 @@
 // sequence of collectives with compatible arguments. A collective call does
 // not return on any rank before every rank has entered it (that is the
 // synchronization the paper's partial collectives relax).
+//
+// Every operation has a *Cancel variant taking a cancel channel (typically a
+// context's Done channel) that aborts blocked receives with comm.ErrCanceled
+// instead of hanging when a peer never joins. A canceled collective leaves the
+// communicator mid-protocol; the only safe follow-up is closing it.
 package collectives
 
 import (
@@ -99,22 +104,44 @@ const (
 // algorithm.
 const autoThreshold = 4096
 
+// env bundles the communicator with the cancel channel so the algorithm
+// implementations stay free of cancellation plumbing at every call site.
+type env struct {
+	c      *comm.Communicator
+	cancel <-chan struct{}
+}
+
+func (e env) recv(source, tag int) (tensor.Vector, comm.Status, error) {
+	return e.c.RecvCancel(source, tag, e.cancel)
+}
+
+func (e env) sendRecv(dest, sendTag int, data tensor.Vector, source, recvTag int) (tensor.Vector, comm.Status, error) {
+	return e.c.SendRecvCancel(dest, sendTag, data, source, recvTag, e.cancel)
+}
+
 // Allreduce reduces data element-wise across all ranks with op and leaves the
 // identical result in data on every rank. The operation is synchronous: it
 // cannot complete before the slowest rank joins.
 func Allreduce(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo Algorithm) error {
+	return AllreduceCancel(c, data, op, algo, nil)
+}
+
+// AllreduceCancel behaves like Allreduce but aborts blocked receives with
+// comm.ErrCanceled when cancel is closed.
+func AllreduceCancel(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo Algorithm, cancel <-chan struct{}) error {
+	e := env{c: c, cancel: cancel}
 	switch algo {
 	case AlgoRecursiveDoubling:
-		return allreduceRecursiveDoubling(c, data, op)
+		return allreduceRecursiveDoubling(e, data, op)
 	case AlgoRing:
-		return allreduceRing(c, data, op)
+		return allreduceRing(e, data, op)
 	case AlgoRabenseifner:
-		return allreduceRabenseifner(c, data, op)
+		return allreduceRabenseifner(e, data, op)
 	case AlgoAuto:
 		if len(data) <= autoThreshold || c.Size() < 4 {
-			return allreduceRecursiveDoubling(c, data, op)
+			return allreduceRecursiveDoubling(e, data, op)
 		}
-		return allreduceRabenseifner(c, data, op)
+		return allreduceRabenseifner(e, data, op)
 	default:
 		return fmt.Errorf("collectives: unknown algorithm %d", int(algo))
 	}
@@ -122,7 +149,8 @@ func Allreduce(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo Algor
 
 // allreduceRecursiveDoubling implements the O(log P) latency algorithm with
 // the standard fold for non-power-of-two process counts.
-func allreduceRecursiveDoubling(c *comm.Communicator, data tensor.Vector, op ReduceOp) error {
+func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
+	c := e.c
 	rank, size := c.Rank(), c.Size()
 	if size == 1 {
 		return nil
@@ -139,7 +167,7 @@ func allreduceRecursiveDoubling(c *comm.Communicator, data tensor.Vector, op Red
 		}
 		inDoubling = false
 	case rank < 2*rem && rank%2 == 1:
-		incoming, _, err := c.Recv(rank-1, tagFold)
+		incoming, _, err := e.recv(rank-1, tagFold)
 		if err != nil {
 			return err
 		}
@@ -153,7 +181,7 @@ func allreduceRecursiveDoubling(c *comm.Communicator, data tensor.Vector, op Red
 		step := 0
 		for d := 1; d < pof2; d *= 2 {
 			peer := doublingToRank(doublingRank^d, rem)
-			incoming, _, err := c.SendRecv(peer, tagRecursiveDoubling+step, data, peer, tagRecursiveDoubling+step)
+			incoming, _, err := e.sendRecv(peer, tagRecursiveDoubling+step, data, peer, tagRecursiveDoubling+step)
 			if err != nil {
 				return err
 			}
@@ -167,7 +195,7 @@ func allreduceRecursiveDoubling(c *comm.Communicator, data tensor.Vector, op Red
 	case rank < 2*rem && rank%2 == 1:
 		return c.Send(rank-1, tagFold+1, data)
 	case rank < 2*rem && rank%2 == 0:
-		result, _, err := c.Recv(rank+1, tagFold+1)
+		result, _, err := e.recv(rank+1, tagFold+1)
 		if err != nil {
 			return err
 		}
@@ -178,8 +206,8 @@ func allreduceRecursiveDoubling(c *comm.Communicator, data tensor.Vector, op Red
 
 // allreduceRing implements the bandwidth-optimal ring allreduce
 // (reduce-scatter around the ring followed by allgather around the ring).
-func allreduceRing(c *comm.Communicator, data tensor.Vector, op ReduceOp) error {
-	rank, size := c.Rank(), c.Size()
+func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
+	rank, size := e.c.Rank(), e.c.Size()
 	if size == 1 {
 		return nil
 	}
@@ -192,7 +220,7 @@ func allreduceRing(c *comm.Communicator, data tensor.Vector, op ReduceOp) error 
 	for step := 0; step < size-1; step++ {
 		sendIdx := (rank - step + size) % size
 		recvIdx := (rank - step - 1 + size) % size
-		incoming, _, err := c.SendRecv(next, tagRingReduce+step, chunks[sendIdx], prev, tagRingReduce+step)
+		incoming, _, err := e.sendRecv(next, tagRingReduce+step, chunks[sendIdx], prev, tagRingReduce+step)
 		if err != nil {
 			return err
 		}
@@ -203,7 +231,7 @@ func allreduceRing(c *comm.Communicator, data tensor.Vector, op ReduceOp) error 
 	for step := 0; step < size-1; step++ {
 		sendIdx := (rank - step + 1 + size) % size
 		recvIdx := (rank - step + size) % size
-		incoming, _, err := c.SendRecv(next, tagRingGather+step, chunks[sendIdx], prev, tagRingGather+step)
+		incoming, _, err := e.sendRecv(next, tagRingGather+step, chunks[sendIdx], prev, tagRingGather+step)
 		if err != nil {
 			return err
 		}
@@ -216,7 +244,8 @@ func allreduceRing(c *comm.Communicator, data tensor.Vector, op ReduceOp) error 
 // halving reduce-scatter followed by a recursive doubling allgather. For
 // non-power-of-two sizes it first folds the extra ranks as in recursive
 // doubling.
-func allreduceRabenseifner(c *comm.Communicator, data tensor.Vector, op ReduceOp) error {
+func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
+	c := e.c
 	rank, size := c.Rank(), c.Size()
 	if size == 1 {
 		return nil
@@ -233,7 +262,7 @@ func allreduceRabenseifner(c *comm.Communicator, data tensor.Vector, op ReduceOp
 		}
 		inGroup = false
 	case rank < 2*rem && rank%2 == 1:
-		incoming, _, err := c.Recv(rank-1, tagFold+2)
+		incoming, _, err := e.recv(rank-1, tagFold+2)
 		if err != nil {
 			return err
 		}
@@ -259,7 +288,7 @@ func allreduceRabenseifner(c *comm.Communicator, data tensor.Vector, op ReduceOp
 			} else {
 				sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 			}
-			incoming, _, err := c.SendRecv(peer, tagScatterReduce+step, data[sendLo:sendHi], peer, tagScatterReduce+step)
+			incoming, _, err := e.sendRecv(peer, tagScatterReduce+step, data[sendLo:sendHi], peer, tagScatterReduce+step)
 			if err != nil {
 				return err
 			}
@@ -276,7 +305,7 @@ func allreduceRabenseifner(c *comm.Communicator, data tensor.Vector, op ReduceOp
 		for d := 1; d < pof2; d *= 2 {
 			peerGroup := groupRank ^ d
 			peer := doublingToRank(peerGroup, rem)
-			incoming, _, err := c.SendRecv(peer, tagAllgatherRab+agStep, data[lo:hi], peer, tagAllgatherRab+agStep)
+			incoming, _, err := e.sendRecv(peer, tagAllgatherRab+agStep, data[lo:hi], peer, tagAllgatherRab+agStep)
 			if err != nil {
 				return err
 			}
@@ -296,7 +325,7 @@ func allreduceRabenseifner(c *comm.Communicator, data tensor.Vector, op ReduceOp
 	case rank < 2*rem && rank%2 == 1:
 		return c.Send(rank-1, tagFold+3, data)
 	case rank < 2*rem && rank%2 == 0:
-		result, _, err := c.Recv(rank+1, tagFold+3)
+		result, _, err := e.recv(rank+1, tagFold+3)
 		if err != nil {
 			return err
 		}
@@ -308,6 +337,13 @@ func allreduceRabenseifner(c *comm.Communicator, data tensor.Vector, op ReduceOp
 // Broadcast copies data from the root rank to every other rank using a
 // binomial tree. All ranks must pass a buffer of the same length.
 func Broadcast(c *comm.Communicator, root int, data tensor.Vector) error {
+	return BroadcastCancel(c, root, data, nil)
+}
+
+// BroadcastCancel behaves like Broadcast but aborts blocked receives with
+// comm.ErrCanceled when cancel is closed.
+func BroadcastCancel(c *comm.Communicator, root int, data tensor.Vector, cancel <-chan struct{}) error {
+	e := env{c: c, cancel: cancel}
 	rank, size := c.Rank(), c.Size()
 	if size == 1 {
 		return nil
@@ -323,7 +359,7 @@ func Broadcast(c *comm.Communicator, root int, data tensor.Vector) error {
 		for mask < size {
 			if rel&mask != 0 {
 				parent := (rel - mask + root) % size
-				incoming, _, err := c.Recv(parent, tagBroadcast)
+				incoming, _, err := e.recv(parent, tagBroadcast)
 				if err != nil {
 					return err
 				}
@@ -356,11 +392,17 @@ func Broadcast(c *comm.Communicator, root int, data tensor.Vector) error {
 // discarding on non-roots, which is wasteful but simple; it is only used for
 // small metric vectors in this repository.
 func Reduce(c *comm.Communicator, root int, data tensor.Vector, op ReduceOp) error {
+	return ReduceCancel(c, root, data, op, nil)
+}
+
+// ReduceCancel behaves like Reduce but aborts blocked receives with
+// comm.ErrCanceled when cancel is closed.
+func ReduceCancel(c *comm.Communicator, root int, data tensor.Vector, op ReduceOp, cancel <-chan struct{}) error {
 	if root < 0 || root >= c.Size() {
 		return fmt.Errorf("collectives: reduce root %d out of range", root)
 	}
 	scratch := data.Clone()
-	if err := Allreduce(c, scratch, op, AlgoRecursiveDoubling); err != nil {
+	if err := AllreduceCancel(c, scratch, op, AlgoRecursiveDoubling, cancel); err != nil {
 		return err
 	}
 	if c.Rank() == root {
@@ -372,6 +414,13 @@ func Reduce(c *comm.Communicator, root int, data tensor.Vector, op ReduceOp) err
 // Allgather concatenates each rank's contribution (all of identical length)
 // into a vector of length size*len(contrib), ordered by rank, on every rank.
 func Allgather(c *comm.Communicator, contrib tensor.Vector) (tensor.Vector, error) {
+	return AllgatherCancel(c, contrib, nil)
+}
+
+// AllgatherCancel behaves like Allgather but aborts blocked receives with
+// comm.ErrCanceled when cancel is closed.
+func AllgatherCancel(c *comm.Communicator, contrib tensor.Vector, cancel <-chan struct{}) (tensor.Vector, error) {
+	e := env{c: c, cancel: cancel}
 	size := c.Size()
 	rank := c.Rank()
 	n := len(contrib)
@@ -386,7 +435,7 @@ func Allgather(c *comm.Communicator, contrib tensor.Vector) (tensor.Vector, erro
 	for step := 0; step < size-1; step++ {
 		sendIdx := (rank - step + size) % size
 		recvIdx := (rank - step - 1 + size) % size
-		incoming, _, err := c.SendRecv(next, tagAllgather+step, out[sendIdx*n:(sendIdx+1)*n], prev, tagAllgather+step)
+		incoming, _, err := e.sendRecv(next, tagAllgather+step, out[sendIdx*n:(sendIdx+1)*n], prev, tagAllgather+step)
 		if err != nil {
 			return nil, err
 		}
@@ -398,6 +447,13 @@ func Allgather(c *comm.Communicator, contrib tensor.Vector) (tensor.Vector, erro
 // Barrier blocks until every rank has entered it, using a dissemination
 // barrier (log2(size) rounds of token exchange).
 func Barrier(c *comm.Communicator) error {
+	return BarrierCancel(c, nil)
+}
+
+// BarrierCancel behaves like Barrier but aborts blocked receives with
+// comm.ErrCanceled when cancel is closed.
+func BarrierCancel(c *comm.Communicator, cancel <-chan struct{}) error {
+	e := env{c: c, cancel: cancel}
 	token := tensor.NewVector(1)
 	rank, size := c.Rank(), c.Size()
 	if size == 1 {
@@ -408,7 +464,7 @@ func Barrier(c *comm.Communicator) error {
 	for d := 1; d < size; d *= 2 {
 		to := (rank + d) % size
 		from := (rank - d + size) % size
-		if _, _, err := c.SendRecv(to, tagBarrier+step, token, from, tagBarrier+step); err != nil {
+		if _, _, err := e.sendRecv(to, tagBarrier+step, token, from, tagBarrier+step); err != nil {
 			return err
 		}
 		step++

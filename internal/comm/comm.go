@@ -325,8 +325,22 @@ func WaitAll(reqs ...*Request) error {
 // given tags, overlapping the two operations to avoid deadlock in symmetric
 // exchange patterns such as recursive doubling.
 func (c *Communicator) SendRecv(dest, sendTag int, data tensor.Vector, source, recvTag int) (tensor.Vector, Status, error) {
+	return c.SendRecvCancel(dest, sendTag, data, source, recvTag, nil)
+}
+
+// SendRecvCancel behaves like SendRecv but gives up on the receive half with
+// ErrCanceled when cancel is closed before a matching message arrives. It is
+// the primitive the cancel-aware collectives are built on: a collective
+// blocked on a peer that will never send (e.g. because the caller's context
+// was canceled mid-job) unblocks instead of hanging forever. When the receive
+// is canceled the in-flight send is abandoned to complete in the background;
+// the communicator must be treated as mid-collective and closed.
+func (c *Communicator) SendRecvCancel(dest, sendTag int, data tensor.Vector, source, recvTag int, cancel <-chan struct{}) (tensor.Vector, Status, error) {
 	sreq := c.Isend(dest, sendTag, data)
-	rdata, rstatus, rerr := c.Recv(source, recvTag)
+	rdata, rstatus, rerr := c.RecvCancel(source, recvTag, cancel)
+	if errors.Is(rerr, ErrCanceled) {
+		return nil, Status{}, rerr
+	}
 	if _, _, serr := sreq.Wait(); serr != nil {
 		return rdata, rstatus, serr
 	}

@@ -6,24 +6,25 @@ import (
 	"testing"
 	"time"
 
+	"eagersgd/collective"
 	"eagersgd/internal/comm"
 	"eagersgd/internal/core"
 	"eagersgd/internal/data"
 	"eagersgd/internal/imbalance"
 	"eagersgd/internal/nn"
 	"eagersgd/internal/optimizer"
-	"eagersgd/internal/partial"
 	"eagersgd/internal/tensor"
 	"eagersgd/internal/transport"
 )
 
-func TestSynchStyleString(t *testing.T) {
-	if core.StyleDeep500.String() != "deep500" || core.StyleHorovod.String() != "horovod" {
-		t.Fatal("style names wrong")
+// mustReducer builds a collective reducer for tests, panicking on
+// construction errors (which only arise from programming mistakes here).
+func mustReducer(c *comm.Communicator, dim int, opts ...collective.Option) collective.Reducer {
+	r, err := collective.NewReducer(c, dim, opts...)
+	if err != nil {
+		panic(err)
 	}
-	if core.SynchStyle(9).String() == "" {
-		t.Fatal("unknown style must produce a name")
-	}
+	return r
 }
 
 func TestNewTrainerValidation(t *testing.T) {
@@ -161,7 +162,7 @@ func TestSynchSGDReplicasStayIdentical(t *testing.T) {
 		tr, err := core.NewTrainer(core.Config{
 			Comm:      c,
 			Task:      task,
-			Exchanger: core.NewSynchExchanger(c, core.StyleDeep500, 3),
+			Exchanger: mustReducer(c, task.NumParams(), collective.WithChunks(3)),
 			Optimizer: optimizer.NewSGD(0.05),
 		})
 		if err != nil {
@@ -201,7 +202,7 @@ func TestHorovodStyleAlsoKeepsReplicasIdentical(t *testing.T) {
 		tr, err := core.NewTrainer(core.Config{
 			Comm:      c,
 			Task:      task,
-			Exchanger: core.NewSynchExchanger(c, core.StyleHorovod, 0),
+			Exchanger: mustReducer(c, task.NumParams(), collective.WithNegotiation()),
 			Optimizer: optimizer.NewSGD(0.05),
 		})
 		if err != nil {
@@ -235,7 +236,7 @@ func TestEagerSGDConvergesOnHyperplane(t *testing.T) {
 		tr, err := core.NewTrainer(core.Config{
 			Comm:            c,
 			Task:            task,
-			Exchanger:       core.NewEagerExchanger(c, task.NumParams(), partial.Solo, 17),
+			Exchanger:       mustReducer(c, task.NumParams(), collective.WithMode(collective.Solo), collective.WithSeed(17)),
 			Optimizer:       optimizer.NewSGD(0.02),
 			Injector:        imbalance.RandomSubset{Size: size, K: 1, Amount: 6, Seed: 2},
 			Clock:           imbalance.ScaledClock(0.05),
@@ -270,14 +271,14 @@ func TestEagerSGDMajorityWaitsForQuorum(t *testing.T) {
 	// solo mode's (statistical guarantee of §4.2).
 	const size = 4
 	const steps = 20
-	meanNAP := func(mode partial.Mode) float64 {
+	meanNAP := func(mode collective.Mode) float64 {
 		naps := make([]float64, size)
 		runWorld(t, size, func(rank int, c *comm.Communicator) error {
 			task := buildRegressionTask(rank, size, 5, 4)
 			tr, err := core.NewTrainer(core.Config{
 				Comm:      c,
 				Task:      task,
-				Exchanger: core.NewEagerExchanger(c, task.NumParams(), mode, 5),
+				Exchanger: mustReducer(c, task.NumParams(), collective.WithMode(mode), collective.WithSeed(5)),
 				Optimizer: optimizer.NewSGD(0.01),
 				Injector:  imbalance.LinearSkew{StepMs: 30},
 				Clock:     imbalance.ScaledClock(0.2),
@@ -302,8 +303,8 @@ func TestEagerSGDMajorityWaitsForQuorum(t *testing.T) {
 		}
 		return best
 	}
-	solo := meanNAP(partial.Solo)
-	majority := meanNAP(partial.Majority)
+	solo := meanNAP(collective.Solo)
+	majority := meanNAP(collective.Majority)
 	if majority <= solo {
 		t.Fatalf("majority NAP %.2f should exceed solo NAP %.2f under linear skew", majority, solo)
 	}
@@ -322,11 +323,11 @@ func TestEagerSoloFasterThanSynchUnderSkew(t *testing.T) {
 		times := make([]time.Duration, size)
 		runWorld(t, size, func(rank int, c *comm.Communicator) error {
 			task := buildRegressionTask(rank, size, 5, 4)
-			var ex core.GradientExchanger
+			var ex collective.Reducer
 			if eager {
-				ex = core.NewEagerExchanger(c, task.NumParams(), partial.Solo, 3)
+				ex = mustReducer(c, task.NumParams(), collective.WithMode(collective.Solo), collective.WithSeed(3))
 			} else {
-				ex = core.NewSynchExchanger(c, core.StyleDeep500, 1)
+				ex = mustReducer(c, task.NumParams())
 			}
 			tr, err := core.NewTrainer(core.Config{
 				Comm:      c,
@@ -379,7 +380,7 @@ func TestRunnerEndToEnd(t *testing.T) {
 			return core.NewTrainer(core.Config{
 				Comm:      c,
 				Task:      task,
-				Exchanger: core.NewSynchExchanger(c, core.StyleDeep500, 2),
+				Exchanger: mustReducer(c, task.NumParams(), collective.WithChunks(2)),
 				Optimizer: optimizer.NewSGD(0.05),
 			})
 		},
@@ -418,22 +419,19 @@ func TestRunnerValidation(t *testing.T) {
 func TestExchangerNames(t *testing.T) {
 	world := transport.NewInprocWorld(1)
 	defer world[0].Close()
-	se := core.NewSynchExchanger(world[0], core.StyleHorovod, 0)
-	if se.Name() != "synch-sgd (horovod)" {
-		t.Fatalf("name %q", se.Name())
+	se := mustReducer(world[0], 3, collective.WithNegotiation())
+	if collective.ReducerName(se) != "synch-sgd (horovod)" {
+		t.Fatalf("name %q", collective.ReducerName(se))
 	}
-	ee := core.NewEagerExchanger(world[0], 3, partial.Majority, 1)
+	ee := mustReducer(world[0], 3, collective.WithMode(collective.Majority), collective.WithSeed(1))
 	defer ee.Close()
-	if ee.Name() != "eager-sgd (majority)" {
-		t.Fatalf("name %q", ee.Name())
+	if collective.ReducerName(ee) != "eager-sgd (majority)" {
+		t.Fatalf("name %q", collective.ReducerName(ee))
 	}
-	if ee.Reducer() == nil {
-		t.Fatal("Reducer accessor nil")
-	}
-	qe := core.NewQuorumExchanger(world[0], 3, 1, 1)
+	qe := mustReducer(world[0], 3, collective.WithMode(collective.Quorum(1)), collective.WithSeed(1))
 	defer qe.Close()
-	if qe.Name() != "eager-sgd (quorum)" {
-		t.Fatalf("name %q", qe.Name())
+	if collective.ReducerName(qe) != "eager-sgd (quorum)" {
+		t.Fatalf("name %q", collective.ReducerName(qe))
 	}
 }
 
@@ -447,7 +445,7 @@ func TestSyncModelAveragesReplicas(t *testing.T) {
 		tr, err := core.NewTrainer(core.Config{
 			Comm:      c,
 			Task:      task,
-			Exchanger: core.NewSynchExchanger(c, core.StyleDeep500, 1),
+			Exchanger: mustReducer(c, task.NumParams()),
 			Optimizer: optimizer.NewSGD(0.1),
 		})
 		if err != nil {

@@ -5,18 +5,23 @@ import (
 	"sync"
 	"time"
 
+	"eagersgd/collective"
 	"eagersgd/internal/comm"
 	"eagersgd/internal/trace"
-	"eagersgd/internal/transport"
 )
 
 // RunConfig describes one end-to-end distributed training run executed with
-// every rank as a goroutine over an in-process world.
+// every rank as a goroutine over a collective.World (in-process by default).
 type RunConfig struct {
 	// Name labels the run in curves and tables (e.g. "eager-SGD-300 (solo)").
 	Name string
 	// Size is the number of ranks.
 	Size int
+	// WorldOptions configure the collective.World the run executes on
+	// (transport, base port). Empty means in-process. Reducer settings are
+	// chosen by Build, which constructs reducers explicitly; world-level
+	// reducer defaults do not apply here.
+	WorldOptions []collective.Option
 	// Steps is the number of optimizer steps every rank executes.
 	Steps int
 	// EvalEverySteps inserts an evaluation every that many steps (0 = only a
@@ -53,18 +58,23 @@ type RunResult struct {
 	MeanActiveProcesses float64
 }
 
-// Run executes the configured training on an in-process world and collects
-// the curves the paper's figures plot.
+// Run executes the configured training on a collective.World (in-process
+// unless WorldOptions say otherwise) and collects the curves the paper's
+// figures plot. Every rank's transport resources are released through
+// World.Close when the run finishes.
 func Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.Size <= 0 || cfg.Steps <= 0 || cfg.Build == nil {
 		return nil, fmt.Errorf("core: run config requires positive Size and Steps and a Build function")
 	}
-	world := transport.NewInprocWorld(cfg.Size)
-	defer world[0].Close()
+	world, err := collective.NewWorld(cfg.Size, cfg.WorldOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: build world: %w", err)
+	}
+	defer world.Close()
 
 	trainers := make([]*Trainer, cfg.Size)
 	for r := 0; r < cfg.Size; r++ {
-		tr, err := cfg.Build(r, world[r])
+		tr, err := cfg.Build(r, world.Node(r).Communicator())
 		if err != nil {
 			return nil, fmt.Errorf("core: build trainer for rank %d: %w", r, err)
 		}

@@ -1,166 +1,27 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"eagersgd/collective"
 	"eagersgd/internal/collectives"
 	"eagersgd/internal/comm"
 	"eagersgd/internal/imbalance"
 	"eagersgd/internal/optimizer"
-	"eagersgd/internal/partial"
-	"eagersgd/internal/tensor"
 	"eagersgd/internal/trace"
 )
 
-// ExchangeStats describes one gradient exchange.
-type ExchangeStats struct {
-	// ActiveProcesses is the number of ranks whose fresh gradient was part of
-	// the exchanged sum (the world size for synchronous exchangers).
-	ActiveProcesses int
-	// Included reports whether this rank's fresh gradient was part of it.
-	Included bool
-}
-
-// GradientExchanger turns a local gradient into a global one. Implementations
-// are per-rank objects over a shared communicator.
-type GradientExchanger interface {
-	// Exchange contributes grad for the given step and returns the global
-	// gradient SUM (callers divide by the world size).
-	Exchange(step int, grad tensor.Vector) (tensor.Vector, ExchangeStats, error)
-	// Name identifies the exchanger in reports.
-	Name() string
-	// Close releases resources. For eager exchangers this is a local
-	// operation; the communicator owns the actual shutdown.
-	Close()
-}
-
-// SynchStyle selects which synchronous baseline a SynchExchanger models.
-type SynchStyle int
-
-const (
-	// StyleDeep500 models the Deep500 DSGD optimizer (§3): the gradient is
-	// reduced in a fixed number of ordered chunks, mirroring the control
-	// dependencies added to the computation DAG.
-	StyleDeep500 SynchStyle = iota
-	// StyleHorovod models Horovod (§3): a negotiation round (achieving
-	// consensus on readiness) followed by one fused allreduce over the whole
-	// gradient.
-	StyleHorovod
-)
-
-// String returns the style name.
-func (s SynchStyle) String() string {
-	switch s {
-	case StyleDeep500:
-		return "deep500"
-	case StyleHorovod:
-		return "horovod"
-	default:
-		return fmt.Sprintf("style(%d)", int(s))
-	}
-}
-
-// SynchExchanger implements synchronous allreduce-based gradient exchange —
-// the synch-SGD baseline. Every rank blocks until all ranks contribute.
-type SynchExchanger struct {
-	comm   *comm.Communicator
-	style  SynchStyle
-	chunks int
-	algo   collectives.Algorithm
-}
-
-// NewSynchExchanger builds a synchronous exchanger. chunks controls the
-// number of ordered reductions for the Deep500 style (values below 1 mean a
-// single fused reduction).
-func NewSynchExchanger(c *comm.Communicator, style SynchStyle, chunks int) *SynchExchanger {
-	if chunks < 1 {
-		chunks = 1
-	}
-	return &SynchExchanger{comm: c, style: style, chunks: chunks, algo: collectives.AlgoAuto}
-}
-
-// Name returns "synch-sgd (deep500)" or "synch-sgd (horovod)".
-func (s *SynchExchanger) Name() string { return fmt.Sprintf("synch-sgd (%s)", s.style) }
-
-// Close is a no-op; the communicator owns shutdown.
-func (s *SynchExchanger) Close() {}
-
-// Exchange performs the synchronous allreduce and returns the gradient sum.
-func (s *SynchExchanger) Exchange(_ int, grad tensor.Vector) (tensor.Vector, ExchangeStats, error) {
-	global := grad.Clone()
-	switch s.style {
-	case StyleHorovod:
-		// Negotiation: all ranks agree everyone is ready (Horovod's
-		// coordinator round), then one fused allreduce.
-		ready := tensor.Vector{1}
-		if err := collectives.Allreduce(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling); err != nil {
-			return nil, ExchangeStats{}, err
-		}
-		if err := collectives.Allreduce(s.comm, global, collectives.OpSum, s.algo); err != nil {
-			return nil, ExchangeStats{}, err
-		}
-	default: // StyleDeep500: ordered chunked reductions.
-		for _, chunk := range global.Chunk(s.chunks) {
-			if len(chunk) == 0 {
-				continue
-			}
-			if err := collectives.Allreduce(s.comm, chunk, collectives.OpSum, s.algo); err != nil {
-				return nil, ExchangeStats{}, err
-			}
-		}
-	}
-	return global, ExchangeStats{ActiveProcesses: s.comm.Size(), Included: true}, nil
-}
-
-// EagerExchanger implements the partial-collective gradient exchange of
-// eager-SGD (Algorithm 2): solo or majority allreduce with stale-gradient
-// accumulation handled by the underlying partial.Allreducer.
-type EagerExchanger struct {
-	reducer *partial.Allreducer
-	mode    partial.Mode
-}
-
-// NewEagerExchanger builds the eager exchanger for a gradient of length n.
-func NewEagerExchanger(c *comm.Communicator, n int, mode partial.Mode, seed int64) *EagerExchanger {
-	return &EagerExchanger{
-		reducer: partial.New(c, n, partial.Options{Mode: mode, Seed: seed}),
-		mode:    mode,
-	}
-}
-
-// NewQuorumExchanger builds an eager exchanger with an explicit candidate
-// count (the solo–majority–full spectrum of §8).
-func NewQuorumExchanger(c *comm.Communicator, n int, candidates int, seed int64) *EagerExchanger {
-	return &EagerExchanger{
-		reducer: partial.New(c, n, partial.Options{Mode: partial.Quorum, Candidates: candidates, Seed: seed}),
-		mode:    partial.Quorum,
-	}
-}
-
-// Name returns "eager-sgd (solo)" or "eager-sgd (majority)".
-func (e *EagerExchanger) Name() string { return fmt.Sprintf("eager-sgd (%s)", e.mode) }
-
-// Close marks the underlying allreducer closed.
-func (e *EagerExchanger) Close() { e.reducer.Close() }
-
-// Reducer exposes the underlying partial allreducer (used by diagnostics).
-func (e *EagerExchanger) Reducer() *partial.Allreducer { return e.reducer }
-
-// Exchange contributes the gradient to the current partial-allreduce round.
-func (e *EagerExchanger) Exchange(_ int, grad tensor.Vector) (tensor.Vector, ExchangeStats, error) {
-	global, info, err := e.reducer.Exchange(grad)
-	if err != nil {
-		return nil, ExchangeStats{}, err
-	}
-	return global, ExchangeStats{ActiveProcesses: info.ActiveProcesses, Included: info.Included}, nil
-}
-
-// Config assembles one rank's trainer.
+// Config assembles one rank's trainer. The gradient exchange goes through the
+// public collective.Reducer seam, so every variant the paper compares —
+// synch-SGD (fused, chunked, or negotiated) and eager-SGD (solo, majority,
+// quorum) — is one constructor option away, and new variants plug in without
+// touching the trainer.
 type Config struct {
 	Comm      *comm.Communicator
 	Task      Task
-	Exchanger GradientExchanger
+	Exchanger collective.Reducer
 	Optimizer optimizer.Optimizer
 	// Injector and Clock simulate system-caused load imbalance (§6.2); leave
 	// Injector nil for none.
@@ -211,10 +72,16 @@ func (t *Trainer) Size() int { return t.cfg.Comm.Size() }
 // Recorder returns the per-step measurements collected so far.
 func (t *Trainer) Recorder() *trace.ThroughputRecorder { return t.recorder }
 
-// Step executes one training step: local gradient computation (plus any
-// injected or modelled imbalance), gradient exchange, averaging, and the
-// optimizer update, followed by the periodic model synchronization if due.
+// Step executes one training step with a background context.
 func (t *Trainer) Step() (trace.StepRecord, error) {
+	return t.StepContext(context.Background())
+}
+
+// StepContext executes one training step: local gradient computation (plus
+// any injected or modelled imbalance), gradient exchange through the Reducer,
+// averaging, and the optimizer update, followed by the periodic model
+// synchronization if due. Canceling ctx aborts a blocked gradient exchange.
+func (t *Trainer) StepContext(ctx context.Context) (trace.StepRecord, error) {
 	start := time.Now()
 	step := t.step
 	t.step++
@@ -237,10 +104,11 @@ func (t *Trainer) Step() (trace.StepRecord, error) {
 		t.cfg.Clock.Sleep(d)
 	}
 
-	global, stats, err := t.cfg.Exchanger.Exchange(step, t.cfg.Task.Grads())
+	res, err := t.cfg.Exchanger.Reduce(ctx, t.cfg.Task.Grads())
 	if err != nil {
 		return trace.StepRecord{}, fmt.Errorf("core: step %d exchange: %w", step, err)
 	}
+	global := res.Sum
 	global.Scale(1 / float64(t.Size()))
 	t.cfg.Optimizer.Step(t.cfg.Task.Params(), global, step)
 
@@ -254,8 +122,8 @@ func (t *Trainer) Step() (trace.StepRecord, error) {
 		Step:            step,
 		Duration:        time.Since(start),
 		Loss:            loss,
-		ActiveProcesses: stats.ActiveProcesses,
-		Included:        stats.Included,
+		ActiveProcesses: res.ActiveRanks,
+		Included:        res.Included,
 	}
 	t.recorder.Add(rec)
 	return rec, nil
@@ -276,7 +144,7 @@ func (t *Trainer) SyncModel() error {
 func (t *Trainer) Steps() int { return t.step }
 
 // Name describes the trainer variant.
-func (t *Trainer) Name() string { return t.cfg.Exchanger.Name() }
+func (t *Trainer) Name() string { return collective.ReducerName(t.cfg.Exchanger) }
 
 // Close releases the exchanger.
 func (t *Trainer) Close() { t.cfg.Exchanger.Close() }

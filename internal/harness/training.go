@@ -3,31 +3,51 @@ package harness
 import (
 	"fmt"
 
+	"eagersgd/collective"
 	"eagersgd/internal/comm"
 	"eagersgd/internal/core"
 	"eagersgd/internal/data"
 	"eagersgd/internal/imbalance"
 	"eagersgd/internal/nn"
 	"eagersgd/internal/optimizer"
-	"eagersgd/internal/partial"
 	"eagersgd/internal/trace"
 )
 
-// variant describes one SGD implementation under comparison.
+// Synchronous baseline styles (§3), mapped onto collective reducer options.
+const (
+	styleDeep500 = "deep500" // ordered chunked reductions (DAG control deps)
+	styleHorovod = "horovod" // negotiation round, then one fused allreduce
+)
+
+// variant describes one SGD implementation under comparison. Reducers for a
+// variant are constructed through the public collective seam, so the harness
+// exercises exactly the configuration surface users see.
 type variant struct {
-	name      string
-	eager     bool
-	mode      partial.Mode
-	style     core.SynchStyle
-	syncEvery int // model synchronization period for eager variants
+	name      string              // display name, e.g. "synch-SGD (deep500)"
+	key       string              // report-value key, e.g. "synch-deep500"
+	eager     bool                // eager variants diverge and need model sync
+	opts      []collective.Option // reducer construction options
+	syncEvery int                 // model synchronization period for eager variants
 }
 
-func synchVariant(style core.SynchStyle) variant {
-	return variant{name: fmt.Sprintf("synch-SGD (%s)", style), style: style}
+func synchVariant(style string) variant {
+	opts := []collective.Option{collective.WithMode(collective.Sync)}
+	if style == styleHorovod {
+		opts = append(opts, collective.WithNegotiation())
+	} else {
+		opts = append(opts, collective.WithChunks(4))
+	}
+	return variant{name: "synch-SGD (" + style + ")", key: "synch-" + style, opts: opts}
 }
 
-func eagerVariant(mode partial.Mode, syncEvery int) variant {
-	return variant{name: fmt.Sprintf("eager-SGD (%s)", mode), eager: true, mode: mode, syncEvery: syncEvery}
+func eagerVariant(mode collective.Mode, syncEvery int) variant {
+	return variant{
+		name:      fmt.Sprintf("eager-SGD (%s)", mode),
+		key:       "eager-" + mode.String(),
+		eager:     true,
+		opts:      []collective.Option{collective.WithMode(mode)},
+		syncEvery: syncEvery,
+	}
 }
 
 // trainingSpec bundles everything needed to run one distributed training
@@ -57,13 +77,14 @@ func runVariant(spec trainingSpec, v variant) (*core.RunResult, error) {
 		FinalSync:      true,
 		Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
 			task := spec.buildTask(rank, spec.size)
-			var ex core.GradientExchanger
+			opts := append([]collective.Option{collective.WithSeed(spec.seed)}, v.opts...)
+			ex, err := collective.NewReducer(c, task.NumParams(), opts...)
+			if err != nil {
+				return nil, err
+			}
 			syncEvery := 0
 			if v.eager {
-				ex = core.NewEagerExchanger(c, task.NumParams(), v.mode, spec.seed)
 				syncEvery = v.syncEvery
-			} else {
-				ex = core.NewSynchExchanger(c, v.style, 4)
 			}
 			return core.NewTrainer(core.Config{
 				Comm:            c,
@@ -141,13 +162,13 @@ func Fig10Hyperplane(cfg Config) (*Report, error) {
 		}
 
 		variants := []variant{
-			synchVariant(core.StyleDeep500),
-			eagerVariant(partial.Solo, p.syncEvery),
+			synchVariant(styleDeep500),
+			eagerVariant(collective.Solo, p.syncEvery),
 		}
 		if inj == p.fig10Injections[0] {
 			// The paper reports one majority data point for the lightest
 			// injection (solo 1.64 vs majority 1.37 steps/s at 200 ms).
-			variants = append(variants, eagerVariant(partial.Majority, p.syncEvery))
+			variants = append(variants, eagerVariant(collective.Majority, p.syncEvery))
 		}
 
 		var synchThroughput float64
@@ -178,12 +199,7 @@ func Fig10Hyperplane(cfg Config) (*Report, error) {
 	return r, nil
 }
 
-func shortName(v variant) string {
-	if v.eager {
-		return "eager-" + v.mode.String()
-	}
-	return "synch-" + v.style.String()
-}
+func shortName(v variant) string { return v.key }
 
 // Fig11ImageNetLight reproduces Fig. 11: an ImageNet-scale classification
 // stand-in on 64 processes with 4 random ranks delayed by 300/460 ms per
@@ -215,9 +231,9 @@ func Fig11ImageNetLight(cfg Config) (*Report, error) {
 			clock:    clock, seed: cfg.Seed, buildTask: buildTask,
 		}
 		variants := []variant{
-			synchVariant(core.StyleDeep500),
-			synchVariant(core.StyleHorovod),
-			eagerVariant(partial.Solo, p.syncEvery),
+			synchVariant(styleDeep500),
+			synchVariant(styleHorovod),
+			eagerVariant(collective.Solo, p.syncEvery),
 		}
 		var deep500Throughput float64
 		for _, v := range variants {
@@ -226,7 +242,7 @@ func Fig11ImageNetLight(cfg Config) (*Report, error) {
 				return nil, err
 			}
 			speedup := 0.0
-			if !v.eager && v.style == core.StyleDeep500 {
+			if v.key == "synch-"+styleDeep500 {
 				deep500Throughput = res.Throughput
 				speedup = 1
 			} else if deep500Throughput > 0 {
@@ -276,9 +292,9 @@ func Fig12CifarSevere(cfg Config) (*Report, error) {
 		"variant", "throughput steps/s", "training time s", "final top-1", "final top-5", "speedup vs synch")
 
 	variants := []variant{
-		synchVariant(core.StyleHorovod),
-		eagerVariant(partial.Solo, p.syncEvery),
-		eagerVariant(partial.Majority, p.syncEvery),
+		synchVariant(styleHorovod),
+		eagerVariant(collective.Solo, p.syncEvery),
+		eagerVariant(collective.Majority, p.syncEvery),
 	}
 	var synchThroughput float64
 	for _, v := range variants {
@@ -338,9 +354,9 @@ func Fig13VideoLSTM(cfg Config) (*Report, error) {
 		"variant", "throughput steps/s", "training time s", "final top-1", "final top-5", "speedup vs synch")
 
 	variants := []variant{
-		synchVariant(core.StyleHorovod),
-		eagerVariant(partial.Solo, p.syncEvery),
-		eagerVariant(partial.Majority, p.syncEvery),
+		synchVariant(styleHorovod),
+		eagerVariant(collective.Solo, p.syncEvery),
+		eagerVariant(collective.Majority, p.syncEvery),
 	}
 	var synchThroughput float64
 	for _, v := range variants {
@@ -395,7 +411,7 @@ func ScalingSummary(cfg Config) (*Report, error) {
 		baseMs:   p.fig10BaseMs * float64(p.fig10Procs), // one process does the whole global batch
 		injector: imbalance.None{}, clock: clock, seed: cfg.Seed, buildTask: buildTask,
 	}
-	singleRes, err := runVariant(single, synchVariant(core.StyleDeep500))
+	singleRes, err := runVariant(single, synchVariant(styleDeep500))
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +429,7 @@ func ScalingSummary(cfg Config) (*Report, error) {
 	table.AddRow("1 process (whole batch)", singleRes.Throughput, 1.0)
 	r.Values["throughput/single"] = singleRes.Throughput
 
-	for _, v := range []variant{synchVariant(core.StyleDeep500), eagerVariant(partial.Solo, p.syncEvery)} {
+	for _, v := range []variant{synchVariant(styleDeep500), eagerVariant(collective.Solo, p.syncEvery)} {
 		res, err := runVariant(multi, v)
 		if err != nil {
 			return nil, err
@@ -463,10 +479,15 @@ func QuorumSpectrum(cfg Config) (*Report, error) {
 			FinalSync: true,
 			Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
 				task := buildTask(rank, size)
+				ex, err := collective.NewReducer(c, task.NumParams(),
+					collective.WithMode(collective.Quorum(cand)), collective.WithSeed(cfg.Seed))
+				if err != nil {
+					return nil, err
+				}
 				return core.NewTrainer(core.Config{
 					Comm:            c,
 					Task:            task,
-					Exchanger:       core.NewQuorumExchanger(c, task.NumParams(), cand, cfg.Seed),
+					Exchanger:       ex,
 					Optimizer:       optimizer.NewSGD(p.fig10LR),
 					Injector:        injector,
 					Clock:           clock,

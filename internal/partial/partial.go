@@ -15,6 +15,7 @@
 package partial
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -262,8 +263,33 @@ func splitmix64(x uint64) uint64 {
 // element-wise sum over contributions; divide by Size() for the average used
 // by eager-SGD.
 func (a *Allreducer) Exchange(grad tensor.Vector) (tensor.Vector, RoundInfo, error) {
+	return a.ExchangeContext(context.Background(), grad)
+}
+
+// ExchangeContext behaves like Exchange but stops waiting for the round to
+// complete when ctx is canceled, returning ctx's error. The contribution
+// itself is not withdrawn: the gradient stays folded into the send buffer and
+// is contributed to a later round as a stale gradient (Fig. 7 semantics), and
+// the engine keeps making rounds progress on behalf of peers, so a canceled
+// call leaves the allreducer fully usable.
+func (a *Allreducer) ExchangeContext(ctx context.Context, grad tensor.Vector) (tensor.Vector, RoundInfo, error) {
 	if len(grad) != a.n {
 		return nil, RoundInfo{}, fmt.Errorf("partial: gradient length %d, want %d", len(grad), a.n)
+	}
+	if done := ctx.Done(); done != nil {
+		// Convert the context cancellation into a condition-variable wakeup so
+		// the wait loop below can observe it.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				a.mu.Lock()
+				a.cond.Broadcast()
+				a.mu.Unlock()
+			case <-stop:
+			}
+		}()
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -302,6 +328,9 @@ func (a *Allreducer) Exchange(grad tensor.Vector) (tensor.Vector, RoundInfo, err
 
 	// Wait for the round to complete (possibly activated externally).
 	for a.completedRound < round && !a.closed && a.err == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, RoundInfo{}, err
+		}
 		a.cond.Wait()
 	}
 	if a.err != nil {
@@ -452,6 +481,30 @@ func (a *Allreducer) PendingStale() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.sendBuf.Norm2()
+}
+
+// DrainPending atomically removes and returns the stale gradients accumulated
+// in the send buffer, leaving it null. It exists for hybrid reduction
+// schemes that periodically fold the pending contributions into a synchronous
+// allreduce outside the partial engine (the periodic full synchronization of
+// §5): every rank must drain at the same exchange index, with no Exchange in
+// flight, so no round can snapshot concurrently.
+func (a *Allreducer) DrainPending() tensor.Vector {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.sendBuf.Clone()
+	a.sendBuf.Zero()
+	return out
+}
+
+// RestorePending folds v back into the send buffer. It is the undo of
+// DrainPending for hybrid schemes whose out-of-engine reduction failed after
+// draining: the contributions return to the buffer and are delivered in a
+// later round, preserving the no-gradient-lost guarantee of Fig. 7.
+func (a *Allreducer) RestorePending(v tensor.Vector) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sendBuf.Add(v)
 }
 
 // Close marks the allreducer closed. Pending and future Exchange calls return

@@ -1,6 +1,8 @@
 package partial_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -513,4 +515,81 @@ func ExampleAllreducer() {
 	wg.Wait()
 	fmt.Println(results[0].Equal(results[1]))
 	// Output: true
+}
+
+// TestExchangeContextCancellation proves a blocked ExchangeContext returns
+// promptly when the context expires, and that the contribution survives as a
+// stale gradient: in majority mode with the designated initiator held back,
+// a non-initiator's exchange cannot complete — canceling it must not lose the
+// gradient, which is folded into the next round once the initiator arrives.
+func TestExchangeContextCancellation(t *testing.T) {
+	const p = 2
+	const n = 3
+	_, reducers := makeWorld(t, p, n, partial.Options{Mode: partial.Majority, Seed: 8})
+
+	initiator := reducers[0].DesignatedInitiators(0)[0]
+	waiter := (initiator + 1) % p
+
+	grad := tensor.NewVector(n)
+	grad.Fill(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, _, err := reducers[waiter].ExchangeContext(ctx, grad); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked exchange returned %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	if reducers[waiter].PendingStale() == 0 {
+		t.Fatal("canceled contribution must stay buffered as a stale gradient")
+	}
+
+	// The reducer stays usable: once every rank participates again the
+	// canceled rank's stale gradient is delivered in a later round.
+	var wg sync.WaitGroup
+	results := make([]tensor.Vector, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				g := tensor.NewVector(n)
+				out, _, err := reducers[r].Exchange(g)
+				if err != nil {
+					t.Errorf("rank %d round %d: %v", r, round, err)
+					return
+				}
+				results[r] = out
+			}
+		}(r)
+	}
+	wg.Wait()
+	if results[waiter] == nil {
+		t.Fatal("no result after cancellation")
+	}
+	if reducers[waiter].PendingStale() != 0 {
+		t.Fatal("stale gradient was never contributed after cancellation")
+	}
+}
+
+// TestDrainPendingTakesStaleGradients checks the atomic take used by the
+// periodic full synchronization.
+func TestDrainPendingTakesStaleGradients(t *testing.T) {
+	_, reducers := makeWorld(t, 2, 2, partial.Options{Mode: partial.Majority, Seed: 8})
+	waiter := (reducers[0].DesignatedInitiators(0)[0] + 1) % 2
+	grad := tensor.Vector{2, 3}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := reducers[waiter].ExchangeContext(ctx, grad)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("setup exchange returned %v", err)
+	}
+	drained := reducers[waiter].DrainPending()
+	if !drained.Equal(grad) {
+		t.Fatalf("drained %v, want %v", drained, grad)
+	}
+	if reducers[waiter].PendingStale() != 0 {
+		t.Fatal("send buffer must be empty after drain")
+	}
 }

@@ -27,9 +27,11 @@ const DefaultInboxDepth = 4096
 type Hub struct {
 	size    int
 	inboxes []chan comm.Message
+	done    chan struct{} // closed by Close; unblocks in-flight sends
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	senders sync.WaitGroup // in-flight send calls; Close drains it before closing inboxes
+	closed  bool
 }
 
 // NewHub creates an in-process hub for size ranks with the default inbox
@@ -47,7 +49,7 @@ func NewHubDepth(size, depth int) *Hub {
 	if depth < 1 {
 		panic(fmt.Sprintf("transport: inbox depth %d must be at least 1", depth))
 	}
-	h := &Hub{size: size, inboxes: make([]chan comm.Message, size)}
+	h := &Hub{size: size, inboxes: make([]chan comm.Message, size), done: make(chan struct{})}
 	for i := range h.inboxes {
 		h.inboxes[i] = make(chan comm.Message, depth)
 	}
@@ -66,21 +68,25 @@ func (h *Hub) Endpoint(rank int) *InprocEndpoint {
 }
 
 // Close shuts down every endpoint of the hub. It is safe to call more than
-// once.
+// once. In-flight sends unblock with ErrClosed; the inboxes are closed only
+// after every such send has drained, so a send never races the close.
 func (h *Hub) Close() error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return nil
 	}
 	h.closed = true
+	close(h.done)
+	h.mu.Unlock()
+	h.senders.Wait()
 	for _, ch := range h.inboxes {
 		close(ch)
 	}
 	return nil
 }
 
-func (h *Hub) send(dest int, m comm.Message) (err error) {
+func (h *Hub) send(dest int, m comm.Message) error {
 	if dest < 0 || dest >= h.size {
 		return fmt.Errorf("transport: destination %d out of range [0,%d)", dest, h.size)
 	}
@@ -89,19 +95,21 @@ func (h *Hub) send(dest int, m comm.Message) (err error) {
 		h.mu.Unlock()
 		return ErrClosed
 	}
+	// Registering under the lock while closed is still false guarantees Close
+	// cannot start draining senders before this send is visible to it.
+	h.senders.Add(1)
 	ch := h.inboxes[dest]
 	h.mu.Unlock()
+	defer h.senders.Done()
 	// The inbox is buffered; sends only block when a rank is severely behind,
-	// which provides natural flow control without unbounded memory use.
-	defer func() {
-		// If the hub was closed concurrently the channel send panics; convert
-		// that into ErrClosed for the caller.
-		if recover() != nil {
-			err = ErrClosed
-		}
-	}()
-	ch <- m
-	return nil
+	// which provides natural flow control without unbounded memory use. A
+	// concurrent Close unblocks the send through the done channel.
+	select {
+	case ch <- m:
+		return nil
+	case <-h.done:
+		return ErrClosed
+	}
 }
 
 // InprocEndpoint is the per-rank view of a Hub. It implements comm.Endpoint.

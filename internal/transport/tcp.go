@@ -33,13 +33,15 @@ type TCPEndpoint struct {
 	rank  int
 	size  int
 	inbox chan comm.Message
+	done  chan struct{} // closed by Close; unblocks in-flight local deliveries
 
-	mu     sync.Mutex
-	conns  []net.Conn   // indexed by peer rank; nil for self
-	wlocks []sync.Mutex // per-connection write locks
-	ln     net.Listener
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	conns   []net.Conn   // indexed by peer rank; nil for self
+	wlocks  []sync.Mutex // per-connection write locks
+	ln      net.Listener
+	closed  bool
+	wg      sync.WaitGroup // read loops
+	senders sync.WaitGroup // in-flight deliverLocal calls; drained before closing the inbox
 }
 
 // NewTCPEndpoint establishes the full mesh of connections described by cfg
@@ -61,6 +63,7 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 		rank:   cfg.Rank,
 		size:   size,
 		inbox:  make(chan comm.Message, DefaultInboxDepth),
+		done:   make(chan struct{}),
 		conns:  make([]net.Conn, size),
 		wlocks: make([]sync.Mutex, size),
 	}
@@ -183,17 +186,28 @@ func (e *TCPEndpoint) Send(dest int, m comm.Message) error {
 	return err
 }
 
-func (e *TCPEndpoint) deliverLocal(m comm.Message) (err error) {
-	defer func() {
-		if recover() != nil {
-			err = ErrClosed
-		}
-	}()
-	e.inbox <- m
-	return nil
+func (e *TCPEndpoint) deliverLocal(m comm.Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	// Registering under the lock while closed is still false guarantees Close
+	// cannot start draining senders before this delivery is visible to it.
+	e.senders.Add(1)
+	e.mu.Unlock()
+	defer e.senders.Done()
+	select {
+	case e.inbox <- m:
+		return nil
+	case <-e.done:
+		return ErrClosed
+	}
 }
 
-// Close tears down the listener, the peer connections, and the inbox.
+// Close tears down the listener, the peer connections, and the inbox. The
+// inbox is closed only after the read loops have exited and in-flight local
+// deliveries have drained, so a delivery never races the close.
 func (e *TCPEndpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -201,6 +215,7 @@ func (e *TCPEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
+	close(e.done)
 	conns := append([]net.Conn(nil), e.conns...)
 	e.mu.Unlock()
 
@@ -211,6 +226,7 @@ func (e *TCPEndpoint) Close() error {
 		}
 	}
 	e.wg.Wait()
+	e.senders.Wait()
 	close(e.inbox)
 	return nil
 }

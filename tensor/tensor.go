@@ -1,0 +1,37 @@
+// Package tensor is the public view of the dense numerical containers the
+// eager-SGD library operates on: flat float64 vectors and row-major matrices.
+//
+// The types are aliases of the internal implementation, so values cross the
+// public/internal boundary without conversion: a Vector returned by
+// collective.Reducer.Reduce is the same type the internal engines exchanged.
+// A Vector is a plain []float64 underneath; the methods add the small set of
+// BLAS-like kernels (axpy, scal, dot, norms) the library is built on.
+package tensor
+
+import itensor "eagersgd/internal/tensor"
+
+// Vector is a dense one-dimensional array of float64 values. It aliases a
+// plain []float64, so tensor.Vector{1, 2, 3} and v[i] work as for any slice.
+type Vector = itensor.Vector
+
+// Matrix is a dense row-major matrix backed by a flat Vector.
+type Matrix = itensor.Matrix
+
+// ErrShape is returned by matrix constructors when dimensions are invalid.
+var ErrShape = itensor.ErrShape
+
+// NewVector returns a zero-initialized vector of length n.
+func NewVector(n int) Vector { return itensor.NewVector(n) }
+
+// NewMatrix allocates a rows x cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix { return itensor.NewMatrix(rows, cols) }
+
+// MatrixFromData wraps an existing flat slice as a rows x cols matrix without
+// copying. It returns an error if the slice length does not match.
+func MatrixFromData(rows, cols int, data Vector) (*Matrix, error) {
+	return itensor.MatrixFromData(rows, cols, data)
+}
+
+// ChunkBounds returns the [start, end) bounds of chunk i when a vector of
+// length n is split into p chunks with the same policy as Vector.Chunk.
+func ChunkBounds(n, p, i int) (int, int) { return itensor.ChunkBounds(n, p, i) }

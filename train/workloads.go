@@ -1,0 +1,186 @@
+package train
+
+import (
+	"fmt"
+
+	"eagersgd/internal/core"
+	"eagersgd/internal/data"
+	"eagersgd/internal/imbalance"
+	"eagersgd/internal/nn"
+)
+
+// evalFraction is the share of every generated dataset held out for
+// evaluation.
+const evalFraction = 0.125
+
+// Workload is a model + synthetic dataset a Spec trains. Constructors:
+// Hyperplane, Images, Video. Implementations are opaque; a workload is
+// prepared once per Run so every rank trains on the same generated data.
+type Workload interface {
+	// prepare generates the datasets and returns a per-rank task builder,
+	// the inherent-imbalance cost model (nil for balanced workloads), and
+	// the workload's default learning rate. It fails when the configured
+	// sample count cannot support a train/eval split.
+	prepare(seed int64) (func(rank, size int) core.Task, *imbalance.SequenceCostModel, float64, error)
+}
+
+// splitPoint returns the train/eval boundary for n samples, or an error when
+// the held-out portion would be empty.
+func splitPoint(workload string, n int) (int, error) {
+	evalN := int(float64(n) * evalFraction)
+	if evalN < 1 {
+		return 0, fmt.Errorf("train: %s needs at least %d samples for a train/eval split, got %d",
+			workload, int(1/evalFraction), n)
+	}
+	return n - evalN, nil
+}
+
+// HyperplaneConfig configures the linear-regression workload of §6.2.1
+// (Fig. 10): a one-layer MLP fitting a noisy hyperplane.
+type HyperplaneConfig struct {
+	// Dim is the input dimension, Samples the generated dataset size, Batch
+	// the per-rank minibatch size. Zero fields take the listed defaults
+	// (128, 2048, 16).
+	Dim, Samples, Batch int
+	// Noise is the target noise level; zero means 0.05.
+	Noise float64
+}
+
+// Hyperplane builds the hyperplane regression workload.
+func Hyperplane(cfg HyperplaneConfig) Workload {
+	setDefault(&cfg.Dim, 128)
+	setDefault(&cfg.Samples, 2048)
+	setDefault(&cfg.Batch, 16)
+	if cfg.Noise <= 0 {
+		cfg.Noise = 0.05
+	}
+	return hyperplaneWorkload{cfg}
+}
+
+type hyperplaneWorkload struct{ cfg HyperplaneConfig }
+
+func (w hyperplaneWorkload) prepare(seed int64) (func(rank, size int) core.Task, *imbalance.SequenceCostModel, float64, error) {
+	cut, err := splitPoint("hyperplane", w.cfg.Samples)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	full := data.Hyperplane(w.cfg.Dim, w.cfg.Samples, w.cfg.Noise, seed+10)
+	train := &data.RegressionDataset{Inputs: full.Inputs[:cut], Targets: full.Targets[:cut], Coefficients: full.Coefficients}
+	eval := &data.RegressionDataset{Inputs: full.Inputs[cut:], Targets: full.Targets[cut:], Coefficients: full.Coefficients}
+	return func(rank, size int) core.Task {
+		net := nn.NewNetwork(nn.MSE{}, nn.NewDense(w.cfg.Dim, 1))
+		return core.NewRegressionTask("hyperplane", net, train, eval, w.cfg.Batch, rank, size, seed+11)
+	}, nil, 0.05, nil
+}
+
+// ImagesConfig configures the image-classification stand-in of §6.2.2–§6.2.3
+// (Figs. 11 and 12): a two-layer MLP on Gaussian class blobs.
+type ImagesConfig struct {
+	// Classes, Dim, Hidden, Samples, and Batch default to 8, 24, 24, 160,
+	// and 8 when zero.
+	Classes, Dim, Hidden, Samples, Batch int
+	// Spread is the blob standard deviation; zero means 0.6.
+	Spread float64
+}
+
+// Images builds the image-classification workload.
+func Images(cfg ImagesConfig) Workload {
+	setDefault(&cfg.Classes, 8)
+	setDefault(&cfg.Dim, 24)
+	setDefault(&cfg.Hidden, 24)
+	setDefault(&cfg.Samples, 160)
+	setDefault(&cfg.Batch, 8)
+	if cfg.Spread <= 0 {
+		cfg.Spread = 0.6
+	}
+	return imagesWorkload{cfg}
+}
+
+type imagesWorkload struct{ cfg ImagesConfig }
+
+func (w imagesWorkload) prepare(seed int64) (func(rank, size int) core.Task, *imbalance.SequenceCostModel, float64, error) {
+	perClass := w.cfg.Samples / w.cfg.Classes
+	if perClass < 1 {
+		return nil, nil, 0, fmt.Errorf("train: images needs at least one sample per class, got %d samples for %d classes",
+			w.cfg.Samples, w.cfg.Classes)
+	}
+	full := data.Blobs(w.cfg.Classes, w.cfg.Dim, perClass, w.cfg.Spread, seed+20)
+	cut, err := splitPoint("images", full.Len())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	train := &data.ClassificationDataset{Inputs: full.Inputs[:cut], Labels: full.Labels[:cut], Classes: w.cfg.Classes}
+	eval := &data.ClassificationDataset{Inputs: full.Inputs[cut:], Labels: full.Labels[cut:], Classes: w.cfg.Classes}
+	return func(rank, size int) core.Task {
+		net := nn.NewNetwork(nn.SoftmaxCrossEntropy{},
+			nn.NewDense(w.cfg.Dim, w.cfg.Hidden), nn.NewTanh(w.cfg.Hidden), nn.NewDense(w.cfg.Hidden, w.cfg.Classes))
+		return core.NewClassificationTask("images", net, train, eval, w.cfg.Batch, rank, size, seed+21)
+	}, nil, 0.1, nil
+}
+
+// VideoConfig configures the video-classification workload of §2.1 and §6.3
+// (Fig. 13): an LSTM over UCF101-shaped variable-length sequences, whose
+// per-batch cost differs across ranks at every step (inherent imbalance).
+type VideoConfig struct {
+	// Classes, FeatDim, Hidden, Samples, and Batch default to 5, 8, 16, 300,
+	// and 4 when zero.
+	Classes, FeatDim, Hidden, Samples, Batch int
+	// MinFrames, MaxFrames, and MedianFrames shape the UCF101-like length
+	// distribution; they default to 5, 60, and 14.
+	MinFrames, MaxFrames, MedianFrames int
+	// Noise is the feature noise level; zero means 0.3.
+	Noise float64
+	// BaseMs and PerFrameMs parameterize the inherent-imbalance cost model
+	// (paper milliseconds per batch and per frame); they default to 20 and 2.
+	BaseMs, PerFrameMs float64
+}
+
+// Video builds the video LSTM workload.
+func Video(cfg VideoConfig) Workload {
+	setDefault(&cfg.Classes, 5)
+	setDefault(&cfg.FeatDim, 8)
+	setDefault(&cfg.Hidden, 16)
+	setDefault(&cfg.Samples, 300)
+	setDefault(&cfg.Batch, 4)
+	setDefault(&cfg.MinFrames, 5)
+	setDefault(&cfg.MaxFrames, 60)
+	setDefault(&cfg.MedianFrames, 14)
+	if cfg.Noise <= 0 {
+		cfg.Noise = 0.3
+	}
+	if cfg.BaseMs <= 0 {
+		cfg.BaseMs = 20
+	}
+	if cfg.PerFrameMs <= 0 {
+		cfg.PerFrameMs = 2
+	}
+	return videoWorkload{cfg}
+}
+
+type videoWorkload struct{ cfg VideoConfig }
+
+func (w videoWorkload) prepare(seed int64) (func(rank, size int) core.Task, *imbalance.SequenceCostModel, float64, error) {
+	cut, err := splitPoint("video", w.cfg.Samples)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	full := data.Sequences(data.SequenceConfig{
+		Classes: w.cfg.Classes, FeatDim: w.cfg.FeatDim, Samples: w.cfg.Samples, Noise: w.cfg.Noise,
+		Lengths: data.UCF101LengthDistribution{
+			MinFrames: w.cfg.MinFrames, MaxFrames: w.cfg.MaxFrames, Median: float64(w.cfg.MedianFrames), Sigma: 0.5},
+		Seed: seed + 40,
+	})
+	train := &data.SequenceDataset{Sequences: full.Sequences[:cut], Labels: full.Labels[:cut], Classes: w.cfg.Classes, FeatDim: w.cfg.FeatDim}
+	eval := &data.SequenceDataset{Sequences: full.Sequences[cut:], Labels: full.Labels[cut:], Classes: w.cfg.Classes, FeatDim: w.cfg.FeatDim}
+	cost := &imbalance.SequenceCostModel{BaseMs: w.cfg.BaseMs, PerUnitMs: w.cfg.PerFrameMs}
+	return func(rank, size int) core.Task {
+		model := nn.NewLSTMClassifier(w.cfg.FeatDim, w.cfg.Hidden, w.cfg.Classes)
+		return core.NewSequenceTask("video-lstm", model, train, eval, w.cfg.Batch, rank, size, seed+41)
+	}, cost, 0.08, nil
+}
+
+func setDefault(v *int, def int) {
+	if *v <= 0 {
+		*v = def
+	}
+}
