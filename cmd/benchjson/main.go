@@ -1,0 +1,150 @@
+// Command benchjson runs the message-substrate microbenchmarks and writes the
+// parsed results to BENCH_<date>.json, seeding the repository's performance
+// trajectory: each PR that touches a hot path can re-run it and diff the
+// snapshot against the previous one.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                      # full run, writes ./BENCH_<date>.json
+//	go run ./cmd/benchjson -benchtime 1x -short # CI smoke variant
+//	go run ./cmd/benchjson -bench Allreduce -out /tmp
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// B/op and allocs/op are recorded even when zero — a zero here is the
+	// alloc-free steady state the substrate exists for, not a missing value.
+	BPerOp    float64            `json:"b_per_op"`
+	AllocsPer float64            `json:"allocs_per_op"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the top-level JSON document.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	Command    string   `json:"command"`
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Package    string   `json:"package,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		pkg       = flag.String("pkg", "./internal/bench", "package holding the microbenchmarks")
+		benchPat  = flag.String("bench", ".", "benchmark name pattern (-bench)")
+		benchtime = flag.String("benchtime", "50x", "benchmark time or iteration count (-benchtime)")
+		short     = flag.Bool("short", false, "pass -short to go test")
+		outDir    = flag.String("out", ".", "directory to write BENCH_<date>.json into")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchPat, "-benchmem", "-benchtime", *benchtime}
+	if *short {
+		args = append(args, "-short")
+	}
+	args = append(args, *pkg)
+
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	snap := parseBenchOutput(out.String())
+	snap.Date = time.Now().Format("2006-01-02")
+	snap.Command = "go " + strings.Join(args, " ")
+
+	path := filepath.Join(*outDir, "BENCH_"+snap.Date+".json")
+	doc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmark results to %s\n", len(snap.Benchmarks), path)
+}
+
+// parseBenchOutput extracts benchmark lines and environment headers from
+// `go test -bench` output. Standard columns (ns/op, B/op, allocs/op, MB/s)
+// get dedicated fields; any custom b.ReportMetric units land in Metrics.
+func parseBenchOutput(text string) Snapshot {
+	var snap Snapshot
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iterations: iters}
+		// Remaining fields come in "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BPerOp = v
+			case "allocs/op":
+				r.AllocsPer = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, r)
+	}
+	return snap
+}

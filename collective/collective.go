@@ -35,7 +35,11 @@ import (
 // Result describes one completed reduction.
 type Result struct {
 	// Sum is the element-wise sum over the included contributions. The caller
-	// owns it; divide by Ranks for the average used by SGD.
+	// owns it; divide by Ranks for the average used by SGD. Sum is leased from
+	// the shared vector pool: a training loop that is done with it may release
+	// it with tensor.PutVector to keep the steady state allocation-free
+	// (forgetting to release merely hands the buffer to the garbage
+	// collector).
 	Sum tensor.Vector
 	// Ranks is the world size.
 	Ranks int

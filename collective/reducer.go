@@ -116,25 +116,32 @@ func (s *syncReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, e
 	call := s.calls
 	s.calls++
 	cancel := ctx.Done()
-	sum := grad.Clone()
+	sum := tensor.GetVectorCopy(grad)
 	if s.negotiate {
 		// Readiness consensus (Horovod's coordinator round), then one fused
 		// allreduce over the whole gradient.
-		ready := tensor.Vector{1}
-		if err := collectives.AllreduceCancel(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, cancel); err != nil {
+		ready := tensor.GetVector(1)
+		ready[0] = 1
+		err := collectives.AllreduceCancel(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, cancel)
+		tensor.PutVector(ready)
+		if err != nil {
+			tensor.PutVector(sum)
 			return Result{}, ctxError(ctx, err)
 		}
 	}
 	if s.chunks > 1 {
-		for _, chunk := range sum.Chunk(s.chunks) {
-			if len(chunk) == 0 {
+		for i := 0; i < s.chunks; i++ {
+			lo, hi := tensor.ChunkBounds(len(sum), s.chunks, i)
+			if lo == hi {
 				continue
 			}
-			if err := collectives.AllreduceCancel(s.comm, chunk, collectives.OpSum, s.algo, cancel); err != nil {
+			if err := collectives.AllreduceCancel(s.comm, sum[lo:hi], collectives.OpSum, s.algo, cancel); err != nil {
+				tensor.PutVector(sum)
 				return Result{}, ctxError(ctx, err)
 			}
 		}
 	} else if err := collectives.AllreduceCancel(s.comm, sum, collectives.OpSum, s.algo, cancel); err != nil {
+		tensor.PutVector(sum)
 		return Result{}, ctxError(ctx, err)
 	}
 	size := s.comm.Size()
@@ -177,7 +184,7 @@ func (e *eagerReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, 
 	e.calls++
 	if e.syncEvery > 0 && (call+1)%e.syncEvery == 0 {
 		drained := e.ar.DrainPending()
-		sum := grad.Clone()
+		sum := tensor.GetVectorCopy(grad)
 		sum.Add(drained)
 		if err := collectives.AllreduceCancel(e.comm, sum, collectives.OpSum, e.algo, ctx.Done()); err != nil {
 			// Preserve the no-gradient-lost guarantee: the fresh gradient and
@@ -185,8 +192,11 @@ func (e *eagerReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, 
 			// are delivered in a later round.
 			drained.Add(grad)
 			e.ar.RestorePending(drained)
+			tensor.PutVector(drained)
+			tensor.PutVector(sum)
 			return Result{}, ctxError(ctx, err)
 		}
+		tensor.PutVector(drained)
 		size := e.comm.Size()
 		return Result{Sum: sum, Ranks: size, ActiveRanks: size, Included: true, Round: call}, nil
 	}

@@ -1,0 +1,183 @@
+// Package bench hosts the message-substrate microbenchmark suite: one
+// allreduce benchmark per {algorithm × vector size × transport} cell plus a
+// partial-allreduce round benchmark. Run with
+//
+//	go test -run '^$' -bench . -benchmem ./internal/bench
+//
+// to regenerate the numbers quoted in README.md, or use cmd/benchjson to emit
+// them as a BENCH_<date>.json snapshot.
+//
+// Every benchmark drives persistent per-rank worker goroutines through
+// start/done channels, so one benchmark iteration measures exactly one
+// steady-state collective round with no per-iteration goroutine-spawn noise.
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"eagersgd/internal/collectives"
+	"eagersgd/internal/comm"
+	"eagersgd/internal/partial"
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/transport"
+)
+
+// benchRanks is the world size used by every benchmark: small enough that
+// scheduling noise stays low, large enough that every algorithm takes multiple
+// hops (and, at 4 ranks, recursive doubling and Rabenseifner exercise their
+// power-of-two fast paths while ring takes 2(P-1) steps).
+const benchRanks = 4
+
+// nextTCPPort hands out non-overlapping loopback port ranges to the TCP
+// benchmarks so repeated runs (-count, -benchtime) never collide.
+var nextTCPPort atomic.Int64
+
+func init() { nextTCPPort.Store(40100) }
+
+// worldFactory builds a communicator world and returns it with its cleanup.
+type worldFactory struct {
+	name string
+	make func(b *testing.B, size int) ([]*comm.Communicator, func())
+}
+
+func transports() []worldFactory {
+	return []worldFactory{
+		{name: "inproc", make: func(b *testing.B, size int) ([]*comm.Communicator, func()) {
+			w := transport.NewInprocWorld(size)
+			return w, func() { w[0].Close() }
+		}},
+		{name: "tcp", make: func(b *testing.B, size int) ([]*comm.Communicator, func()) {
+			base := int(nextTCPPort.Add(int64(size))) - size
+			w, err := transport.NewTCPWorld(size, base)
+			if err != nil {
+				b.Skipf("TCP unavailable in this environment: %v", err)
+			}
+			return w, func() {
+				for _, c := range w {
+					c.Close()
+				}
+			}
+		}},
+	}
+}
+
+// runRounds drives one round per benchmark iteration: every rank runs body
+// concurrently, and the iteration completes when all ranks have finished.
+func runRounds(b *testing.B, size int, body func(rank int) error) {
+	b.Helper()
+	start := make([]chan struct{}, size)
+	done := make(chan error, size)
+	for r := 0; r < size; r++ {
+		start[r] = make(chan struct{})
+		go func(r int) {
+			for range start[r] {
+				done <- body(r)
+			}
+		}(r)
+	}
+	defer func() {
+		for r := 0; r < size; r++ {
+			close(start[r])
+		}
+	}()
+
+	// Warm the pools, the unexpected-queue capacities, and the TCP write
+	// buffers before measuring.
+	for i := 0; i < 3; i++ {
+		for r := 0; r < size; r++ {
+			start[r] <- struct{}{}
+		}
+		for r := 0; r < size; r++ {
+			if err := <-done; err != nil {
+				b.Fatalf("warmup round: %v", err)
+			}
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < size; r++ {
+			start[r] <- struct{}{}
+		}
+		for r := 0; r < size; r++ {
+			if err := <-done; err != nil {
+				b.Fatalf("round: %v", err)
+			}
+		}
+	}
+	b.StopTimer()
+}
+
+var allreduceAlgos = []struct {
+	name string
+	algo collectives.Algorithm
+}{
+	{"recursive-doubling", collectives.AlgoRecursiveDoubling},
+	{"ring", collectives.AlgoRing},
+	{"rabenseifner", collectives.AlgoRabenseifner},
+}
+
+var benchSizes = []int{1 << 10, 1 << 16}
+
+// BenchmarkAllreduce measures one synchronous allreduce round across all
+// ranks, for every {transport × algorithm × vector size} combination.
+func BenchmarkAllreduce(b *testing.B) {
+	for _, tr := range transports() {
+		tr := tr
+		b.Run(tr.name, func(b *testing.B) {
+			for _, ac := range allreduceAlgos {
+				ac := ac
+				b.Run(ac.name, func(b *testing.B) {
+					for _, n := range benchSizes {
+						n := n
+						b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+							w, cleanup := tr.make(b, benchRanks)
+							defer cleanup()
+							data := make([]tensor.Vector, benchRanks)
+							for r := range data {
+								data[r] = tensor.NewVector(n)
+								data[r].Fill(float64(r + 1))
+							}
+							b.SetBytes(int64(8 * n))
+							runRounds(b, benchRanks, func(rank int) error {
+								return collectives.Allreduce(w[rank], data[rank], collectives.OpSum, ac.algo)
+							})
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkPartialRound measures one eager (solo partial-allreduce) round:
+// every rank contributes a gradient via Exchange once per iteration.
+func BenchmarkPartialRound(b *testing.B) {
+	for _, n := range benchSizes {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			w := transport.NewInprocWorld(benchRanks)
+			defer w[0].Close()
+			ars := make([]*partial.Allreducer, benchRanks)
+			for r := range ars {
+				ars[r] = partial.New(w[r], n, partial.Options{Mode: partial.Solo, Seed: 7})
+			}
+			grads := make([]tensor.Vector, benchRanks)
+			for r := range grads {
+				grads[r] = tensor.NewVector(n)
+				grads[r].Fill(1)
+			}
+			b.SetBytes(int64(8 * n))
+			runRounds(b, benchRanks, func(rank int) error {
+				sum, _, err := ars[rank].Exchange(grads[rank])
+				if err == nil {
+					tensor.PutVector(sum) // recycle the pool-leased result
+				}
+				return err
+			})
+		})
+	}
+}

@@ -106,6 +106,13 @@ const autoThreshold = 4096
 
 // env bundles the communicator with the cancel channel so the algorithm
 // implementations stay free of cancellation plumbing at every call site.
+//
+// Buffer discipline (DESIGN.md, "Buffer ownership & pooling"): every vector
+// returned by recv or sendRecv is a pool lease; the algorithms reduce or copy
+// it into the caller-owned data buffer in place and release it immediately
+// with release. Outgoing payloads always borrow the caller's buffer (sendCopy
+// / sendRecv snapshot into a pooled buffer internally), because data is owned
+// by the application for the whole collective.
 type env struct {
 	c      *comm.Communicator
 	cancel <-chan struct{}
@@ -118,6 +125,8 @@ func (e env) recv(source, tag int) (tensor.Vector, comm.Status, error) {
 func (e env) sendRecv(dest, sendTag int, data tensor.Vector, source, recvTag int) (tensor.Vector, comm.Status, error) {
 	return e.c.SendRecvCancel(dest, sendTag, data, source, recvTag, e.cancel)
 }
+
+func (e env) release(v tensor.Vector) { comm.Release(v) }
 
 // Allreduce reduces data element-wise across all ranks with op and leaves the
 // identical result in data on every rank. The operation is synchronous: it
@@ -162,7 +171,8 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 	doublingRank := rank
 	switch {
 	case rank < 2*rem && rank%2 == 0:
-		if err := c.Send(rank+1, tagFold, data); err != nil {
+		// SendCopy: data is still needed to receive the final result below.
+		if err := c.SendCopy(rank+1, tagFold, data); err != nil {
 			return err
 		}
 		inDoubling = false
@@ -172,6 +182,7 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 			return err
 		}
 		op.Apply(data, incoming)
+		e.release(incoming)
 		doublingRank = rank / 2
 	default:
 		doublingRank = rank - rem
@@ -186,6 +197,7 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 				return err
 			}
 			op.Apply(data, incoming)
+			e.release(incoming)
 			step++
 		}
 	}
@@ -193,25 +205,28 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 	// Post phase: odd folded ranks return the result to their even partners.
 	switch {
 	case rank < 2*rem && rank%2 == 1:
-		return c.Send(rank-1, tagFold+1, data)
+		return c.SendCopy(rank-1, tagFold+1, data)
 	case rank < 2*rem && rank%2 == 0:
 		result, _, err := e.recv(rank+1, tagFold+1)
 		if err != nil {
 			return err
 		}
 		data.CopyFrom(result)
+		e.release(result)
 	}
 	return nil
 }
 
 // allreduceRing implements the bandwidth-optimal ring allreduce
 // (reduce-scatter around the ring followed by allgather around the ring).
+// Chunk boundaries are computed with ChunkBounds instead of materializing a
+// []Vector of chunk headers, keeping the steady-state round allocation-free.
 func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
 	rank, size := e.c.Rank(), e.c.Size()
 	if size == 1 {
 		return nil
 	}
-	chunks := data.Chunk(size)
+	n := len(data)
 	next := (rank + 1) % size
 	prev := (rank - 1 + size) % size
 
@@ -220,22 +235,28 @@ func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
 	for step := 0; step < size-1; step++ {
 		sendIdx := (rank - step + size) % size
 		recvIdx := (rank - step - 1 + size) % size
-		incoming, _, err := e.sendRecv(next, tagRingReduce+step, chunks[sendIdx], prev, tagRingReduce+step)
+		sendLo, sendHi := tensor.ChunkBounds(n, size, sendIdx)
+		recvLo, recvHi := tensor.ChunkBounds(n, size, recvIdx)
+		incoming, _, err := e.sendRecv(next, tagRingReduce+step, data[sendLo:sendHi], prev, tagRingReduce+step)
 		if err != nil {
 			return err
 		}
-		op.Apply(chunks[recvIdx], incoming)
+		op.Apply(data[recvLo:recvHi], incoming)
+		e.release(incoming)
 	}
 
 	// Allgather: circulate the fully reduced chunks.
 	for step := 0; step < size-1; step++ {
 		sendIdx := (rank - step + 1 + size) % size
 		recvIdx := (rank - step + size) % size
-		incoming, _, err := e.sendRecv(next, tagRingGather+step, chunks[sendIdx], prev, tagRingGather+step)
+		sendLo, sendHi := tensor.ChunkBounds(n, size, sendIdx)
+		recvLo, recvHi := tensor.ChunkBounds(n, size, recvIdx)
+		incoming, _, err := e.sendRecv(next, tagRingGather+step, data[sendLo:sendHi], prev, tagRingGather+step)
 		if err != nil {
 			return err
 		}
-		chunks[recvIdx].CopyFrom(incoming)
+		data[recvLo:recvHi].CopyFrom(incoming)
+		e.release(incoming)
 	}
 	return nil
 }
@@ -257,7 +278,8 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 	groupRank := rank
 	switch {
 	case rank < 2*rem && rank%2 == 0:
-		if err := c.Send(rank+1, tagFold+2, data); err != nil {
+		// SendCopy: data is still needed to receive the final result below.
+		if err := c.SendCopy(rank+1, tagFold+2, data); err != nil {
 			return err
 		}
 		inGroup = false
@@ -267,6 +289,7 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 			return err
 		}
 		op.Apply(data, incoming)
+		e.release(incoming)
 		groupRank = rank / 2
 	default:
 		groupRank = rank - rem
@@ -293,6 +316,7 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 				return err
 			}
 			op.Apply(data[keepLo:keepHi], incoming)
+			e.release(incoming)
 			lo, hi = keepLo, keepHi
 			step++
 		}
@@ -316,6 +340,7 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 				data[lo-len(incoming) : lo].CopyFrom(incoming)
 				lo -= len(incoming)
 			}
+			e.release(incoming)
 			agStep++
 		}
 	}
@@ -323,13 +348,14 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 	// Post phase for folded-out ranks.
 	switch {
 	case rank < 2*rem && rank%2 == 1:
-		return c.Send(rank-1, tagFold+3, data)
+		return c.SendCopy(rank-1, tagFold+3, data)
 	case rank < 2*rem && rank%2 == 0:
 		result, _, err := e.recv(rank+1, tagFold+3)
 		if err != nil {
 			return err
 		}
 		data.CopyFrom(result)
+		e.release(result)
 	}
 	return nil
 }
@@ -364,12 +390,14 @@ func BroadcastCancel(c *comm.Communicator, root int, data tensor.Vector, cancel 
 					return err
 				}
 				data.CopyFrom(incoming)
+				e.release(incoming)
 				break
 			}
 			mask *= 2
 		}
 	}
-	// Forward to children.
+	// Forward to children. SendCopy: data is the caller's buffer and the same
+	// payload goes to every child.
 	mask := 1
 	for mask < size {
 		if rel&mask != 0 {
@@ -378,7 +406,7 @@ func BroadcastCancel(c *comm.Communicator, root int, data tensor.Vector, cancel 
 		childRel := rel + mask
 		if childRel < size {
 			child := (childRel + root) % size
-			if err := c.Send(child, tagBroadcast, data); err != nil {
+			if err := c.SendCopy(child, tagBroadcast, data); err != nil {
 				return err
 			}
 		}
@@ -401,7 +429,8 @@ func ReduceCancel(c *comm.Communicator, root int, data tensor.Vector, op ReduceO
 	if root < 0 || root >= c.Size() {
 		return fmt.Errorf("collectives: reduce root %d out of range", root)
 	}
-	scratch := data.Clone()
+	scratch := tensor.GetVectorCopy(data)
+	defer tensor.PutVector(scratch)
 	if err := AllreduceCancel(c, scratch, op, AlgoRecursiveDoubling, cancel); err != nil {
 		return err
 	}
@@ -440,6 +469,7 @@ func AllgatherCancel(c *comm.Communicator, contrib tensor.Vector, cancel <-chan 
 			return nil, err
 		}
 		out[recvIdx*n : (recvIdx+1)*n].CopyFrom(incoming)
+		e.release(incoming)
 	}
 	return out, nil
 }
@@ -454,19 +484,22 @@ func Barrier(c *comm.Communicator) error {
 // comm.ErrCanceled when cancel is closed.
 func BarrierCancel(c *comm.Communicator, cancel <-chan struct{}) error {
 	e := env{c: c, cancel: cancel}
-	token := tensor.NewVector(1)
 	rank, size := c.Rank(), c.Size()
 	if size == 1 {
 		return nil
 	}
+	token := tensor.GetVectorZero(1)
+	defer tensor.PutVector(token)
 	// Dissemination barrier: log2(size) rounds.
 	step := 0
 	for d := 1; d < size; d *= 2 {
 		to := (rank + d) % size
 		from := (rank - d + size) % size
-		if _, _, err := e.sendRecv(to, tagBarrier+step, token, from, tagBarrier+step); err != nil {
+		in, _, err := e.sendRecv(to, tagBarrier+step, token, from, tagBarrier+step)
+		if err != nil {
 			return err
 		}
+		e.release(in)
 		step++
 	}
 	return nil

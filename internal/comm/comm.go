@@ -8,6 +8,22 @@
 // receives name a (source, tag) pair — either may be a wildcard — and messages
 // that arrive before a matching receive is posted are held in an unexpected
 // queue, preserving per-(source, tag) FIFO order.
+//
+// # Buffer ownership
+//
+// The layer follows an explicit ownership model (DESIGN.md, "Buffer ownership
+// & pooling") so the steady-state hot path never touches the allocator:
+//
+//   - Send and Isend take ownership of the payload: the caller must not read
+//     or write the vector after the call. Callers that need to keep using
+//     their buffer use SendCopy, which snapshots it into a pool-leased buffer.
+//   - Recv, RecvCancel, TryRecv, and SendRecv hand back a leased buffer: the
+//     receiver owns it and should release it with Release (or
+//     tensor.PutVector) once the payload has been consumed. Forgetting to
+//     release only costs a garbage collection; releasing twice, or while a
+//     reference is still live, corrupts another lease.
+//   - SendRecv borrows its outgoing payload (it snapshots into a pooled
+//     buffer internally), so the caller's vector is untouched.
 package comm
 
 import (
@@ -35,7 +51,9 @@ var ErrClosed = errors.New("comm: communicator closed")
 var ErrCanceled = errors.New("comm: receive canceled")
 
 // Message is the unit of communication: a payload of float64 values labelled
-// with the sending rank and a user tag.
+// with the sending rank and a user tag. The Data vector is owned by whoever
+// currently holds the message (sender until Send, transport in flight,
+// receiver after Recv); it is typically a pool lease.
 type Message struct {
 	Source int
 	Tag    int
@@ -50,14 +68,27 @@ type Endpoint interface {
 	// Size returns the number of ranks in the job.
 	Size() int
 	// Send delivers m to the destination rank. It may block for flow control
-	// but must not require the destination to have posted a receive.
+	// but must not require the destination to have posted a receive. Send
+	// takes ownership of m.Data unconditionally (also on error): the
+	// transport either forwards the vector unchanged to the destination's
+	// inbox (in-process delivery), consumes it into the wire encoding and
+	// releases it back to the vector pool (TCP), or releases it on its error
+	// paths.
 	Send(dest int, m Message) error
 	// Inbox returns the stream of messages addressed to this rank. The channel
-	// is closed when the endpoint is closed.
+	// is closed when the endpoint is closed. Each delivered message transfers
+	// ownership of its Data vector to the receiver.
 	Inbox() <-chan Message
 	// Close shuts the endpoint down and releases its resources.
 	Close() error
 }
+
+// Release returns a received payload to the shared vector pool. It is the
+// companion of Recv/RecvCancel/TryRecv/SendRecv: call it once the payload has
+// been consumed (reduced into a local buffer, copied out, discarded). It is an
+// alias for tensor.PutVector and inherits its contract: at most one release
+// per lease, and no live references afterwards.
+func Release(v tensor.Vector) { tensor.PutVector(v) }
 
 // Status describes a completed receive.
 type Status struct {
@@ -125,15 +156,31 @@ func (c *Communicator) checkPeer(rank int) error {
 	return nil
 }
 
-// Send delivers data to dest with the given tag. The payload is copied before
-// being handed to the transport, so the caller may reuse the buffer
-// immediately.
+// Send delivers data to dest with the given tag, transferring ownership of
+// the payload: the caller must not read or write data after the call (on the
+// in-process transport the receiver gets the very same backing array; the TCP
+// transport consumes it into the wire frame and releases it to the pool).
+// Callers that still need the buffer use SendCopy.
+//
+// Ownership transfers even when Send fails: the payload is released to the
+// pool on every error path, so callers never clean up after a send.
 func (c *Communicator) Send(dest, tag int, data tensor.Vector) error {
+	if err := c.checkPeer(dest); err != nil {
+		tensor.PutVector(data)
+		return err
+	}
+	return c.ep.Send(dest, Message{Source: c.Rank(), Tag: tag, Data: data})
+}
+
+// SendCopy behaves like Send but snapshots data into a pool-leased buffer
+// first, so the caller keeps ownership of data and may reuse it immediately.
+// This is the right call when the payload aliases a live working buffer (a
+// caller-owned gradient, a collective's accumulation buffer).
+func (c *Communicator) SendCopy(dest, tag int, data tensor.Vector) error {
 	if err := c.checkPeer(dest); err != nil {
 		return err
 	}
-	msg := Message{Source: c.Rank(), Tag: tag, Data: data.Clone()}
-	return c.ep.Send(dest, msg)
+	return c.ep.Send(dest, Message{Source: c.Rank(), Tag: tag, Data: tensor.GetVectorCopy(data)})
 }
 
 // matchLocked scans the unexpected queue for the first message matching
@@ -149,7 +196,9 @@ func (c *Communicator) matchLocked(source, tag int) (Message, bool) {
 }
 
 // Recv blocks until a message matching (source, tag) arrives and returns its
-// payload and status. source may be AnySource and tag may be AnyTag.
+// payload and status. source may be AnySource and tag may be AnyTag. The
+// returned vector is a pool lease owned by the caller; release it with
+// Release once consumed.
 func (c *Communicator) Recv(source, tag int) (tensor.Vector, Status, error) {
 	if source != AnySource {
 		if err := c.checkPeer(source); err != nil {
@@ -229,6 +278,7 @@ func (c *Communicator) DiscardTagRange(lo, hi int) int {
 	for _, m := range c.queue {
 		if m.Tag >= lo && m.Tag < hi {
 			removed++
+			tensor.PutVector(m.Data) // the queue was the last owner
 			continue
 		}
 		kept = append(kept, m)
@@ -282,17 +332,13 @@ func (r *Request) Test() bool {
 }
 
 // Isend starts a non-blocking send and returns a request that completes when
-// the message has been handed to the transport.
+// the message has been handed to the transport. Like Send, it takes ownership
+// of data immediately: the caller must not touch the vector after the call.
 func (c *Communicator) Isend(dest, tag int, data tensor.Vector) *Request {
 	r := &Request{done: make(chan struct{})}
-	payload := data.Clone()
 	go func() {
 		defer close(r.done)
-		if err := c.checkPeer(dest); err != nil {
-			r.err = err
-			return
-		}
-		r.err = c.ep.Send(dest, Message{Source: c.Rank(), Tag: tag, Data: payload})
+		r.err = c.Send(dest, tag, data)
 	}()
 	return r
 }
@@ -322,8 +368,10 @@ func WaitAll(reqs ...*Request) error {
 }
 
 // SendRecv performs a combined send to dest and receive from source with the
-// given tags, overlapping the two operations to avoid deadlock in symmetric
-// exchange patterns such as recursive doubling.
+// given tags, the workhorse of symmetric exchange patterns such as recursive
+// doubling. The outgoing payload is borrowed (snapshotted into a pool lease),
+// so the caller keeps ownership of data; the returned vector is a lease the
+// caller releases with Release.
 func (c *Communicator) SendRecv(dest, sendTag int, data tensor.Vector, source, recvTag int) (tensor.Vector, Status, error) {
 	return c.SendRecvCancel(dest, sendTag, data, source, recvTag, nil)
 }
@@ -332,17 +380,46 @@ func (c *Communicator) SendRecv(dest, sendTag int, data tensor.Vector, source, r
 // ErrCanceled when cancel is closed before a matching message arrives. It is
 // the primitive the cancel-aware collectives are built on: a collective
 // blocked on a peer that will never send (e.g. because the caller's context
-// was canceled mid-job) unblocks instead of hanging forever. When the receive
-// is canceled the in-flight send is abandoned to complete in the background;
-// the communicator must be treated as mid-collective and closed.
+// was canceled mid-job) unblocks instead of hanging forever.
+//
+// Without a cancel channel the send half runs inline rather than on a helper
+// goroutine: every communicator's demux goroutine continuously drains its
+// endpoint inbox into the unexpected queue, so a transport send can only
+// block transiently for flow control, never on the peer entering the
+// collective — the classic exchange deadlock cannot occur, and the hot path
+// stays free of goroutine, channel, and request allocations.
+//
+// With a cancel channel the send is overlapped on a goroutine instead: a
+// transport send can still block indefinitely on a stalled peer (e.g. TCP
+// backpressure from a frozen process), and a cancelable call must return
+// ErrCanceled even then. A canceled call abandons the in-flight send to
+// complete in the background; the communicator is then mid-collective and the
+// only safe follow-up is closing it.
 func (c *Communicator) SendRecvCancel(dest, sendTag int, data tensor.Vector, source, recvTag int, cancel <-chan struct{}) (tensor.Vector, Status, error) {
-	sreq := c.Isend(dest, sendTag, data)
+	if cancel == nil {
+		if err := c.SendCopy(dest, sendTag, data); err != nil {
+			return nil, Status{}, err
+		}
+		return c.RecvCancel(source, recvTag, nil)
+	}
+	sreq := c.Isend(dest, sendTag, tensor.GetVectorCopy(data))
 	rdata, rstatus, rerr := c.RecvCancel(source, recvTag, cancel)
 	if errors.Is(rerr, ErrCanceled) {
 		return nil, Status{}, rerr
 	}
-	if _, _, serr := sreq.Wait(); serr != nil {
-		return rdata, rstatus, serr
+	// The receive may have completed (its message was already queued) while
+	// the send is still stuck on a stalled peer, so the wait for the send must
+	// honor the cancel channel too — otherwise cancellation could never
+	// unblock the call it exists to unblock.
+	select {
+	case <-sreq.done:
+	case <-cancel:
+		tensor.PutVector(rdata)
+		return nil, Status{}, ErrCanceled
+	}
+	if _, _, serr := sreq.Wait(); serr != nil && rerr == nil {
+		tensor.PutVector(rdata)
+		return nil, Status{}, serr
 	}
 	return rdata, rstatus, rerr
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eagersgd/internal/comm"
+	"eagersgd/internal/race"
 	"eagersgd/internal/tensor"
 	"eagersgd/internal/transport"
 )
@@ -46,20 +47,67 @@ func TestSendRecvBasic(t *testing.T) {
 	}
 }
 
-func TestSendCopiesPayload(t *testing.T) {
+func TestSendCopyRetainsCallerBuffer(t *testing.T) {
 	w := world(t, 2)
 	buf := tensor.Vector{1, 2, 3}
-	if err := w[0].Send(1, 0, buf); err != nil {
-		t.Fatalf("Send: %v", err)
+	if err := w[0].SendCopy(1, 0, buf); err != nil {
+		t.Fatalf("SendCopy: %v", err)
 	}
-	buf[0] = 99 // mutate after send; receiver must still see the original
+	buf[0] = 99 // caller keeps ownership; receiver must still see the original
 	data, _, err := w[1].Recv(0, 0)
 	if err != nil {
 		t.Fatalf("Recv: %v", err)
 	}
 	if data[0] != 1 {
-		t.Fatalf("send did not copy payload: got %v", data)
+		t.Fatalf("SendCopy did not snapshot payload: got %v", data)
 	}
+	comm.Release(data)
+}
+
+func TestSendTransfersOwnershipZeroCopyInproc(t *testing.T) {
+	w := world(t, 2)
+	// On the in-process fast path the receiver must get the sender's backing
+	// array itself: ownership transfer, exactly zero copies and zero clones.
+	buf := tensor.GetVector(64)
+	buf.Fill(7)
+	if err := w[0].Send(1, 0, buf); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	data, _, err := w[1].Recv(0, 0)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if &data[0] != &buf[0] {
+		t.Fatalf("inproc Send copied the payload: receiver got a different backing array")
+	}
+	comm.Release(data)
+}
+
+func TestSendRecvBorrowsOutgoingBuffer(t *testing.T) {
+	w := world(t, 2)
+	var wg sync.WaitGroup
+	bufs := [2]tensor.Vector{{0, 0}, {1, 1}}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			peer := 1 - r
+			data, _, err := w[r].SendRecv(peer, 0, bufs[r], peer, 0)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			// The outgoing buffer is borrowed: still intact after the call.
+			if bufs[r][0] != float64(r) {
+				t.Errorf("rank %d: outgoing buffer clobbered: %v", r, bufs[r])
+			}
+			if data[0] != float64(peer) {
+				t.Errorf("rank %d: got %v", r, data)
+			}
+			comm.Release(data)
+		}(r)
+	}
+	wg.Wait()
 }
 
 func TestRecvAnySourceAnyTag(t *testing.T) {
@@ -196,6 +244,138 @@ func TestSendRecvExchangeNoDeadlock(t *testing.T) {
 	if results[0][0] != 1 || results[1][0] != 0 {
 		t.Fatalf("exchange wrong: %v %v", results[0], results[1])
 	}
+}
+
+// TestSendRecvInprocAllocFree pins down the ownership refactor's headline
+// property on the point-to-point layer: a steady-state SendRecv exchange on
+// the in-process transport performs zero allocations — no defensive clone on
+// the send half (the old Send+Isend path cloned the payload twice), no
+// per-exchange goroutine or request, and a pooled receive buffer that is
+// recycled by Release.
+func TestSendRecvInprocAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	w := world(t, 2)
+	const n = 1024
+	payload := [2]tensor.Vector{tensor.NewVector(n), tensor.NewVector(n)}
+	start := [2]chan struct{}{make(chan struct{}), make(chan struct{})}
+	done := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			for range start[r] {
+				data, _, err := w[r].SendRecv(1-r, 0, payload[r], 1-r, 0)
+				if err == nil {
+					comm.Release(data)
+				}
+				done <- err
+			}
+		}(r)
+	}
+	defer func() {
+		close(start[0])
+		close(start[1])
+	}()
+	round := func() {
+		start[0] <- struct{}{}
+		start[1] <- struct{}{}
+		for i := 0; i < 2; i++ {
+			if err := <-done; err != nil {
+				t.Fatalf("SendRecv: %v", err)
+			}
+		}
+	}
+	for i := 0; i < 32; i++ {
+		round() // warm pools and queue capacities
+	}
+	if avg := testing.AllocsPerRun(100, round); avg > 0 {
+		t.Fatalf("steady-state inproc SendRecv allocates %.1f objects per exchange, want 0", avg)
+	}
+}
+
+// stallEndpoint is a transport whose Send blocks until released, modelling a
+// peer stuck on transport backpressure (e.g. a frozen TCP receiver).
+type stallEndpoint struct {
+	release chan struct{}
+	inbox   chan comm.Message
+	closed  chan struct{}
+}
+
+func newStallEndpoint() *stallEndpoint {
+	return &stallEndpoint{release: make(chan struct{}), inbox: make(chan comm.Message, 1), closed: make(chan struct{})}
+}
+
+func (s *stallEndpoint) Rank() int { return 0 }
+func (s *stallEndpoint) Size() int { return 2 }
+func (s *stallEndpoint) Send(dest int, m comm.Message) error {
+	<-s.release
+	return nil
+}
+func (s *stallEndpoint) Inbox() <-chan comm.Message { return s.inbox }
+func (s *stallEndpoint) Close() error {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+		close(s.inbox)
+	}
+	return nil
+}
+
+// TestSendRecvCancelUnblocksWhileSendStalled pins the liveness property of the
+// cancel-aware exchange: even when the transport send is stuck on a stalled
+// peer, a canceled SendRecvCancel must return ErrCanceled instead of hanging
+// (the in-flight send is abandoned to the background and the communicator is
+// closed afterwards, per the documented contract).
+func TestSendRecvCancelUnblocksWhileSendStalled(t *testing.T) {
+	ep := newStallEndpoint()
+	c := comm.NewCommunicator(ep)
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.SendRecvCancel(1, 0, tensor.Vector{1}, 1, 0, cancel)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if err != comm.ErrCanceled {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SendRecvCancel hung although canceled: stalled send blocks the cancel path")
+	}
+	close(ep.release) // let the abandoned background send drain
+	c.Close()
+}
+
+// TestSendRecvCancelUnblocksWhenRecvSatisfiedButSendStalled covers the other
+// half of the liveness guarantee: the matching message is already queued (the
+// receive succeeds immediately) but the send is stuck on a stalled peer. The
+// wait for the send must honor the cancel channel.
+func TestSendRecvCancelUnblocksWhenRecvSatisfiedButSendStalled(t *testing.T) {
+	ep := newStallEndpoint()
+	ep.inbox <- comm.Message{Source: 1, Tag: 0, Data: tensor.Vector{9}} // recv half satisfied up front
+	c := comm.NewCommunicator(ep)
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.SendRecvCancel(1, 0, tensor.Vector{1}, 1, 0, cancel)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if err != comm.ErrCanceled {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SendRecvCancel hung in the send wait although canceled")
+	}
+	close(ep.release)
+	c.Close()
 }
 
 func TestSendInvalidPeer(t *testing.T) {

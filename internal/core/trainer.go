@@ -10,6 +10,7 @@ import (
 	"eagersgd/internal/comm"
 	"eagersgd/internal/imbalance"
 	"eagersgd/internal/optimizer"
+	"eagersgd/internal/tensor"
 	"eagersgd/internal/trace"
 )
 
@@ -111,6 +112,9 @@ func (t *Trainer) StepContext(ctx context.Context) (trace.StepRecord, error) {
 	global := res.Sum
 	global.Scale(1 / float64(t.Size()))
 	t.cfg.Optimizer.Step(t.cfg.Task.Params(), global, step)
+	// The reduced sum is a pool lease and has been fully applied: recycle it
+	// so every training step reuses the same result buffer.
+	tensor.PutVector(global)
 
 	if t.cfg.SyncEverySteps > 0 && (step+1)%t.cfg.SyncEverySteps == 0 {
 		if err := t.SyncModel(); err != nil {

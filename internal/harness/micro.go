@@ -154,10 +154,11 @@ func microPartialLatency(procs, elems, iterations int, skew imbalance.Injector, 
 			clock.Sleep(skew.Delay(iter, rank))
 			buf.Fill(1)
 			start := time.Now()
-			_, info, err := reducers[rank].Exchange(buf)
+			sum, info, err := reducers[rank].Exchange(buf)
 			if err != nil {
 				return err
 			}
+			tensor.PutVector(sum) // lease consumed; recycle it
 			elapsed := time.Since(start)
 			mu.Lock()
 			total += elapsed

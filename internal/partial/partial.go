@@ -259,9 +259,10 @@ func splitmix64(x uint64) uint64 {
 //     and the gradient is kept in the send buffer to be folded into a later
 //     round.
 //
-// The returned vector is a copy owned by the caller. The result is the
-// element-wise sum over contributions; divide by Size() for the average used
-// by eager-SGD.
+// The returned vector is a pool-leased copy owned by the caller (release it
+// with tensor.PutVector when done, or let the garbage collector take it). The
+// result is the element-wise sum over contributions; divide by Size() for the
+// average used by eager-SGD.
 func (a *Allreducer) Exchange(grad tensor.Vector) (tensor.Vector, RoundInfo, error) {
 	return a.ExchangeContext(context.Background(), grad)
 }
@@ -316,7 +317,7 @@ func (a *Allreducer) ExchangeContext(ctx context.Context, grad tensor.Vector) (t
 		if rec, ok := a.records[a.completedRound]; ok {
 			info.ActiveProcesses = rec.nap
 		}
-		return a.lastResult.Clone(), info, nil
+		return a.resultCopyLocked(), info, nil
 	}
 
 	// The round is still open. Request internal activation if this rank is
@@ -344,7 +345,14 @@ func (a *Allreducer) ExchangeContext(ctx context.Context, grad tensor.Vector) (t
 		info.ActiveProcesses = rec.nap
 		info.Included = mySeq <= rec.snapshotSeq
 	}
-	return a.lastResult.Clone(), info, nil
+	return a.resultCopyLocked(), info, nil
+}
+
+// resultCopyLocked returns a pool-leased copy of the latest receive-buffer
+// contents. The caller (the application) owns the lease and may release it
+// with tensor.PutVector once consumed. Caller holds a.mu.
+func (a *Allreducer) resultCopyLocked() tensor.Vector {
+	return tensor.GetVectorCopy(a.lastResult)
 }
 
 // triggerIfArmedLocked triggers the internal activation of the armed round if
@@ -423,9 +431,13 @@ func (a *Allreducer) engineLoop() {
 
 		data := plan.Schedule.Buffer(sched.DataBuffer)
 		a.publish(round, data)
+		// The executor has fully drained (Wait returned), so nothing references
+		// the round's schedule buffers anymore: recycle them for the next round.
+		plan.ReleaseBuffers()
 
 		// Purge stray duplicate activation messages from completed rounds so
-		// the unexpected queue stays short over long trainings.
+		// the unexpected queue stays short over long trainings (their payloads
+		// are released back to the pool by the communicator).
 		a.comm.DiscardTagRange(a.opts.BaseTag, baseTag)
 
 		a.mu.Lock()
@@ -492,7 +504,7 @@ func (a *Allreducer) PendingStale() float64 {
 func (a *Allreducer) DrainPending() tensor.Vector {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := a.sendBuf.Clone()
+	out := tensor.GetVectorCopy(a.sendBuf)
 	a.sendBuf.Zero()
 	return out
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package race reports whether the race detector is enabled, so
+// allocation-regression tests (testing.AllocsPerRun is unreliable under the
+// detector's instrumentation) can skip themselves in -race runs.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

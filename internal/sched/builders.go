@@ -45,6 +45,17 @@ type PartialAllreducePlan struct {
 	Completion OpID
 }
 
+// ReleaseBuffers returns the plan's pool-leased schedule buffers (DataBuffer,
+// ActivationBuffer) to the vector pool. Call it only after the executor's
+// Wait has returned and the results have been copied out; the plan must not
+// be used afterwards. The persistent partial-allreduce engine calls this once
+// per round so long trainings recycle two buffers per round instead of
+// allocating them.
+func (p PartialAllreducePlan) ReleaseBuffers() {
+	tensor.PutVector(p.Schedule.Buffer(DataBuffer))
+	tensor.PutVector(p.Schedule.Buffer(ActivationBuffer))
+}
+
 // BuildPartialAllreduce constructs the schedule of Fig. 6 for one rank: an
 // activation phase (a recursive-doubling broadcast equivalent to the union of
 // P binomial trees, so any rank can be the initiator) feeding an allreduce
@@ -78,8 +89,11 @@ func BuildPartialAllreduceWithPrepare(rank, size, baseTag, n int, reduce ReduceF
 		reduce = SumReduce
 	}
 	s := NewSchedule()
-	s.SetBuffer(DataBuffer, tensor.NewVector(n))
-	act := tensor.NewVector(1)
+	// Pool-leased: a long-running engine builds one schedule per round, and
+	// the round's buffers are recycled via ReleaseBuffers. Zeroed because an
+	// externally activated rank contributes the buffer as-is (null gradients).
+	s.SetBuffer(DataBuffer, tensor.GetVectorZero(n))
+	act := tensor.GetVectorZero(1)
 	act[0] = float64(rank)
 	s.SetBuffer(ActivationBuffer, act)
 
@@ -154,7 +168,7 @@ func BuildAllreduce(rank, size, baseTag, n int, reduce ReduceFunc) PartialAllred
 		reduce = SumReduce
 	}
 	s := NewSchedule()
-	s.SetBuffer(DataBuffer, tensor.NewVector(n))
+	s.SetBuffer(DataBuffer, tensor.GetVectorZero(n))
 	start := s.AddNop(DepAnd) // triggered by the caller when its data is ready
 	completion := buildRecursiveDoubling(s, rank, size, baseTag, reduce, start)
 	s.SetCompletionOps(completion)

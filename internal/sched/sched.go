@@ -389,7 +389,10 @@ func (e *Executor) fireLocked(op *Op) {
 			e.mu.Unlock()
 		}()
 	case OpSend:
-		payload := e.sched.buffers[op.Buffer].Clone() // snapshot at fire time
+		// Snapshot the buffer into a pool lease at fire time; Send then takes
+		// ownership of the lease, so the schedule buffer remains free to be
+		// overwritten by subsequent operations.
+		payload := tensor.GetVectorCopy(e.sched.buffers[op.Buffer])
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
@@ -426,6 +429,7 @@ func (e *Executor) fireLocked(op *Op) {
 						buf.CopyFrom(data)
 					}
 				}
+				comm.Release(data) // the payload has been folded into the buffer
 			}
 			e.completeLocked(op, err)
 			e.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
 )
 
 // ErrClosed is returned when sending through a closed transport.
@@ -86,13 +87,19 @@ func (h *Hub) Close() error {
 	return nil
 }
 
+// send delivers m to dest's inbox, forwarding ownership of m.Data to the
+// receiver. On every error path the payload is released to the vector pool,
+// upholding the Endpoint.Send contract that ownership transfers
+// unconditionally.
 func (h *Hub) send(dest int, m comm.Message) error {
 	if dest < 0 || dest >= h.size {
+		tensor.PutVector(m.Data)
 		return fmt.Errorf("transport: destination %d out of range [0,%d)", dest, h.size)
 	}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
+		tensor.PutVector(m.Data)
 		return ErrClosed
 	}
 	// Registering under the lock while closed is still false guarantees Close
@@ -108,6 +115,7 @@ func (h *Hub) send(dest int, m comm.Message) error {
 	case ch <- m:
 		return nil
 	case <-h.done:
+		tensor.PutVector(m.Data)
 		return ErrClosed
 	}
 }

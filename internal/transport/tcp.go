@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -15,8 +16,14 @@ import (
 
 // maxFrameElements bounds the payload of a single TCP frame. 64M float64
 // elements (512 MiB) is far above any gradient exchanged in this repository
-// and protects the reader from corrupt length headers.
+// and protects the reader from corrupt length headers: a reader that trusted
+// a hostile or corrupt length would try to allocate up to 32 GiB before
+// failing.
 const maxFrameElements = 64 << 20
+
+// ErrFrameTooLarge is wrapped by decode errors for frames whose length header
+// exceeds maxFrameElements.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds element limit")
 
 // TCPConfig describes a TCP job: the addresses of every rank, indexed by
 // rank, and this process's rank.
@@ -37,11 +44,15 @@ type TCPEndpoint struct {
 
 	mu      sync.Mutex
 	conns   []net.Conn   // indexed by peer rank; nil for self
-	wlocks  []sync.Mutex // per-connection write locks
+	wlocks  []sync.Mutex // per-connection write locks; also guard wbufs
+	wbufs   [][]byte     // per-connection reusable frame-encode buffers
 	ln      net.Listener
 	closed  bool
 	wg      sync.WaitGroup // read loops
 	senders sync.WaitGroup // in-flight deliverLocal calls; drained before closing the inbox
+
+	readMu  sync.Mutex
+	readErr error // first read-loop decode/IO failure, kept for diagnostics
 }
 
 // NewTCPEndpoint establishes the full mesh of connections described by cfg
@@ -66,6 +77,7 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 		done:   make(chan struct{}),
 		conns:  make([]net.Conn, size),
 		wlocks: make([]sync.Mutex, size),
+		wbufs:  make([][]byte, size),
 	}
 
 	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
@@ -159,10 +171,15 @@ func (e *TCPEndpoint) Size() int { return e.size }
 // Inbox returns the stream of messages addressed to this rank.
 func (e *TCPEndpoint) Inbox() <-chan comm.Message { return e.inbox }
 
-// Send encodes m as a length-prefixed frame and writes it to the connection
-// for dest. Sending to self delivers directly to the local inbox.
+// Send encodes m as a length-prefixed frame into the connection's reusable
+// write buffer and writes it to the connection for dest. Sending to self
+// forwards the payload to the local inbox without any encoding. Send consumes
+// m.Data: after a remote write the vector is released to the pool, and on
+// every error path it is released as well, so the caller (the comm layer)
+// never owns the payload after Send.
 func (e *TCPEndpoint) Send(dest int, m comm.Message) error {
 	if dest < 0 || dest >= e.size {
+		tensor.PutVector(m.Data)
 		return fmt.Errorf("transport: destination %d out of range [0,%d)", dest, e.size)
 	}
 	if dest == e.rank {
@@ -171,25 +188,32 @@ func (e *TCPEndpoint) Send(dest int, m comm.Message) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		tensor.PutVector(m.Data)
 		return ErrClosed
 	}
 	conn := e.conns[dest]
 	e.mu.Unlock()
 	if conn == nil {
+		tensor.PutVector(m.Data)
 		return fmt.Errorf("transport: no connection to rank %d", dest)
 	}
 
-	frame := encodeFrame(m)
 	e.wlocks[dest].Lock()
-	defer e.wlocks[dest].Unlock()
+	frame := encodeFrame(e.wbufs[dest], m)
+	e.wbufs[dest] = frame // retain the (possibly grown) buffer for reuse
+	tensor.PutVector(m.Data)
 	_, err := conn.Write(frame)
+	e.wlocks[dest].Unlock()
 	return err
 }
 
+// deliverLocal forwards m (ownership included) to the local inbox, releasing
+// the payload if the endpoint is closing.
 func (e *TCPEndpoint) deliverLocal(m comm.Message) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		tensor.PutVector(m.Data)
 		return ErrClosed
 	}
 	// Registering under the lock while closed is still false guarantees Close
@@ -201,6 +225,7 @@ func (e *TCPEndpoint) deliverLocal(m comm.Message) error {
 	case e.inbox <- m:
 		return nil
 	case <-e.done:
+		tensor.PutVector(m.Data)
 		return ErrClosed
 	}
 }
@@ -231,17 +256,33 @@ func (e *TCPEndpoint) Close() error {
 	return nil
 }
 
+// readLoop drains one peer connection, decoding frames into pool-leased
+// vectors and forwarding them to the inbox. Each loop owns a private scratch
+// buffer that is grown once and reused for every frame, so a steady-state
+// receive performs no allocation. A decode failure (including an oversized or
+// truncated frame) tears the connection down and is recorded on the endpoint
+// (see ReadError) instead of silently vanishing.
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
+	var scratch []byte
 	for {
-		m, err := decodeFrame(conn)
+		m, err := decodeFrame(conn, &scratch)
 		if err != nil {
+			if e.recordReadError(err) {
+				// A fatal decode failure (not a clean EOF, not our own
+				// shutdown) leaves this connection unusable; fail the whole
+				// endpoint so blocked receivers return ErrClosed promptly
+				// instead of hanging on a peer that can no longer reach us.
+				// Close must run off this goroutine: it waits for read loops.
+				go e.Close()
+			}
 			return
 		}
 		e.mu.Lock()
 		closed := e.closed
 		e.mu.Unlock()
 		if closed {
+			tensor.PutVector(m.Data)
 			return
 		}
 		if err := e.deliverLocal(m); err != nil {
@@ -250,11 +291,53 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	}
 }
 
+// recordReadError keeps the first read-loop failure for diagnostics and
+// reports whether it was recorded. A clean peer EOF and the I/O errors of the
+// endpoint's own shutdown are not recorded (and not fatal).
+func (e *TCPEndpoint) recordReadError(err error) bool {
+	if errors.Is(err, io.EOF) {
+		return false
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return false
+	}
+	e.readMu.Lock()
+	if e.readErr == nil {
+		e.readErr = err
+	}
+	e.readMu.Unlock()
+	return true
+}
+
+// ReadError returns the first fatal decode or I/O failure observed by a read
+// loop (nil if none). A non-nil value means a peer connection died mid-job —
+// for example on a corrupt or oversized frame; the endpoint closes itself in
+// response, so blocked receivers observe ErrClosed and this error explains
+// why.
+func (e *TCPEndpoint) ReadError() error {
+	e.readMu.Lock()
+	defer e.readMu.Unlock()
+	return e.readErr
+}
+
 // Frame layout (little endian):
 //
-//	uint32 source | uint32 tag+1<<31 offset (tags may be negative, stored as int32) | uint32 count | count * float64
-func encodeFrame(m comm.Message) []byte {
-	buf := make([]byte, 12+8*len(m.Data))
+//	uint32 source | uint32 tag (stored as int32; tags may be negative) | uint32 count | count * float64
+//
+// encodeFrame appends nothing: it encodes m into buf's backing array (growing
+// it only when the frame outgrows the capacity) in a single pass and returns
+// the encoded frame. The caller retains the returned slice as the next call's
+// buf, so steady-state sends reuse one buffer per connection.
+func encodeFrame(buf []byte, m comm.Message) []byte {
+	need := 12 + 8*len(m.Data)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	} else {
+		buf = buf[:need]
+	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(int32(m.Source)))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(int32(m.Tag)))
 	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(m.Data)))
@@ -264,24 +347,42 @@ func encodeFrame(m comm.Message) []byte {
 	return buf
 }
 
-func decodeFrame(r io.Reader) (comm.Message, error) {
+// decodeFrame reads one frame from r, reusing *scratch as the raw payload
+// buffer (grown once, then reused across calls) and decoding the floats into
+// a pool-leased vector in a single pass. The returned message owns its Data
+// lease. Oversized length headers are rejected before any payload allocation
+// with an error wrapping ErrFrameTooLarge; a payload shorter than its header
+// promises fails with a descriptive truncation error.
+func decodeFrame(r io.Reader, scratch *[]byte) (comm.Message, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return comm.Message{}, err
 	}
 	source := int(int32(binary.LittleEndian.Uint32(hdr[0:4])))
 	tag := int(int32(binary.LittleEndian.Uint32(hdr[4:8])))
-	count := int(binary.LittleEndian.Uint32(hdr[8:12]))
-	if count < 0 || count > maxFrameElements {
-		return comm.Message{}, fmt.Errorf("transport: invalid frame length %d", count)
+	// Compare in the unsigned domain: converting first could wrap negative on
+	// 32-bit ints and sneak past the limit.
+	count64 := uint64(binary.LittleEndian.Uint32(hdr[8:12]))
+	if count64 > maxFrameElements {
+		return comm.Message{}, fmt.Errorf("%w: header from rank %d (tag %d) announces %d elements, limit %d (corrupt or hostile length header)",
+			ErrFrameTooLarge, source, tag, count64, maxFrameElements)
 	}
-	payload := make([]byte, 8*count)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return comm.Message{}, err
+	count := int(count64)
+	need := 8 * count
+	buf := *scratch
+	if cap(buf) < need {
+		buf = make([]byte, need)
+		*scratch = buf
+	} else {
+		buf = buf[:need]
 	}
-	data := make(tensor.Vector, count)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return comm.Message{}, fmt.Errorf("transport: truncated frame from rank %d (tag %d): read fewer than the %d payload bytes announced: %w",
+			source, tag, need, err)
+	}
+	data := tensor.GetVector(count)
 	for i := range data {
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
 	return comm.Message{Source: source, Tag: tag, Data: data}, nil
 }

@@ -2,7 +2,11 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -142,13 +146,16 @@ func TestNewInprocWorldRoundTrip(t *testing.T) {
 }
 
 func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	var wbuf []byte
+	var scratch []byte
 	f := func(source int32, tag int32, payload []float64) bool {
 		m := comm.Message{Source: int(source), Tag: int(tag), Data: tensor.Vector(payload)}
-		buf := encodeFrame(m)
-		got, err := decodeFrame(bytes.NewReader(buf))
+		wbuf = encodeFrame(wbuf, m)
+		got, err := decodeFrame(bytes.NewReader(wbuf), &scratch)
 		if err != nil {
 			return false
 		}
+		defer tensor.PutVector(got.Data)
 		if got.Source != m.Source || got.Tag != m.Tag || len(got.Data) != len(m.Data) {
 			return false
 		}
@@ -166,13 +173,105 @@ func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
-func TestDecodeFrameRejectsHugeLength(t *testing.T) {
-	m := comm.Message{Source: 1, Tag: 2, Data: tensor.Vector{1}}
-	buf := encodeFrame(m)
-	// Corrupt the length field to an absurd value.
-	buf[8], buf[9], buf[10], buf[11] = 0xff, 0xff, 0xff, 0x7f
-	if _, err := decodeFrame(bytes.NewReader(buf)); err == nil {
-		t.Fatal("expected error for corrupt frame length")
+func TestEncodeFrameReusesBuffer(t *testing.T) {
+	m := comm.Message{Source: 0, Tag: 1, Data: make(tensor.Vector, 64)}
+	buf := encodeFrame(nil, m)
+	buf2 := encodeFrame(buf, comm.Message{Source: 0, Tag: 2, Data: make(tensor.Vector, 32)})
+	if &buf[0] != &buf2[0] {
+		t.Fatal("encodeFrame reallocated although the buffer had capacity")
+	}
+}
+
+func TestDecodeFrameRejectsOversizedLength(t *testing.T) {
+	var wbuf, scratch []byte
+	wbuf = encodeFrame(wbuf, comm.Message{Source: 1, Tag: 2, Data: tensor.Vector{1}})
+	// Corrupt the length field to an absurd value (~2^31 elements).
+	wbuf[8], wbuf[9], wbuf[10], wbuf[11] = 0xff, 0xff, 0xff, 0x7f
+	_, err := decodeFrame(bytes.NewReader(wbuf), &scratch)
+	if err == nil {
+		t.Fatal("expected error for oversized frame length")
+	}
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	for _, want := range []string{"2147483647", "limit", "rank 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestDecodeFrameRejectsTruncatedPayload(t *testing.T) {
+	var wbuf, scratch []byte
+	wbuf = encodeFrame(wbuf, comm.Message{Source: 3, Tag: 4, Data: tensor.Vector{1, 2, 3, 4}})
+	// Drop the last 8 bytes: the header announces 4 elements but only 3 arrive.
+	_, err := decodeFrame(bytes.NewReader(wbuf[:len(wbuf)-8]), &scratch)
+	if err == nil {
+		t.Fatal("expected error for truncated frame")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want wrapped io.ErrUnexpectedEOF", err)
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error %q does not describe the truncation", err)
+	}
+}
+
+func TestDecodeFrameTruncatedHeader(t *testing.T) {
+	var scratch []byte
+	if _, err := decodeFrame(bytes.NewReader([]byte{1, 2, 3}), &scratch); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+}
+
+func TestTCPReadErrorRecordedOnCorruptFrame(t *testing.T) {
+	addrs := []string{"127.0.0.1:39500", "127.0.0.1:39501"}
+	var eps [2]*TCPEndpoint
+	var errs [2]error
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			eps[r], errs[r] = NewTCPEndpoint(TCPConfig{Rank: r, Addrs: addrs})
+		}(r)
+	}
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil {
+		t.Skipf("TCP unavailable in this environment: %v %v", errs[0], errs[1])
+	}
+	defer eps[0].Close()
+	defer eps[1].Close()
+
+	// Write a corrupt frame — an oversized length header announcing ~2^32
+	// elements — straight onto rank 0's connection to rank 1.
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[8:12], 0xffffffff)
+	if _, err := eps[0].conns[1].Write(hdr[:]); err != nil {
+		t.Fatalf("write corrupt frame: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := eps[1].ReadError(); err != nil {
+			if !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("recorded error = %v, want ErrFrameTooLarge", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("corrupt frame was swallowed silently: no read error recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The endpoint must fail fast, not stall: its inbox closes so blocked
+	// receivers observe ErrClosed instead of hanging forever.
+	select {
+	case _, ok := <-eps[1].Inbox():
+		if ok {
+			t.Fatal("unexpected message on corrupted endpoint")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("endpoint stayed open after fatal decode error: receivers would hang")
 	}
 }
 
@@ -241,7 +340,9 @@ func TestTCPLargeMessage(t *testing.T) {
 	for i := range payload {
 		payload[i] = float64(i)
 	}
-	go func() { _ = w[0].Send(1, 0, payload) }()
+	// SendCopy: the test keeps payload for the comparison below, so it must
+	// retain ownership.
+	go func() { _ = w[0].SendCopy(1, 0, payload) }()
 	data, _, err := w[1].Recv(0, 0)
 	if err != nil {
 		t.Fatal(err)

@@ -35,3 +35,22 @@ func MatrixFromData(rows, cols int, data Vector) (*Matrix, error) {
 // ChunkBounds returns the [start, end) bounds of chunk i when a vector of
 // length n is split into p chunks with the same policy as Vector.Chunk.
 func ChunkBounds(n, p, i int) (int, int) { return itensor.ChunkBounds(n, p, i) }
+
+// GetVector leases a vector of length n from the process-wide vector pool the
+// collective engines draw their wire buffers from. The contents are arbitrary;
+// use GetVectorZero when zeros are assumed. Release the lease with PutVector
+// when done — or don't: an unreleased vector is simply garbage collected.
+func GetVector(n int) Vector { return itensor.GetVector(n) }
+
+// GetVectorZero leases a zero-initialized vector of length n from the pool.
+func GetVectorZero(n int) Vector { return itensor.GetVectorZero(n) }
+
+// GetVectorCopy leases a vector holding a copy of src.
+func GetVectorCopy(src Vector) Vector { return itensor.GetVectorCopy(src) }
+
+// PutVector returns a vector to the pool. Results handed out by the library —
+// collective.Result.Sum, for example — are pool-leased, so a training loop
+// that is done with a result may release it here to keep the steady state
+// allocation-free. The caller must not touch v (or anything aliasing it)
+// afterwards, and must release a given lease at most once.
+func PutVector(v Vector) { itensor.PutVector(v) }
