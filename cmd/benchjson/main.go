@@ -8,6 +8,12 @@
 //	go run ./cmd/benchjson                      # full run, writes ./BENCH_<date>.json
 //	go run ./cmd/benchjson -benchtime 1x -short # CI smoke variant
 //	go run ./cmd/benchjson -bench Allreduce -out /tmp
+//	go run ./cmd/benchjson -tag pipelined       # writes BENCH_<date>-pipelined.json
+//	go run ./cmd/benchjson -compare old.json new.json
+//
+// The -compare mode runs nothing: it loads two snapshots and prints the
+// per-benchmark deltas (ns/op, B/op, MB/s), so a perf PR can show its wins
+// and regressions mechanically.
 package main
 
 import (
@@ -54,8 +60,22 @@ func main() {
 		benchtime = flag.String("benchtime", "50x", "benchmark time or iteration count (-benchtime)")
 		short     = flag.Bool("short", false, "pass -short to go test")
 		outDir    = flag.String("out", ".", "directory to write BENCH_<date>.json into")
+		tag       = flag.String("tag", "", "optional suffix for the snapshot name: BENCH_<date>-<tag>.json")
+		compare   = flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare requires exactly two snapshot paths (old.json new.json)")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *benchPat, "-benchmem", "-benchtime", *benchtime}
 	if *short {
@@ -76,7 +96,15 @@ func main() {
 	snap.Date = time.Now().Format("2006-01-02")
 	snap.Command = "go " + strings.Join(args, " ")
 
-	path := filepath.Join(*outDir, "BENCH_"+snap.Date+".json")
+	name := "BENCH_" + snap.Date
+	if *tag != "" {
+		name += "-" + *tag
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: create output directory: %v\n", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*outDir, name+".json")
 	doc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
@@ -88,6 +116,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d benchmark results to %s\n", len(snap.Benchmarks), path)
+}
+
+// runCompare loads two snapshots and prints per-benchmark deltas for the
+// benchmarks present in both, followed by the names only one side has.
+// Positive ns/op deltas are regressions, positive MB/s deltas are wins.
+func runCompare(oldPath, newPath string) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Result, len(oldSnap.Benchmarks))
+	for _, r := range oldSnap.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	seen := make(map[string]bool, len(newSnap.Benchmarks))
+
+	fmt.Printf("%-55s %15s %15s %9s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "MB/s old→new", "delta")
+	for _, nr := range newSnap.Benchmarks {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			continue
+		}
+		seen[nr.Name] = true
+		line := fmt.Sprintf("%-55s %15.0f %15.0f %8.1f%%", nr.Name, or.NsPerOp, nr.NsPerOp, pctDelta(or.NsPerOp, nr.NsPerOp))
+		oldMBs, okOld := or.Metrics["MB/s"]
+		newMBs, okNew := nr.Metrics["MB/s"]
+		if okOld && okNew {
+			line += fmt.Sprintf(" %5.0f→%-5.0f %8.1f%%", oldMBs, newMBs, pctDelta(oldMBs, newMBs))
+		}
+		if or.BPerOp != nr.BPerOp {
+			line += fmt.Sprintf("  B/op %.0f→%.0f", or.BPerOp, nr.BPerOp)
+		}
+		fmt.Println(line)
+	}
+	for _, nr := range newSnap.Benchmarks {
+		if _, ok := oldBy[nr.Name]; !ok {
+			fmt.Printf("%-55s (only in %s)\n", nr.Name, newPath)
+		}
+	}
+	for _, or := range oldSnap.Benchmarks {
+		if !seen[or.Name] {
+			fmt.Printf("%-55s (only in %s)\n", or.Name, oldPath)
+		}
+	}
+	return nil
+}
+
+func pctDelta(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (after - before) / before * 100
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	var snap Snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return snap, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return snap, nil
 }
 
 // parseBenchOutput extracts benchmark lines and environment headers from

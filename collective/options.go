@@ -16,6 +16,7 @@ type config struct {
 	seed      int64
 	chunks    int
 	negotiate bool
+	segElems  int
 }
 
 func defaultConfig() config {
@@ -91,6 +92,17 @@ func WithChunks(n int) Option {
 		}
 		c.chunks = n
 	}
+}
+
+// WithSegmentElems sets the pipeline segment size (in elements) of the
+// synchronous allreduce algorithms: payload ranges larger than this stream in
+// segments so that reducing one segment overlaps receiving the next and
+// sending the previous. Zero (the default) selects the library default
+// (currently 16Ki elements); a negative value disables segmentation and
+// restores one message per hop. Every rank must use the same value (the
+// segment stream is part of the wire protocol).
+func WithSegmentElems(n int) Option {
+	return func(c *config) { c.segElems = n }
 }
 
 // WithNegotiation prefixes every Sync reduction with a readiness consensus

@@ -34,7 +34,7 @@ func NewReducer(c *comm.Communicator, dim int, opts ...Option) (Reducer, error) 
 	}
 	switch cfg.mode.kind {
 	case kindSync:
-		return &syncReducer{comm: c, dim: dim, algo: algo, chunks: cfg.chunks, negotiate: cfg.negotiate}, nil
+		return &syncReducer{comm: c, dim: dim, algo: algo, chunks: cfg.chunks, negotiate: cfg.negotiate, segElems: cfg.segElems}, nil
 	case kindSolo, kindMajority, kindQuorum:
 		popts := partial.Options{Seed: cfg.seed}
 		switch cfg.mode.kind {
@@ -53,6 +53,7 @@ func NewReducer(c *comm.Communicator, dim int, opts ...Option) (Reducer, error) 
 			algo:      algo,
 			dim:       dim,
 			syncEvery: cfg.syncEvery,
+			segElems:  cfg.segElems,
 		}, nil
 	default:
 		return nil, fmt.Errorf("collective: unknown mode %v", cfg.mode)
@@ -91,6 +92,7 @@ type syncReducer struct {
 	algo      collectives.Algorithm
 	chunks    int
 	negotiate bool
+	segElems  int
 	calls     int
 }
 
@@ -129,18 +131,19 @@ func (s *syncReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, e
 			return Result{}, ctxError(ctx, err)
 		}
 	}
+	wireCfg := collectives.Config{SegmentElems: s.segElems}
 	if s.chunks > 1 {
 		for i := 0; i < s.chunks; i++ {
 			lo, hi := tensor.ChunkBounds(len(sum), s.chunks, i)
 			if lo == hi {
 				continue
 			}
-			if err := collectives.AllreduceCancel(s.comm, sum[lo:hi], collectives.OpSum, s.algo, cancel); err != nil {
+			if err := collectives.AllreduceWith(s.comm, sum[lo:hi], collectives.OpSum, s.algo, wireCfg, cancel); err != nil {
 				tensor.PutVector(sum)
 				return Result{}, ctxError(ctx, err)
 			}
 		}
-	} else if err := collectives.AllreduceCancel(s.comm, sum, collectives.OpSum, s.algo, cancel); err != nil {
+	} else if err := collectives.AllreduceWith(s.comm, sum, collectives.OpSum, s.algo, wireCfg, cancel); err != nil {
 		tensor.PutVector(sum)
 		return Result{}, ctxError(ctx, err)
 	}
@@ -160,6 +163,7 @@ type eagerReducer struct {
 	algo      collectives.Algorithm
 	dim       int
 	syncEvery int
+	segElems  int
 	calls     int
 }
 
@@ -186,7 +190,7 @@ func (e *eagerReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, 
 		drained := e.ar.DrainPending()
 		sum := tensor.GetVectorCopy(grad)
 		sum.Add(drained)
-		if err := collectives.AllreduceCancel(e.comm, sum, collectives.OpSum, e.algo, ctx.Done()); err != nil {
+		if err := collectives.AllreduceWith(e.comm, sum, collectives.OpSum, e.algo, collectives.Config{SegmentElems: e.segElems}, ctx.Done()); err != nil {
 			// Preserve the no-gradient-lost guarantee: the fresh gradient and
 			// the drained stale contributions return to the send buffer and
 			// are delivered in a later round.

@@ -99,6 +99,50 @@ func TestAllreduceInprocAllocFree(t *testing.T) {
 	}
 }
 
+// TestAllreducePipelinedInprocAllocFree is the same gate for the pipelined
+// paths: at 256Ki elements the ring moves 4 segments per chunk exchange and
+// Rabenseifner 8 per first halving (default 16Ki-element segments), so this
+// exercises the windowed multi-segment stream — which must recycle its
+// double-buffered leases through the pool without allocating.
+func TestAllreducePipelinedInprocAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	const n = 1 << 18
+	for _, ac := range allreduceAlgos {
+		if ac.algo == collectives.AlgoRecursiveDoubling {
+			continue // not segmented: covered by the plain gate above
+		}
+		t.Run(ac.name, func(t *testing.T) {
+			const size = 4
+			w := transport.NewInprocWorld(size)
+			defer w[0].Close()
+			data := make([]tensor.Vector, size)
+			for r := range data {
+				data[r] = tensor.NewVector(n)
+				data[r].Fill(1)
+			}
+			d := newRoundDriver(size, func(rank int) error {
+				return collectives.Allreduce(w[rank], data[rank], collectives.OpSum, ac.algo)
+			})
+			defer d.stop()
+			for i := 0; i < 16; i++ {
+				if err := d.round(); err != nil {
+					t.Fatalf("warmup round: %v", err)
+				}
+			}
+			avg := testing.AllocsPerRun(50, func() {
+				if err := d.round(); err != nil {
+					t.Fatalf("round: %v", err)
+				}
+			})
+			if avg > 0 {
+				t.Errorf("steady-state pipelined inproc allreduce (%s) allocates %.2f objects per round, want 0", ac.name, avg)
+			}
+		})
+	}
+}
+
 // partialRoundAllocBudget bounds the per-round allocations of one eager
 // (solo) partial-allreduce round across 4 ranks. An eager round inherently
 // allocates: each round builds a fresh schedule DAG and executor and spawns

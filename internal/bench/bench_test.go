@@ -120,7 +120,7 @@ var allreduceAlgos = []struct {
 	{"rabenseifner", collectives.AlgoRabenseifner},
 }
 
-var benchSizes = []int{1 << 10, 1 << 16}
+var benchSizes = []int{1 << 10, 1 << 16, 1 << 20}
 
 // BenchmarkAllreduce measures one synchronous allreduce round across all
 // ranks, for every {transport × algorithm × vector size} combination.
@@ -148,6 +148,95 @@ func BenchmarkAllreduce(b *testing.B) {
 						})
 					}
 				})
+			}
+		})
+	}
+}
+
+// BenchmarkAllreduceSegment sweeps the pipeline segment size for the ring
+// allreduce at a fixed large payload, on both transports. seg=-1 disables
+// segmentation (the pre-pipelining behaviour) and is the baseline the other
+// cells are read against.
+func BenchmarkAllreduceSegment(b *testing.B) {
+	const n = 1 << 18
+	segs := []int{-1, 4096, 16384, 65536}
+	for _, tr := range transports() {
+		tr := tr
+		b.Run(tr.name, func(b *testing.B) {
+			for _, seg := range segs {
+				seg := seg
+				b.Run(fmt.Sprintf("seg=%d", seg), func(b *testing.B) {
+					w, cleanup := tr.make(b, benchRanks)
+					defer cleanup()
+					cfg := collectives.Config{SegmentElems: seg}
+					data := make([]tensor.Vector, benchRanks)
+					for r := range data {
+						data[r] = tensor.NewVector(n)
+						data[r].Fill(float64(r + 1))
+					}
+					b.SetBytes(int64(8 * n))
+					runRounds(b, benchRanks, func(rank int) error {
+						return collectives.AllreduceWith(w[rank], data[rank], collectives.OpSum, collectives.AlgoRing, cfg, nil)
+					})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkReduceKernels measures the tuned reduction kernels against the
+// naive scalar loops they replaced, at a small size (unrolled path) and a
+// large one (parallel-eligible when more than one processor is available).
+func BenchmarkReduceKernels(b *testing.B) {
+	naive := map[string]func(dst, src tensor.Vector){
+		"sum": func(dst, src tensor.Vector) {
+			for i, x := range src {
+				dst[i] += x
+			}
+		},
+		"max": func(dst, src tensor.Vector) {
+			for i, x := range src {
+				if x > dst[i] {
+					dst[i] = x
+				}
+			}
+		},
+		"axpy": func(dst, src tensor.Vector) {
+			for i, x := range src {
+				dst[i] += 0.5 * x
+			}
+		},
+	}
+	tuned := map[string]func(dst, src tensor.Vector){
+		"sum":  func(dst, src tensor.Vector) { tensor.AddVec(dst, src) },
+		"max":  func(dst, src tensor.Vector) { tensor.MaxVec(dst, src) },
+		"axpy": func(dst, src tensor.Vector) { tensor.AxpyVec(dst, 0.5, src) },
+	}
+	for _, op := range []string{"sum", "max", "axpy"} {
+		op := op
+		b.Run(op, func(b *testing.B) {
+			for _, n := range []int{1 << 12, 1 << 18} {
+				n := n
+				for _, impl := range []string{"naive", "kernel"} {
+					impl := impl
+					b.Run(fmt.Sprintf("%s/n=%d", impl, n), func(b *testing.B) {
+						dst := tensor.NewVector(n)
+						src := tensor.NewVector(n)
+						for i := range src {
+							src[i] = float64(i % 97)
+						}
+						fn := naive[op]
+						if impl == "kernel" {
+							fn = tuned[op]
+						}
+						b.SetBytes(int64(16 * n)) // one read + one read-modify-write stream
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							fn(dst, src)
+						}
+					})
+				}
 			}
 		})
 	}

@@ -51,22 +51,16 @@ const (
 )
 
 // Apply combines incoming into local element-wise according to the operator.
+// All three operators route through the tuned kernel layer in internal/tensor
+// (unrolled loops, parallel above tensor.ParallelThreshold).
 func (op ReduceOp) Apply(local, incoming tensor.Vector) {
 	switch op {
 	case OpSum:
-		local.Add(incoming)
+		tensor.AddVec(local, incoming)
 	case OpMax:
-		for i, x := range incoming {
-			if x > local[i] {
-				local[i] = x
-			}
-		}
+		tensor.MaxVec(local, incoming)
 	case OpMin:
-		for i, x := range incoming {
-			if x < local[i] {
-				local[i] = x
-			}
-		}
+		tensor.MinVec(local, incoming)
 	default:
 		panic(fmt.Sprintf("collectives: unknown reduce op %d", int(op)))
 	}
@@ -104,8 +98,49 @@ const (
 // algorithm.
 const autoThreshold = 4096
 
-// env bundles the communicator with the cancel channel so the algorithm
-// implementations stay free of cancellation plumbing at every call site.
+// autoRingThreshold is the element count at which AlgoAuto switches from
+// Rabenseifner to the pipelined ring: at large sizes the ring's perfectly
+// uniform segment stream keeps the pipeline (and the wire) busiest.
+const autoRingThreshold = 32768
+
+// DefaultSegmentElems is the default pipeline segment size: payload ranges
+// larger than this are split into segments so that one segment's reduction
+// overlaps the next segment's receive and the previous segment's send. 16Ki
+// float64s (128 KiB) is large enough to amortize per-message overhead and
+// small enough to overlap meaningfully at the sizes that matter (>= 512 KiB).
+const DefaultSegmentElems = 16 * 1024
+
+// pipelineWindow is how many segments a rank keeps in flight toward a peer
+// before its first receive completes: double-buffering. Each in-flight
+// segment occupies one pool lease, so the window bounds the steady-state
+// working set while keeping the wire busy during reduction.
+const pipelineWindow = 2
+
+// Config carries the tunables of the algorithm implementations. The zero
+// value selects the defaults. Like the algorithm and the operator, the
+// configuration is SPMD state: every rank of a collective must use the same
+// values (segmentation determines the message stream each peer expects).
+type Config struct {
+	// SegmentElems is the pipeline segment size in elements. Zero selects
+	// DefaultSegmentElems; a negative value disables segmentation (one
+	// message per hop, the pre-pipelining behaviour).
+	SegmentElems int
+}
+
+func (cfg Config) segmentElems() int {
+	switch {
+	case cfg.SegmentElems > 0:
+		return cfg.SegmentElems
+	case cfg.SegmentElems < 0:
+		return int(^uint(0) >> 1) // effectively unsegmented
+	default:
+		return DefaultSegmentElems
+	}
+}
+
+// env bundles the communicator with the cancel channel and the resolved
+// segment size so the algorithm implementations stay free of cancellation and
+// configuration plumbing at every call site.
 //
 // Buffer discipline (DESIGN.md, "Buffer ownership & pooling"): every vector
 // returned by recv or sendRecv is a pool lease; the algorithms reduce or copy
@@ -116,6 +151,7 @@ const autoThreshold = 4096
 type env struct {
 	c      *comm.Communicator
 	cancel <-chan struct{}
+	seg    int
 }
 
 func (e env) recv(source, tag int) (tensor.Vector, comm.Status, error) {
@@ -128,6 +164,100 @@ func (e env) sendRecv(dest, sendTag int, data tensor.Vector, source, recvTag int
 
 func (e env) release(v tensor.Vector) { comm.Release(v) }
 
+// exchangeSegmented performs one pipelined exchange: it streams send to dest
+// in segments of at most e.seg elements while receiving the peer's same-tag
+// stream from source into recvInto — reducing each incoming segment with op
+// when reduce is true, copying it otherwise. Segment k's reduction overlaps
+// segment k+1's receive and the next outgoing segment's send; at most
+// pipelineWindow outgoing segments are in flight ahead of the receive stream,
+// double-buffered through the vector pool. With a nil cancel channel the
+// steady state allocates nothing; a cancelable call pays one overlapped send
+// (goroutine + request) per outgoing segment — the price of staying
+// responsive to cancellation on a stalled peer, and the same mechanism the
+// pre-pipelining code paid once per chunk exchange.
+//
+// Both sides must segment identically (same e.seg — an SPMD configuration),
+// because the receiver walks recvInto by the lengths of the segments the
+// sender produced. All segments of one exchange share one tag: the comm layer
+// guarantees per-(source, tag) FIFO order, so offsets advance in send order.
+//
+// When both directions fit in a single segment the exchange degenerates to
+// the classic combined sendRecv, which also keeps the cancel-overlapped send
+// of SendRecvCancel for small payloads. On the multi-segment path,
+// cancellation is honored at every receive and — through sendSeg's
+// SendCopyCancel — at every send, so a frozen peer whose socket stops
+// draining cannot wedge a cancel-aware collective.
+func (e env) exchangeSegmented(dest, source, tag int, send, recvInto tensor.Vector, op ReduceOp, reduce bool) error {
+	if len(send) <= e.seg && len(recvInto) <= e.seg {
+		incoming, _, err := e.sendRecv(dest, tag, send, source, tag)
+		if err != nil {
+			return err
+		}
+		if reduce {
+			op.Apply(recvInto, incoming)
+		} else {
+			recvInto.CopyFrom(incoming)
+		}
+		e.release(incoming)
+		return nil
+	}
+	sendOff := 0
+	for i := 0; i < pipelineWindow && sendOff < len(send); i++ {
+		hi := min(sendOff+e.seg, len(send))
+		if err := e.sendSeg(dest, tag, send[sendOff:hi]); err != nil {
+			return err
+		}
+		sendOff = hi
+	}
+	recvOff := 0
+	for recvOff < len(recvInto) {
+		incoming, _, err := e.recv(source, tag)
+		if err != nil {
+			return err
+		}
+		// Refill the window before reducing, so the wire carries the next
+		// segment while this one is folded in.
+		if sendOff < len(send) {
+			hi := min(sendOff+e.seg, len(send))
+			if err := e.sendSeg(dest, tag, send[sendOff:hi]); err != nil {
+				e.release(incoming)
+				return err
+			}
+			sendOff = hi
+		}
+		if recvOff+len(incoming) > len(recvInto) {
+			e.release(incoming)
+			return fmt.Errorf("collectives: segmented exchange from rank %d overflows receive range (%d + %d > %d); mismatched segment configuration?",
+				source, recvOff, len(incoming), len(recvInto))
+		}
+		if reduce {
+			op.Apply(recvInto[recvOff:recvOff+len(incoming)], incoming)
+		} else {
+			recvInto[recvOff : recvOff+len(incoming)].CopyFrom(incoming)
+		}
+		recvOff += len(incoming)
+		e.release(incoming)
+	}
+	for sendOff < len(send) {
+		hi := min(sendOff+e.seg, len(send))
+		if err := e.sendSeg(dest, tag, send[sendOff:hi]); err != nil {
+			return err
+		}
+		sendOff = hi
+	}
+	return nil
+}
+
+// sendSeg sends one outgoing segment. Without a cancel channel the send runs
+// inline and allocation-free; with one it is cancel-overlapped (SendCopyCancel)
+// so a stalled peer cannot block a cancelable collective indefinitely.
+func (e env) sendSeg(dest, tag int, seg tensor.Vector) error {
+	if e.cancel == nil {
+		return e.c.SendCopy(dest, tag, seg)
+	}
+	return e.c.SendCopyCancel(dest, tag, seg, e.cancel)
+}
+
 // Allreduce reduces data element-wise across all ranks with op and leaves the
 // identical result in data on every rank. The operation is synchronous: it
 // cannot complete before the slowest rank joins.
@@ -138,7 +268,14 @@ func Allreduce(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo Algor
 // AllreduceCancel behaves like Allreduce but aborts blocked receives with
 // comm.ErrCanceled when cancel is closed.
 func AllreduceCancel(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo Algorithm, cancel <-chan struct{}) error {
-	e := env{c: c, cancel: cancel}
+	return AllreduceWith(c, data, op, algo, Config{}, cancel)
+}
+
+// AllreduceWith is the fully configurable allreduce: algorithm, pipeline
+// segment size, and cancellation. Every rank must pass the same op, algo, and
+// cfg (SPMD).
+func AllreduceWith(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo Algorithm, cfg Config, cancel <-chan struct{}) error {
+	e := env{c: c, cancel: cancel, seg: cfg.segmentElems()}
 	switch algo {
 	case AlgoRecursiveDoubling:
 		return allreduceRecursiveDoubling(e, data, op)
@@ -147,10 +284,14 @@ func AllreduceCancel(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo
 	case AlgoRabenseifner:
 		return allreduceRabenseifner(e, data, op)
 	case AlgoAuto:
-		if len(data) <= autoThreshold || c.Size() < 4 {
+		switch {
+		case len(data) <= autoThreshold || c.Size() < 4:
 			return allreduceRecursiveDoubling(e, data, op)
+		case len(data) >= autoRingThreshold:
+			return allreduceRing(e, data, op)
+		default:
+			return allreduceRabenseifner(e, data, op)
 		}
-		return allreduceRabenseifner(e, data, op)
 	default:
 		return fmt.Errorf("collectives: unknown algorithm %d", int(algo))
 	}
@@ -221,6 +362,9 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 // (reduce-scatter around the ring followed by allgather around the ring).
 // Chunk boundaries are computed with ChunkBounds instead of materializing a
 // []Vector of chunk headers, keeping the steady-state round allocation-free.
+// Each per-step chunk exchange is pipelined: chunks larger than the segment
+// size stream in segments, so reducing segment k overlaps receiving segment
+// k+1 and sending the next outgoing segment (see exchangeSegmented).
 func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
 	rank, size := e.c.Rank(), e.c.Size()
 	if size == 1 {
@@ -237,12 +381,9 @@ func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
 		recvIdx := (rank - step - 1 + size) % size
 		sendLo, sendHi := tensor.ChunkBounds(n, size, sendIdx)
 		recvLo, recvHi := tensor.ChunkBounds(n, size, recvIdx)
-		incoming, _, err := e.sendRecv(next, tagRingReduce+step, data[sendLo:sendHi], prev, tagRingReduce+step)
-		if err != nil {
+		if err := e.exchangeSegmented(next, prev, tagRingReduce+step, data[sendLo:sendHi], data[recvLo:recvHi], op, true); err != nil {
 			return err
 		}
-		op.Apply(data[recvLo:recvHi], incoming)
-		e.release(incoming)
 	}
 
 	// Allgather: circulate the fully reduced chunks.
@@ -251,12 +392,9 @@ func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
 		recvIdx := (rank - step + size) % size
 		sendLo, sendHi := tensor.ChunkBounds(n, size, sendIdx)
 		recvLo, recvHi := tensor.ChunkBounds(n, size, recvIdx)
-		incoming, _, err := e.sendRecv(next, tagRingGather+step, data[sendLo:sendHi], prev, tagRingGather+step)
-		if err != nil {
+		if err := e.exchangeSegmented(next, prev, tagRingGather+step, data[sendLo:sendHi], data[recvLo:recvHi], op, false); err != nil {
 			return err
 		}
-		data[recvLo:recvHi].CopyFrom(incoming)
-		e.release(incoming)
 	}
 	return nil
 }
@@ -297,7 +435,8 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 
 	if inGroup {
 		// Recursive halving reduce-scatter. Track the [lo, hi) element range
-		// this rank is responsible for.
+		// this rank is responsible for. Each exchange is pipelined: the halves
+		// stream in segments so reduction overlaps the wire (exchangeSegmented).
 		lo, hi := 0, len(data)
 		step := 0
 		for d := pof2 / 2; d >= 1; d /= 2 {
@@ -311,36 +450,32 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 			} else {
 				sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 			}
-			incoming, _, err := e.sendRecv(peer, tagScatterReduce+step, data[sendLo:sendHi], peer, tagScatterReduce+step)
-			if err != nil {
+			if err := e.exchangeSegmented(peer, peer, tagScatterReduce+step, data[sendLo:sendHi], data[keepLo:keepHi], op, true); err != nil {
 				return err
 			}
-			op.Apply(data[keepLo:keepHi], incoming)
-			e.release(incoming)
 			lo, hi = keepLo, keepHi
 			step++
 		}
 
 		// Recursive doubling allgather reverses the halving. The two partners
-		// at distance d own adjacent ranges whose sizes may differ by the
-		// floor/ceil split, so the incoming length determines how far the
-		// owned range grows.
+		// at distance d own adjacent ranges (whose sizes may differ by the
+		// floor/ceil split); the peer's exact range is recomputed with
+		// rabOwnedRange so the incoming segment stream has a known destination
+		// before the first segment arrives.
 		agStep := 0
 		for d := 1; d < pof2; d *= 2 {
 			peerGroup := groupRank ^ d
 			peer := doublingToRank(peerGroup, rem)
-			incoming, _, err := e.sendRecv(peer, tagAllgatherRab+agStep, data[lo:hi], peer, tagAllgatherRab+agStep)
-			if err != nil {
+			peerLo, peerHi := rabOwnedRange(len(data), pof2, peerGroup, d)
+			if err := e.exchangeSegmented(peer, peer, tagAllgatherRab+agStep, data[lo:hi], data[peerLo:peerHi], op, false); err != nil {
 				return err
 			}
-			if groupRank&d == 0 {
-				data[hi : hi+len(incoming)].CopyFrom(incoming)
-				hi += len(incoming)
-			} else {
-				data[lo-len(incoming) : lo].CopyFrom(incoming)
-				lo -= len(incoming)
+			if peerLo < lo {
+				lo = peerLo
 			}
-			e.release(incoming)
+			if peerHi > hi {
+				hi = peerHi
+			}
 			agStep++
 		}
 	}
@@ -512,6 +647,24 @@ func largestPowerOfTwo(n int) int {
 		p *= 2
 	}
 	return p
+}
+
+// rabOwnedRange returns the [lo, hi) element range a group rank owns after
+// the recursive-halving splits at distances pof2/2 down to minD: at each
+// distance d the range splits at its floor midpoint, the rank with bit d
+// clear keeping the lower half. During the allgather, the range a rank owns
+// before the merge at distance d is exactly rabOwnedRange(n, pof2, r, d).
+func rabOwnedRange(n, pof2, groupRank, minD int) (int, int) {
+	lo, hi := 0, n
+	for d := pof2 / 2; d >= minD; d /= 2 {
+		mid := lo + (hi-lo)/2
+		if groupRank&d == 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, hi
 }
 
 // doublingToRank maps a rank id within the folded power-of-two group back to

@@ -378,3 +378,126 @@ func TestPropAllreduceAlgorithmsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// testOpAllreduce runs one allreduce with the given op/algo/config on p ranks
+// over random data and compares every rank's result against the locally
+// computed reference.
+func testOpAllreduce(t *testing.T, p, n int, op collectives.ReduceOp, algo collectives.Algorithm, cfg collectives.Config) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(97*p + n)))
+	contribs := make([]tensor.Vector, p)
+	for r := range contribs {
+		contribs[r] = tensor.NewVector(n)
+		contribs[r].Randomize(rng, 10)
+	}
+	want := contribs[0].Clone()
+	for r := 1; r < p; r++ {
+		op.Apply(want, contribs[r])
+	}
+	var mu sync.Mutex
+	results := make(map[int]tensor.Vector)
+	runSPMD(t, p, func(c *comm.Communicator) error {
+		data := contribs[c.Rank()].Clone()
+		if err := collectives.AllreduceWith(c, data, op, algo, cfg, nil); err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = data
+		mu.Unlock()
+		return nil
+	})
+	tol := 1e-9
+	if op != collectives.OpSum {
+		tol = 0 // max/min never round: results must be exact
+	}
+	for r := 0; r < p; r++ {
+		if !results[r].AllClose(want, tol) {
+			t.Fatalf("rank %d: wrong %v result (algo %v, cfg %+v)", r, op, algo, cfg)
+		}
+	}
+}
+
+// TestAllreduceOpsAllAlgorithms covers OpMax and OpMin (and OpSum for
+// completeness) across every algorithm, on power-of-two and folded world
+// sizes, both unsegmented and with a tiny segment size that forces the
+// pipelined multi-segment path.
+func TestAllreduceOpsAllAlgorithms(t *testing.T) {
+	algos := []collectives.Algorithm{
+		collectives.AlgoRecursiveDoubling,
+		collectives.AlgoRing,
+		collectives.AlgoRabenseifner,
+		collectives.AlgoAuto,
+	}
+	ops := []collectives.ReduceOp{collectives.OpSum, collectives.OpMax, collectives.OpMin}
+	for _, algo := range algos {
+		for _, op := range ops {
+			for _, p := range []int{3, 4} {
+				for _, cfg := range []collectives.Config{{}, {SegmentElems: 13}} {
+					algo, op, p, cfg := algo, op, p, cfg
+					name := fmt.Sprintf("%v/%v/p%d/seg%d", algo, op, p, cfg.SegmentElems)
+					t.Run(name, func(t *testing.T) {
+						testOpAllreduce(t, p, 257, op, algo, cfg)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestAllreduceSegmentSizes drives the pipelined ring and Rabenseifner
+// through a spread of segment sizes — including sizes that do not divide the
+// chunk evenly and the segmentation-disabled setting — and checks the results
+// agree with the unsegmented run bit-for-bit (segmentation must not change
+// the reduction order).
+func TestAllreduceSegmentSizes(t *testing.T) {
+	const p, n = 4, 1 << 12
+	for _, algo := range []collectives.Algorithm{collectives.AlgoRing, collectives.AlgoRabenseifner} {
+		algo := algo
+		t.Run(fmt.Sprint(algo), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			contribs := make([]tensor.Vector, p)
+			for r := range contribs {
+				contribs[r] = tensor.NewVector(n)
+				contribs[r].Randomize(rng, 1)
+			}
+			run := func(seg int) map[int]tensor.Vector {
+				var mu sync.Mutex
+				results := make(map[int]tensor.Vector)
+				runSPMD(t, p, func(c *comm.Communicator) error {
+					data := contribs[c.Rank()].Clone()
+					err := collectives.AllreduceWith(c, data, collectives.OpSum, algo, collectives.Config{SegmentElems: seg}, nil)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					results[c.Rank()] = data
+					mu.Unlock()
+					return nil
+				})
+				return results
+			}
+			baseline := run(-1) // segmentation disabled
+			for _, seg := range []int{7, 64, 100, 1024, n} {
+				got := run(seg)
+				for r := 0; r < p; r++ {
+					if !got[r].Equal(baseline[r]) {
+						t.Fatalf("seg=%d rank %d: segmented result differs from unsegmented", seg, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentedAllreduceLargeVectors exercises the default segmentation on
+// vectors big enough to pipeline for real (several segments per exchange).
+func TestSegmentedAllreduceLargeVectors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-vector allreduce in -short mode")
+	}
+	const p = 4
+	n := 3*collectives.DefaultSegmentElems + 1017
+	for _, algo := range []collectives.Algorithm{collectives.AlgoRing, collectives.AlgoRabenseifner, collectives.AlgoAuto} {
+		testOpAllreduce(t, p, n, collectives.OpSum, algo, collectives.Config{})
+	}
+}

@@ -183,6 +183,30 @@ func (c *Communicator) SendCopy(dest, tag int, data tensor.Vector) error {
 	return c.ep.Send(dest, Message{Source: c.Rank(), Tag: tag, Data: tensor.GetVectorCopy(data)})
 }
 
+// SendCopyCancel behaves like SendCopy but gives up with ErrCanceled when
+// cancel is closed before the transport accepts the payload. A transport send
+// can block indefinitely on a stalled peer (e.g. TCP backpressure from a
+// frozen process), so cancel-aware callers that send inline — the pipelined
+// collectives' segment streams — use this to stay responsive. A canceled call
+// abandons the in-flight send to complete in the background; the communicator
+// is then mid-protocol and the only safe follow-up is closing it. The send is
+// not issued concurrently with any later send by the same caller (the call
+// only returns once the transport accepted the payload), so per-(source, tag)
+// FIFO order is preserved.
+func (c *Communicator) SendCopyCancel(dest, tag int, data tensor.Vector, cancel <-chan struct{}) error {
+	if cancel == nil {
+		return c.SendCopy(dest, tag, data)
+	}
+	req := c.Isend(dest, tag, tensor.GetVectorCopy(data))
+	select {
+	case <-req.done:
+		_, _, err := req.Wait()
+		return err
+	case <-cancel:
+		return ErrCanceled
+	}
+}
+
 // matchLocked scans the unexpected queue for the first message matching
 // (source, tag) and removes it. Caller must hold c.mu.
 func (c *Communicator) matchLocked(source, tag int) (Message, bool) {

@@ -3,6 +3,8 @@ package harness
 import (
 	"strings"
 	"testing"
+
+	"eagersgd/internal/race"
 )
 
 func TestExperimentsListAndRunByID(t *testing.T) {
@@ -130,6 +132,13 @@ func TestFig9MicrobenchmarkQuick(t *testing.T) {
 	}
 	if len(r.Tables) != 1 || len(r.Curves) != 5 {
 		t.Fatalf("fig9 shape wrong: %d tables %d curves", len(r.Tables), len(r.Curves))
+	}
+	if race.Enabled {
+		// The assertions below compare wall-clock latencies of concurrent
+		// collectives; the race detector's instrumentation skews scheduling
+		// enough that the qualitative ordering (solo fastest, majority in
+		// between) flakes on slow machines. The shape checks above still ran.
+		t.Skip("latency-ordering thresholds are unreliable under the race detector")
 	}
 	soloSpeedup := r.Value("speedup/solo-mean")
 	majSpeedup := r.Value("speedup/majority-mean")

@@ -79,14 +79,9 @@ type ReduceFunc func(local, incoming tensor.Vector)
 // SumReduce adds the incoming vector into the local buffer element-wise.
 func SumReduce(local, incoming tensor.Vector) { local.Add(incoming) }
 
-// MaxReduce keeps the element-wise maximum in the local buffer.
-func MaxReduce(local, incoming tensor.Vector) {
-	for i, x := range incoming {
-		if x > local[i] {
-			local[i] = x
-		}
-	}
-}
+// MaxReduce keeps the element-wise maximum in the local buffer, routed
+// through the tuned kernel layer.
+func MaxReduce(local, incoming tensor.Vector) { tensor.MaxVec(local, incoming) }
 
 // Op is one node of the schedule DAG. Fields are interpreted according to
 // Kind; the zero values of unused fields are ignored.
@@ -238,17 +233,27 @@ type Executor struct {
 	comm  *comm.Communicator
 	sched *Schedule
 
-	mu         sync.Mutex
-	fired      []bool // operation has been started (consumable guard)
-	completed  []bool
-	err        error
-	pending    int // completion ops not yet completed
-	isCompl    []bool
-	done       chan struct{}
-	cancel     chan struct{}
-	doneClosed bool
-	started    bool
-	wg         sync.WaitGroup
+	mu           sync.Mutex
+	fired        []bool // operation has been started (consumable guard)
+	completed    []bool
+	err          error
+	pending      int // completion ops not yet completed
+	isCompl      []bool
+	done         chan struct{}
+	cancel       chan struct{}
+	sendqs       map[int]chan sendItem // per-destination fired-send queues
+	sendqsClosed bool
+	cascade      int // depth of the in-progress completeLocked cascade
+	doneClosed   bool
+	started      bool
+	wg           sync.WaitGroup
+}
+
+// sendItem is one fired OpSend: the operation plus its payload snapshot
+// (taken at fire time, so later buffer writes cannot leak into the message).
+type sendItem struct {
+	op      *Op
+	payload tensor.Vector
 }
 
 // NewExecutor prepares an executor for the schedule. The schedule must pass
@@ -265,6 +270,29 @@ func NewExecutor(c *comm.Communicator, s *Schedule) (*Executor, error) {
 		isCompl:   make([]bool, len(s.ops)),
 		done:      make(chan struct{}),
 		cancel:    make(chan struct{}),
+	}
+	// One queue (and, at Start, one sender goroutine) per distinct send
+	// destination: sends to the same peer are serialized — reaching the
+	// transport back to back, where the TCP write coalescer batches them —
+	// while sends to different peers proceed independently, so one stalled
+	// peer cannot block progress toward healthy ones. Each queue holds every
+	// send the schedule can fire at that destination, so enqueueing under
+	// e.mu never blocks.
+	var counts map[int]int
+	for _, op := range s.ops {
+		if op.Kind != OpSend {
+			continue
+		}
+		if counts == nil {
+			counts = make(map[int]int)
+		}
+		counts[op.Peer]++
+	}
+	if counts != nil {
+		e.sendqs = make(map[int]chan sendItem, len(counts))
+		for peer, n := range counts {
+			e.sendqs[peer] = make(chan sendItem, n)
+		}
 	}
 	if len(s.completion) == 0 {
 		for i := range e.isCompl {
@@ -296,14 +324,38 @@ func (e *Executor) Start() {
 		return
 	}
 	e.started = true
+	for _, q := range e.sendqs {
+		e.wg.Add(1)
+		go e.sendLoop(q)
+	}
 	if e.pending == 0 {
 		e.closeDoneLocked()
+		e.maybeCloseSendqsLocked()
 		return
 	}
 	for _, op := range e.sched.ops {
 		if len(op.Deps) == 0 && op.Kind != OpNop {
 			e.fireLocked(op)
 		}
+	}
+}
+
+// sendLoop drains one destination's fired sends in fire order and hands them
+// to the communicator one after another. Same-destination sends therefore
+// reach the transport back to back, where the TCP write coalescer batches
+// them into one syscall — the syscall-per-segment cost pipelined collectives
+// would otherwise pay — while sends to other destinations run on their own
+// loops, so a peer that stopped draining its socket delays only its own
+// stream, never the quorum forming among healthy ranks. The loop exits when
+// the queue is closed (after the completion cascade settles), first writing
+// whatever remains queued — peers may still need those messages.
+func (e *Executor) sendLoop(q chan sendItem) {
+	defer e.wg.Done()
+	for it := range q {
+		err := e.comm.Send(it.op.Peer, it.op.Tag, it.payload)
+		e.mu.Lock()
+		e.completeLocked(it.op, err)
+		e.mu.Unlock()
 	}
 }
 
@@ -389,18 +441,14 @@ func (e *Executor) fireLocked(op *Op) {
 			e.mu.Unlock()
 		}()
 	case OpSend:
-		// Snapshot the buffer into a pool lease at fire time; Send then takes
-		// ownership of the lease, so the schedule buffer remains free to be
-		// overwritten by subsequent operations.
-		payload := tensor.GetVectorCopy(e.sched.buffers[op.Buffer])
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			err := e.comm.Send(op.Peer, op.Tag, payload)
-			e.mu.Lock()
-			e.completeLocked(op, err)
-			e.mu.Unlock()
-		}()
+		// Snapshot the buffer into a pool lease at fire time; the destination
+		// sender then passes ownership of the lease to Send, so the schedule
+		// buffer remains free to be overwritten by subsequent operations. The
+		// enqueue cannot block (the queue holds every send the schedule can
+		// fire at this peer) and the queue is necessarily open: queues close
+		// only after the completion cascade that fired the last send has
+		// fully unwound (maybeCloseSendqsLocked).
+		e.sendqs[op.Peer] <- sendItem{op: op, payload: tensor.GetVectorCopy(e.sched.buffers[op.Buffer])}
 	case OpRecv, OpRecvReduce:
 		e.wg.Add(1)
 		go func() {
@@ -439,10 +487,22 @@ func (e *Executor) fireLocked(op *Op) {
 
 // completeLocked marks op complete, records errors, and fires any dependents
 // whose dependencies are now satisfied. Caller holds e.mu.
+//
+// The cascade counter tracks the nesting of completeLocked calls within one
+// critical section: a dependent fired by this sweep may complete synchronously
+// (a NOP) and recursively fire further dependents — possibly reaching the
+// completion set mid-sweep and then still firing a send afterwards. The send
+// queues therefore close only when the outermost call unwinds, never in the
+// middle of a sweep that may still enqueue.
 func (e *Executor) completeLocked(op *Op, err error) {
 	if e.completed[op.ID] {
 		return
 	}
+	e.cascade++
+	defer func() {
+		e.cascade--
+		e.maybeCloseSendqsLocked()
+	}()
 	e.completed[op.ID] = true
 	if e.isCompl[op.ID] {
 		e.pending--
@@ -474,6 +534,20 @@ func (e *Executor) closeDoneLocked() {
 	e.doneClosed = true
 	close(e.cancel)
 	close(e.done)
+}
+
+// maybeCloseSendqsLocked closes the per-destination send queues once the
+// schedule is done and no completion cascade is in progress — the point after
+// which no send can fire. The senders drain what is queued and exit. Caller
+// holds e.mu.
+func (e *Executor) maybeCloseSendqsLocked() {
+	if !e.doneClosed || e.cascade != 0 || e.sendqsClosed {
+		return
+	}
+	e.sendqsClosed = true
+	for _, q := range e.sendqs {
+		close(q)
+	}
 }
 
 func (e *Executor) dependsOn(op *Op, id OpID) bool {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"eagersgd/internal/comm"
 	"eagersgd/internal/tensor"
 	"eagersgd/internal/transport"
 )
@@ -360,4 +361,38 @@ func TestPersistentRunnerStop(t *testing.T) {
 	if _, err := r.Advance(); err == nil {
 		t.Fatal("Advance after Stop should fail")
 	}
+}
+
+// TestSendFiredByCompletionCascade reproduces the cascade in which the
+// completion set is reached mid-sweep while the same dependent-firing sweep
+// still has a send to fire: the cascade counter must defer the queue close
+// until the sweep unwinds, so the send is delivered instead of panicking on a
+// closed queue.
+func TestSendFiredByCompletionCascade(t *testing.T) {
+	world := transport.NewInprocWorld(1)
+	defer world[0].Close()
+
+	s := NewSchedule()
+	s.SetBuffer("buf", tensor.Vector{42})
+	x := s.AddNop(DepAnd)
+	a := s.AddNop(DepAnd, x) // completion op, fires before the send below
+	s.AddSend(0, 777, "buf", DepAnd, x)
+	s.SetCompletionOps(a)
+
+	ex, err := NewExecutor(world[0], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	if err := ex.Trigger(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := world[0].Recv(0, 777)
+	if err != nil || data[0] != 42 {
+		t.Fatalf("send fired after completion was not delivered: %v %v", data, err)
+	}
+	comm.Release(data)
 }

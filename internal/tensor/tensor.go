@@ -59,14 +59,14 @@ func (v Vector) CopyFrom(src Vector) {
 	copy(v, src)
 }
 
-// Add adds w element-wise into v (v += w).
+// Add adds w element-wise into v (v += w). It routes through the tuned
+// kernel layer (see kernels.go): unrolled on one goroutine for small vectors,
+// chunked across the persistent worker pool for large ones.
 func (v Vector) Add(w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("tensor: Add length mismatch %d != %d", len(v), len(w)))
 	}
-	for i, x := range w {
-		v[i] += x
-	}
+	applyKernel(kernelAdd, v, w, 0)
 }
 
 // Sub subtracts w element-wise from v (v -= w).
@@ -86,14 +86,12 @@ func (v Vector) Scale(alpha float64) {
 	}
 }
 
-// Axpy computes v += alpha*w.
+// Axpy computes v += alpha*w through the tuned kernel layer.
 func (v Vector) Axpy(alpha float64, w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(v), len(w)))
 	}
-	for i, x := range w {
-		v[i] += alpha * x
-	}
+	applyKernel(kernelAxpy, v, w, alpha)
 }
 
 // Dot returns the inner product of v and w.

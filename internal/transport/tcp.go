@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"sync"
 	"time"
@@ -43,9 +42,7 @@ type TCPEndpoint struct {
 	done  chan struct{} // closed by Close; unblocks in-flight local deliveries
 
 	mu      sync.Mutex
-	conns   []net.Conn   // indexed by peer rank; nil for self
-	wlocks  []sync.Mutex // per-connection write locks; also guard wbufs
-	wbufs   [][]byte     // per-connection reusable frame-encode buffers
+	writers []*tcpWriter // indexed by peer rank; nil for self
 	ln      net.Listener
 	closed  bool
 	wg      sync.WaitGroup // read loops
@@ -53,6 +50,111 @@ type TCPEndpoint struct {
 
 	readMu  sync.Mutex
 	readErr error // first read-loop decode/IO failure, kept for diagnostics
+}
+
+// tcpWriter owns one peer connection's write half and coalesces concurrent
+// sends: frames are encoded into a pending buffer under the lock, and the
+// first sender to find no flush in progress becomes the flusher, writing the
+// buffer to the socket (unlocked) and looping until the buffer is empty —
+// picking up frames other senders appended while it was writing. Segment
+// streams produced by the pipelined collectives and the schedule executor's
+// sender therefore reach the kernel in batched writes (one syscall for many
+// small frames) while a lone send still goes out immediately, and the last
+// flusher leaving drains everything: flush-on-idle without timers.
+//
+// The semantics are group commit: every sender's frames reach the socket
+// before its send returns — a coalesced sender waits on the condition
+// variable until the flusher has written past its frame (or failed), so a
+// write failure is reported to exactly the sends whose frames were not
+// delivered, never swallowed. The two buffers (pending and spare) ping-pong,
+// so the steady state allocates nothing.
+//
+// Flow control: the pending buffer is additionally bounded by maxPendBytes —
+// admission blocks while a stuck flusher (a peer that stopped draining its
+// socket) has that much already queued, the backpressure the Endpoint.Send
+// contract advertises. Close unblocks everyone: closing the connection fails
+// the in-flight write, the error is recorded, and all waiters are woken.
+type tcpWriter struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	cond    sync.Cond // signaled when flushed advances, the flusher exits, or err is set
+	pend    []byte    // frames awaiting write
+	spare   []byte    // recycled buffer the next pend swap reuses
+	writing bool      // a flusher is active
+	queued  uint64    // total frame bytes ever appended to pend
+	flushed uint64    // total frame bytes successfully written to the socket
+	err     error     // first write failure; sticky
+}
+
+// maxPendBytes bounds the frames buffered behind an in-progress flush before
+// new senders block for flow control. 4 MiB absorbs a full pipelined exchange
+// of large-gradient segments without stalling the fast path.
+const maxPendBytes = 4 << 20
+
+func newTCPWriter(conn net.Conn) *tcpWriter {
+	w := &tcpWriter{conn: conn}
+	w.cond.L = &w.mu
+	return w
+}
+
+// send encodes m into the pending buffer and returns once the frame has been
+// written to the socket: either this sender becomes the flusher (no flush in
+// progress) and writes the batch itself, or it waits for the active flusher
+// to write past its frame. It consumes m.Data on every path.
+func (w *tcpWriter) send(m comm.Message) error {
+	w.mu.Lock()
+	for w.err == nil && w.writing && len(w.pend) >= maxPendBytes {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		tensor.PutVector(m.Data)
+		return err
+	}
+	w.pend = appendFrame(w.pend, m)
+	w.queued += uint64(12 + 8*len(m.Data))
+	target := w.queued
+	tensor.PutVector(m.Data)
+	if w.writing {
+		// Group commit: the active flusher will pick this frame up in its
+		// next batch; wait until it has been written (or the write failed).
+		for w.err == nil && w.flushed < target {
+			w.cond.Wait()
+		}
+		var err error
+		if w.flushed < target {
+			err = w.err
+		}
+		w.mu.Unlock()
+		return err
+	}
+	w.writing = true
+	for len(w.pend) > 0 && w.err == nil {
+		buf := w.pend
+		w.pend = w.spare[:0]
+		w.mu.Unlock()
+		_, err := w.conn.Write(buf)
+		w.mu.Lock()
+		w.spare = buf[:0]
+		if err != nil {
+			if w.err == nil {
+				w.err = err
+			}
+		} else {
+			w.flushed += uint64(len(buf))
+		}
+		w.cond.Broadcast() // progress (or failure): wake coalesced waiters and admissions
+	}
+	w.writing = false
+	w.cond.Broadcast() // flusher exiting: admit a new flusher
+	var err error
+	if w.flushed < target {
+		err = w.err
+	}
+	w.mu.Unlock()
+	return err
 }
 
 // NewTCPEndpoint establishes the full mesh of connections described by cfg
@@ -71,13 +173,11 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 		retry = 5 * time.Second
 	}
 	ep := &TCPEndpoint{
-		rank:   cfg.Rank,
-		size:   size,
-		inbox:  make(chan comm.Message, DefaultInboxDepth),
-		done:   make(chan struct{}),
-		conns:  make([]net.Conn, size),
-		wlocks: make([]sync.Mutex, size),
-		wbufs:  make([][]byte, size),
+		rank:    cfg.Rank,
+		size:    size,
+		inbox:   make(chan comm.Message, DefaultInboxDepth),
+		done:    make(chan struct{}),
+		writers: make([]*tcpWriter, size),
 	}
 
 	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
@@ -110,8 +210,9 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 				conn.Close()
 				return
 			}
+			tuneConn(conn)
 			ep.mu.Lock()
-			ep.conns[peer] = conn
+			ep.writers[peer] = newTCPWriter(conn)
 			ep.mu.Unlock()
 		}
 	}()
@@ -129,7 +230,8 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 			ln.Close()
 			return nil, fmt.Errorf("transport: handshake write to rank %d: %w", peer, err)
 		}
-		ep.conns[peer] = conn
+		tuneConn(conn)
+		ep.writers[peer] = newTCPWriter(conn)
 	}
 
 	acceptWG.Wait()
@@ -138,14 +240,24 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 		return nil, acceptErr
 	}
 
-	for peer, conn := range ep.conns {
-		if peer == cfg.Rank || conn == nil {
+	for peer, w := range ep.writers {
+		if peer == cfg.Rank || w == nil {
 			continue
 		}
 		ep.wg.Add(1)
-		go ep.readLoop(conn)
+		go ep.readLoop(w.conn)
 	}
 	return ep, nil
+}
+
+// tuneConn applies the latency-sensitive socket options. TCP_NODELAY is Go's
+// default for TCP connections, but the pipelined collectives depend on small
+// segment frames leaving immediately, so it is asserted explicitly rather
+// than inherited.
+func tuneConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 }
 
 func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
@@ -171,12 +283,13 @@ func (e *TCPEndpoint) Size() int { return e.size }
 // Inbox returns the stream of messages addressed to this rank.
 func (e *TCPEndpoint) Inbox() <-chan comm.Message { return e.inbox }
 
-// Send encodes m as a length-prefixed frame into the connection's reusable
-// write buffer and writes it to the connection for dest. Sending to self
-// forwards the payload to the local inbox without any encoding. Send consumes
-// m.Data: after a remote write the vector is released to the pool, and on
-// every error path it is released as well, so the caller (the comm layer)
-// never owns the payload after Send.
+// Send encodes m as a length-prefixed frame into the destination
+// connection's coalescing writer (see tcpWriter: concurrent sends to the same
+// peer batch into one syscall, a lone send flushes immediately). Sending to
+// self forwards the payload to the local inbox without any encoding. Send
+// consumes m.Data: after the frame is encoded the vector is released to the
+// pool, and on every error path it is released as well, so the caller (the
+// comm layer) never owns the payload after Send.
 func (e *TCPEndpoint) Send(dest int, m comm.Message) error {
 	if dest < 0 || dest >= e.size {
 		tensor.PutVector(m.Data)
@@ -191,20 +304,13 @@ func (e *TCPEndpoint) Send(dest int, m comm.Message) error {
 		tensor.PutVector(m.Data)
 		return ErrClosed
 	}
-	conn := e.conns[dest]
+	w := e.writers[dest]
 	e.mu.Unlock()
-	if conn == nil {
+	if w == nil {
 		tensor.PutVector(m.Data)
 		return fmt.Errorf("transport: no connection to rank %d", dest)
 	}
-
-	e.wlocks[dest].Lock()
-	frame := encodeFrame(e.wbufs[dest], m)
-	e.wbufs[dest] = frame // retain the (possibly grown) buffer for reuse
-	tensor.PutVector(m.Data)
-	_, err := conn.Write(frame)
-	e.wlocks[dest].Unlock()
-	return err
+	return w.send(m)
 }
 
 // deliverLocal forwards m (ownership included) to the local inbox, releasing
@@ -241,13 +347,13 @@ func (e *TCPEndpoint) Close() error {
 	}
 	e.closed = true
 	close(e.done)
-	conns := append([]net.Conn(nil), e.conns...)
+	writers := append([]*tcpWriter(nil), e.writers...)
 	e.mu.Unlock()
 
 	e.ln.Close()
-	for _, c := range conns {
-		if c != nil {
-			c.Close()
+	for _, w := range writers {
+		if w != nil {
+			w.conn.Close()
 		}
 	}
 	e.wg.Wait()
@@ -327,32 +433,27 @@ func (e *TCPEndpoint) ReadError() error {
 //
 //	uint32 source | uint32 tag (stored as int32; tags may be negative) | uint32 count | count * float64
 //
-// encodeFrame appends nothing: it encodes m into buf's backing array (growing
-// it only when the frame outgrows the capacity) in a single pass and returns
-// the encoded frame. The caller retains the returned slice as the next call's
-// buf, so steady-state sends reuse one buffer per connection.
-func encodeFrame(buf []byte, m comm.Message) []byte {
-	need := 12 + 8*len(m.Data)
-	if cap(buf) < need {
-		buf = make([]byte, need)
-	} else {
-		buf = buf[:need]
-	}
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(int32(m.Source)))
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(int32(m.Tag)))
-	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(m.Data)))
-	for i, x := range m.Data {
-		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(x))
-	}
-	return buf
+// appendFrame appends m's wire encoding to buf and returns the extended
+// slice. On little-endian architectures the payload is one bulk copy of the
+// vector's bytes (see wire_le.go); the portable fallback converts element by
+// element. The caller (tcpWriter) retains and recycles the buffer, so
+// steady-state sends allocate nothing.
+func appendFrame(buf []byte, m comm.Message) []byte {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(int32(m.Source)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(m.Tag)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(m.Data)))
+	buf = append(buf, hdr[:]...)
+	return appendFloats(buf, m.Data)
 }
 
-// decodeFrame reads one frame from r, reusing *scratch as the raw payload
-// buffer (grown once, then reused across calls) and decoding the floats into
-// a pool-leased vector in a single pass. The returned message owns its Data
-// lease. Oversized length headers are rejected before any payload allocation
-// with an error wrapping ErrFrameTooLarge; a payload shorter than its header
-// promises fails with a descriptive truncation error.
+// decodeFrame reads one frame from r into a pool-leased vector. On
+// little-endian architectures the payload bytes land directly in the vector's
+// backing array (no staging buffer, no conversion pass); the portable
+// fallback stages through *scratch (grown once, then reused). The returned
+// message owns its Data lease. Oversized length headers are rejected before
+// any payload allocation with an error wrapping ErrFrameTooLarge; a payload
+// shorter than its header promises fails with a descriptive truncation error.
 func decodeFrame(r io.Reader, scratch *[]byte) (comm.Message, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -368,21 +469,11 @@ func decodeFrame(r io.Reader, scratch *[]byte) (comm.Message, error) {
 			ErrFrameTooLarge, source, tag, count64, maxFrameElements)
 	}
 	count := int(count64)
-	need := 8 * count
-	buf := *scratch
-	if cap(buf) < need {
-		buf = make([]byte, need)
-		*scratch = buf
-	} else {
-		buf = buf[:need]
-	}
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return comm.Message{}, fmt.Errorf("transport: truncated frame from rank %d (tag %d): read fewer than the %d payload bytes announced: %w",
-			source, tag, need, err)
-	}
 	data := tensor.GetVector(count)
-	for i := range data {
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	if err := readFloats(r, data, scratch); err != nil {
+		tensor.PutVector(data)
+		return comm.Message{}, fmt.Errorf("transport: truncated frame from rank %d (tag %d): read fewer than the %d payload bytes announced: %w",
+			source, tag, 8*count, err)
 	}
 	return comm.Message{Source: source, Tag: tag, Data: data}, nil
 }

@@ -150,7 +150,7 @@ func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
 	var scratch []byte
 	f := func(source int32, tag int32, payload []float64) bool {
 		m := comm.Message{Source: int(source), Tag: int(tag), Data: tensor.Vector(payload)}
-		wbuf = encodeFrame(wbuf, m)
+		wbuf = appendFrame(wbuf[:0], m)
 		got, err := decodeFrame(bytes.NewReader(wbuf), &scratch)
 		if err != nil {
 			return false
@@ -173,18 +173,18 @@ func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
-func TestEncodeFrameReusesBuffer(t *testing.T) {
+func TestAppendFrameReusesBuffer(t *testing.T) {
 	m := comm.Message{Source: 0, Tag: 1, Data: make(tensor.Vector, 64)}
-	buf := encodeFrame(nil, m)
-	buf2 := encodeFrame(buf, comm.Message{Source: 0, Tag: 2, Data: make(tensor.Vector, 32)})
+	buf := appendFrame(nil, m)
+	buf2 := appendFrame(buf[:0], comm.Message{Source: 0, Tag: 2, Data: make(tensor.Vector, 32)})
 	if &buf[0] != &buf2[0] {
-		t.Fatal("encodeFrame reallocated although the buffer had capacity")
+		t.Fatal("appendFrame reallocated although the buffer had capacity")
 	}
 }
 
 func TestDecodeFrameRejectsOversizedLength(t *testing.T) {
 	var wbuf, scratch []byte
-	wbuf = encodeFrame(wbuf, comm.Message{Source: 1, Tag: 2, Data: tensor.Vector{1}})
+	wbuf = appendFrame(wbuf[:0], comm.Message{Source: 1, Tag: 2, Data: tensor.Vector{1}})
 	// Corrupt the length field to an absurd value (~2^31 elements).
 	wbuf[8], wbuf[9], wbuf[10], wbuf[11] = 0xff, 0xff, 0xff, 0x7f
 	_, err := decodeFrame(bytes.NewReader(wbuf), &scratch)
@@ -203,7 +203,7 @@ func TestDecodeFrameRejectsOversizedLength(t *testing.T) {
 
 func TestDecodeFrameRejectsTruncatedPayload(t *testing.T) {
 	var wbuf, scratch []byte
-	wbuf = encodeFrame(wbuf, comm.Message{Source: 3, Tag: 4, Data: tensor.Vector{1, 2, 3, 4}})
+	wbuf = appendFrame(wbuf[:0], comm.Message{Source: 3, Tag: 4, Data: tensor.Vector{1, 2, 3, 4}})
 	// Drop the last 8 bytes: the header announces 4 elements but only 3 arrive.
 	_, err := decodeFrame(bytes.NewReader(wbuf[:len(wbuf)-8]), &scratch)
 	if err == nil {
@@ -247,7 +247,7 @@ func TestTCPReadErrorRecordedOnCorruptFrame(t *testing.T) {
 	// elements — straight onto rank 0's connection to rank 1.
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[8:12], 0xffffffff)
-	if _, err := eps[0].conns[1].Write(hdr[:]); err != nil {
+	if _, err := eps[0].writers[1].conn.Write(hdr[:]); err != nil {
 		t.Fatalf("write corrupt frame: %v", err)
 	}
 	deadline := time.Now().Add(2 * time.Second)

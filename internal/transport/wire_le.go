@@ -1,0 +1,43 @@
+//go:build amd64 || arm64 || 386 || arm || riscv64 || loong64 || mipsle || mips64le || ppc64le || wasm
+
+package transport
+
+import (
+	"io"
+	"unsafe"
+
+	"eagersgd/internal/tensor"
+)
+
+// On little-endian architectures the wire format (little-endian float64s) is
+// the in-memory representation, so encoding is a single bulk copy of the
+// vector's bytes and decoding reads the socket directly into the pooled
+// vector's backing array. This removes the per-element bit-conversion loops
+// from the TCP hot path — at 64Ki-element gradients the conversion loops, not
+// the sockets, were the transport's dominant cost.
+
+// floatBytes reinterprets data's backing array as bytes without copying.
+// Callers must not let the returned slice outlive data.
+func floatBytes(data []float64) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&data[0])), 8*len(data))
+}
+
+// appendFloats appends data's wire encoding (little-endian float64s) to buf.
+func appendFloats(buf []byte, data []float64) []byte {
+	return append(buf, floatBytes(data)...)
+}
+
+// readFloats fills data with count little-endian float64s read from r. The
+// scratch buffer is unused on little-endian targets (the read lands directly
+// in data's backing array); the parameter keeps the signature shared with the
+// portable fallback.
+func readFloats(r io.Reader, data tensor.Vector, _ *[]byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	_, err := io.ReadFull(r, floatBytes(data))
+	return err
+}

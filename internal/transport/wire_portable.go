@@ -1,0 +1,44 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || mipsle || mips64le || ppc64le || wasm)
+
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+
+	"eagersgd/internal/tensor"
+)
+
+// Portable fallback for big-endian (or otherwise unknown) architectures: the
+// wire format stays little-endian, converted element by element.
+
+// appendFloats appends data's wire encoding (little-endian float64s) to buf.
+func appendFloats(buf []byte, data []float64) []byte {
+	var tmp [8]byte
+	for _, x := range data {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(x))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// readFloats fills data with count little-endian float64s read from r,
+// staging the raw bytes in *scratch (grown once, reused across calls).
+func readFloats(r io.Reader, data tensor.Vector, scratch *[]byte) error {
+	need := 8 * len(data)
+	buf := *scratch
+	if cap(buf) < need {
+		buf = make([]byte, need)
+		*scratch = buf
+	} else {
+		buf = buf[:need]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
