@@ -1,0 +1,532 @@
+package collective
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eagersgd/internal/partial"
+	"eagersgd/internal/tensor"
+)
+
+// runBucketedStep drives one bucketed step on every rank concurrently: each
+// rank submits the layout's buckets in reverse order (the backward-pass
+// order), waits the handles, then waits the step. It returns rank 0's
+// assembled full vector and per-rank step results.
+func runBucketedStep(t *testing.T, reducers []Reducer, lens []int, fill func(rank int, full tensor.Vector)) ([]tensor.Vector, []Result) {
+	t.Helper()
+	ranks := len(reducers)
+	dim := 0
+	offs := make([]int, len(lens))
+	for b, l := range lens {
+		offs[b] = dim
+		dim += l
+	}
+	fulls := make([]tensor.Vector, ranks)
+	results := make([]Result, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := context.Background()
+			br := reducers[r].(BucketReducer)
+			grad := tensor.NewVector(dim)
+			fill(r, grad)
+			if err := br.BeginStep(ctx, lens); err != nil {
+				errs[r] = err
+				return
+			}
+			handles := make([]*BucketHandle, 0, len(lens))
+			for b := len(lens) - 1; b >= 0; b-- {
+				h, err := br.SubmitBucket(ctx, offs[b], grad[offs[b]:offs[b]+lens[b]])
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				handles = append(handles, h)
+			}
+			out := tensor.NewVector(dim)
+			for _, h := range handles {
+				sum, err := h.Wait(ctx)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				out[h.Offset() : h.Offset()+h.Len()].CopyFrom(sum)
+				tensor.PutVector(sum)
+			}
+			res, err := br.WaitStep(ctx)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			fulls[r] = out
+			results[r] = res
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return fulls, results
+}
+
+// TestSyncBucketedBitForBitSingleShot is the numerical-equivalence gate of
+// the overlapped exchange: with recursive doubling (whose per-element
+// reduction tree does not depend on the vector length), a bucketed step must
+// produce bit-for-bit the sums of the one-shot Reduce on the in-process
+// transport.
+func TestSyncBucketedBitForBitSingleShot(t *testing.T) {
+	const ranks = 4
+	lens := []int{5, 17, 42}
+	dim := 64
+	fill := func(rank int, full tensor.Vector) {
+		for i := range full {
+			full[i] = float64(rank+1) * (1.0 + float64(i)*0.37)
+		}
+	}
+
+	// Reference: one-shot Reduce over the full vector.
+	refWorld, err := NewWorld(ranks, WithAlgorithm(RecursiveDoubling))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refWorld.Close()
+	refSums := make([]tensor.Vector, ranks)
+	var wg sync.WaitGroup
+	refErrs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			red, err := refWorld.Node(r).Reducer(dim)
+			if err != nil {
+				refErrs[r] = err
+				return
+			}
+			grad := tensor.NewVector(dim)
+			fill(r, grad)
+			res, err := red.Reduce(context.Background(), grad)
+			if err != nil {
+				refErrs[r] = err
+				return
+			}
+			refSums[r] = res.Sum
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range refErrs {
+		if err != nil {
+			t.Fatalf("reference rank %d: %v", r, err)
+		}
+	}
+
+	world, err := NewWorld(ranks, WithAlgorithm(RecursiveDoubling), WithOverlap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	reducers := make([]Reducer, ranks)
+	for r := 0; r < ranks; r++ {
+		if reducers[r], err = world.Node(r).Reducer(dim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fulls, results := runBucketedStep(t, reducers, lens, fill)
+	for r := 0; r < ranks; r++ {
+		for i := range fulls[r] {
+			if fulls[r][i] != refSums[r][i] {
+				t.Fatalf("rank %d element %d: bucketed %v != one-shot %v (must be bit-for-bit)", r, i, fulls[r][i], refSums[r][i])
+			}
+		}
+		if res := results[r]; res.ActiveRanks != ranks || !res.Included {
+			t.Fatalf("rank %d: sync bucketed result %+v, want full participation", r, res)
+		}
+	}
+}
+
+// TestEagerBucketedAllRanksArrive checks the eager bucketed step when every
+// rank submits promptly: the participant accounting must report one
+// consistent decision for the whole step.
+func TestEagerBucketedAllRanksArrive(t *testing.T) {
+	const ranks = 4
+	lens := []int{8, 24}
+	dim := 32
+	world, err := NewWorld(ranks, WithMode(Solo), WithOverlap(), WithBucketLayout(lens...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	reducers := make([]Reducer, ranks)
+	for r := 0; r < ranks; r++ {
+		if reducers[r], err = world.Node(r).Reducer(dim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fulls, results := runBucketedStep(t, reducers, lens, func(rank int, full tensor.Vector) {
+		full.Fill(1)
+	})
+	for r := 0; r < ranks; r++ {
+		if results[r].ActiveRanks < 1 || results[r].ActiveRanks > ranks {
+			t.Fatalf("rank %d: active ranks %d out of range", r, results[r].ActiveRanks)
+		}
+		// Every element of every bucket must reflect the same number of
+		// contributions (step consistency at the value level: a solo round
+		// sums whatever subset was snapshotted, identically per bucket).
+		first := fulls[r][0]
+		for i, v := range fulls[r] {
+			if v != first {
+				t.Fatalf("rank %d: element %d = %v differs from element 0 = %v; buckets observed different participant sets", r, i, v, first)
+			}
+		}
+	}
+}
+
+// TestSubmitBucketRejectsUnknownOffset covers layout validation.
+func TestSubmitBucketRejectsUnknownOffset(t *testing.T) {
+	world, err := NewWorld(1, WithOverlap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	red, err := world.Node(0).Reducer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := red.(BucketReducer)
+	ctx := context.Background()
+	if err := br.BeginStep(ctx, []int{4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.SubmitBucket(ctx, 2, tensor.NewVector(4)); err == nil {
+		t.Fatal("submit at non-bucket offset should fail")
+	}
+	if _, err := br.SubmitBucket(ctx, 0, tensor.NewVector(3)); err == nil {
+		t.Fatal("submit with wrong length should fail")
+	}
+	if _, err := br.SubmitBucket(ctx, 0, tensor.NewVector(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.SubmitBucket(ctx, 0, tensor.NewVector(4)); err == nil {
+		t.Fatal("duplicate submit should fail")
+	}
+	if _, err := br.SubmitBucket(ctx, 4, tensor.NewVector(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.WaitStep(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorldCloseDuringOverlappedStep is the shutdown regression test: closing
+// the world while a bucketed step is stuck waiting on ranks that never
+// submit must neither deadlock nor leak — the blocked handle waits and
+// WaitStep return errors promptly.
+func TestWorldCloseDuringOverlappedStep(t *testing.T) {
+	const ranks = 2
+	dim := 1 << 15 // large enough that the allreduce genuinely blocks on the peer
+	world, err := NewWorld(ranks, WithAlgorithm(RecursiveDoubling), WithOverlap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := world.Node(0).Reducer(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := red.(BucketReducer)
+	ctx := context.Background()
+	if err := br.BeginStep(ctx, []int{dim}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := br.SubmitBucket(ctx, 0, tensor.NewVector(dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.Wait(ctx)
+		if err == nil {
+			done <- errors.New("handle resolved without a peer")
+			return
+		}
+		_, err = br.WaitStep(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the bucket reach the wire
+	if err := world.Close(); err != nil {
+		t.Fatalf("world close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("WaitStep after world close should report an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("bucketed step did not unblock after World.Close")
+	}
+}
+
+// TestStepConsistencyAcrossBuckets is the step-consistency property test of
+// the bucketed partial collectives: because the participation decision is
+// made once per step and every rank's contribution is committed atomically,
+// all buckets of one step must observe the identical participant set. Every
+// rank contributes uniform vectors, so any fragmentation of the decision
+// would show up as different values across buckets of one result. Runs on
+// both transports with staggered rank arrivals over several steps.
+func TestStepConsistencyAcrossBuckets(t *testing.T) {
+	const ranks = 4
+	const steps = 6
+	lens := []int{6, 10, 16}
+	dim := 32
+	for ti, transport := range []Transport{Inproc, TCP} {
+		transport := transport
+		t.Run(transport.String(), func(t *testing.T) {
+			opts := []Option{
+				WithMode(Majority), WithSeed(11),
+				WithOverlap(), WithBucketLayout(lens...),
+				WithTransport(transport),
+			}
+			if transport == TCP {
+				opts = append(opts, WithBasePort(30400+10*ti))
+			}
+			world, err := NewWorld(ranks, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer world.Close()
+
+			offs := []int{0, 6, 16}
+			errs := make([]error, ranks)
+			var wg sync.WaitGroup
+			for r := 0; r < ranks; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					ctx := context.Background()
+					red, err := world.Node(r).Reducer(dim)
+					if err != nil {
+						errs[r] = err
+						return
+					}
+					br := red.(BucketReducer)
+					grad := tensor.NewVector(dim)
+					grad.Fill(1)
+					for s := 0; s < steps; s++ {
+						// Staggered arrivals: different ranks are fresh in
+						// different rounds, so participant sets vary.
+						time.Sleep(time.Duration(((r+s)%ranks)*3) * time.Millisecond)
+						if err := br.BeginStep(ctx, lens); err != nil {
+							errs[r] = err
+							return
+						}
+						handles := make([]*BucketHandle, 0, len(lens))
+						for b := len(lens) - 1; b >= 0; b-- {
+							h, err := br.SubmitBucket(ctx, offs[b], grad[offs[b]:offs[b]+lens[b]])
+							if err != nil {
+								errs[r] = err
+								return
+							}
+							handles = append(handles, h)
+						}
+						out := tensor.NewVector(dim)
+						for _, h := range handles {
+							sum, err := h.Wait(ctx)
+							if err != nil {
+								errs[r] = err
+								return
+							}
+							out[h.Offset() : h.Offset()+h.Len()].CopyFrom(sum)
+							tensor.PutVector(sum)
+						}
+						if _, err := br.WaitStep(ctx); err != nil {
+							errs[r] = err
+							return
+						}
+						first := out[0]
+						for i, v := range out {
+							if v != first {
+								errs[r] = fmt.Errorf("step %d element %d = %v differs from element 0 = %v: buckets observed different participant sets", s, i, v, first)
+								return
+							}
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSubmitBucketCancellation covers context cancellation on the Sync
+// bucketed path: with the peer absent, the bucket's allreduce can never
+// complete; canceling the submission context must resolve the handle and
+// WaitStep with the context's error instead of hanging.
+func TestSubmitBucketCancellation(t *testing.T) {
+	world, err := NewWorld(2, WithAlgorithm(RecursiveDoubling), WithOverlap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	red, err := world.Node(0).Reducer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := red.(BucketReducer)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := br.BeginStep(ctx, []int{64}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := br.SubmitBucket(ctx, 0, tensor.NewVector(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		if _, err := h.Wait(ctx); !errors.Is(err, context.Canceled) {
+			done <- fmt.Errorf("handle Wait error = %v, want context.Canceled", err)
+			return
+		}
+		if _, err := br.WaitStep(ctx); !errors.Is(err, context.Canceled) {
+			done <- fmt.Errorf("WaitStep error = %v, want context.Canceled", err)
+			return
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled bucketed step did not unblock")
+	}
+}
+
+// TestWaitStepCancellationEager covers context cancellation on the eager
+// bucketed path: in Majority mode with the designated initiator absent, the
+// round cannot complete; WaitStep must return the context's error, and per
+// eager-SGD cancellation semantics the reducer stays usable (the
+// contribution remains buffered as a stale gradient).
+func TestWaitStepCancellationEager(t *testing.T) {
+	// Find a seed whose round-0 designated initiator is rank 1 (who never
+	// arrives in this test).
+	var seed int64
+	for s := int64(0); ; s++ {
+		world, err := NewWorld(2, WithMode(Majority), WithSeed(s), WithOverlap(), WithBucketLayout(8, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := world.Node(0).Reducer(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inits := red.(interface{ Allreducer() *partial.Allreducer }).Allreducer().DesignatedInitiators(0)
+		world.Close()
+		if len(inits) == 1 && inits[0] == 1 {
+			seed = s
+			break
+		}
+	}
+	world, err := NewWorld(2, WithMode(Majority), WithSeed(seed), WithOverlap(), WithBucketLayout(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	red, err := world.Node(0).Reducer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := red.(BucketReducer)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := br.BeginStep(ctx, []int{8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	grad := tensor.NewVector(16)
+	grad.Fill(1)
+	if _, err := br.SubmitBucket(ctx, 8, grad[8:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.SubmitBucket(ctx, 0, grad[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.WaitStep(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitStep error = %v, want context.DeadlineExceeded", err)
+	}
+	// The canceled wait only abandoned the result: the contribution stays
+	// buffered as a stale gradient, visible through the diagnostics surface.
+	ar := red.(interface{ Allreducer() *partial.Allreducer }).Allreducer()
+	if ar.PendingStale() == 0 {
+		t.Fatal("canceled step's contribution should remain buffered as stale gradient")
+	}
+}
+
+// TestCloseRacesSubmitBucket closes the world from another goroutine while a
+// rank is still submitting buckets: every submission must either enqueue and
+// later resolve with an error or fail cleanly with ErrReducerClosed — never
+// panic or deadlock.
+func TestCloseRacesSubmitBucket(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		world, err := NewWorld(2, WithAlgorithm(RecursiveDoubling), WithOverlap())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const buckets = 16
+		lens := make([]int, buckets)
+		for i := range lens {
+			lens[i] = 64
+		}
+		red, err := world.Node(0).Reducer(buckets * 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := red.(BucketReducer)
+		ctx := context.Background()
+		if err := br.BeginStep(ctx, lens); err != nil {
+			t.Fatal(err)
+		}
+		closed := make(chan struct{})
+		go func() {
+			defer close(closed)
+			world.Close()
+		}()
+		var handles []*BucketHandle
+		for b := 0; b < buckets; b++ {
+			h, err := br.SubmitBucket(ctx, b*64, tensor.NewVector(64))
+			if err != nil {
+				break // reducer closed underneath us: fine
+			}
+			handles = append(handles, h)
+		}
+		<-closed
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for _, h := range handles {
+				if sum, err := h.Wait(ctx); err == nil {
+					tensor.PutVector(sum)
+				}
+			}
+			_, _ = br.WaitStep(ctx)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("step did not unblock after racing Close")
+		}
+	}
+}

@@ -8,15 +8,18 @@ const DefaultBasePort = 29500
 // NewReducer. World-level options (transport, base port) are ignored by
 // reducer construction and vice versa where they do not apply.
 type config struct {
-	transport Transport
-	basePort  int
-	mode      Mode
-	algorithm Algorithm
-	syncEvery int
-	seed      int64
-	chunks    int
-	negotiate bool
-	segElems  int
+	transport   Transport
+	basePort    int
+	mode        Mode
+	algorithm   Algorithm
+	syncEvery   int
+	seed        int64
+	chunks      int
+	negotiate   bool
+	segElems    int
+	overlap     bool
+	bucketElems int
+	layout      []int
 }
 
 func defaultConfig() config {
@@ -110,4 +113,35 @@ func WithSegmentElems(n int) Option {
 // Off by default.
 func WithNegotiation() Option {
 	return func(c *config) { c.negotiate = true }
+}
+
+// WithOverlap asks training loops to use the bucketed gradient exchange
+// (BucketReducer): instead of one blocking Reduce after the whole backward
+// pass, layer-aligned buckets are submitted as backprop produces them, so the
+// tail of the backward pass overlaps the head of the communication. The
+// reducer itself always implements BucketReducer; this option is the signal a
+// trainer reads (via OverlapSettings) to choose the overlapped step path.
+// Off by default.
+func WithOverlap() Option {
+	return func(c *config) { c.overlap = true }
+}
+
+// WithBucketElems sets the bucket coalescing target of the overlapped
+// exchange: adjacent layer segments are merged until a bucket holds at least
+// n elements, trading per-bucket overhead against overlap granularity
+// (Horovod/DDP-style fusion buckets). n <= 0 (the default) keeps one bucket
+// per layer segment. Every rank must use the same value (the bucket layout is
+// SPMD wire state).
+func WithBucketElems(n int) Option {
+	return func(c *config) { c.bucketElems = n }
+}
+
+// WithBucketLayout fixes the reducer's bucket layout at construction: lens
+// are the bucket lengths in ascending offset order, summing to the reducer
+// dimension. Eager reducers require this for overlapped steps — their
+// engine's per-round schedules are built per bucket, so the layout cannot
+// change after construction. Sync reducers accept any layout per BeginStep
+// and ignore this option. Every rank must pass the same layout.
+func WithBucketLayout(lens ...int) Option {
+	return func(c *config) { c.layout = append([]int(nil), lens...) }
 }

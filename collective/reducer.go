@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"eagersgd/internal/collectives"
 	"eagersgd/internal/comm"
@@ -32,11 +33,20 @@ func NewReducer(c *comm.Communicator, dim int, opts ...Option) (Reducer, error) 
 	if err != nil {
 		return nil, err
 	}
+	if len(cfg.layout) > 0 {
+		if _, err := validateLayout(dim, cfg.layout); err != nil {
+			return nil, err
+		}
+	}
 	switch cfg.mode.kind {
 	case kindSync:
-		return &syncReducer{comm: c, dim: dim, algo: algo, chunks: cfg.chunks, negotiate: cfg.negotiate, segElems: cfg.segElems}, nil
+		return &syncReducer{
+			comm: c, dim: dim, algo: algo,
+			chunks: cfg.chunks, negotiate: cfg.negotiate, segElems: cfg.segElems,
+			overlap: cfg.overlap, bucketElems: cfg.bucketElems,
+		}, nil
 	case kindSolo, kindMajority, kindQuorum:
-		popts := partial.Options{Seed: cfg.seed}
+		popts := partial.Options{Seed: cfg.seed, Buckets: cfg.layout}
 		switch cfg.mode.kind {
 		case kindSolo:
 			popts.Mode = partial.Solo
@@ -46,15 +56,19 @@ func NewReducer(c *comm.Communicator, dim int, opts ...Option) (Reducer, error) 
 			popts.Mode = partial.Quorum
 			popts.Candidates = cfg.mode.candidates
 		}
-		return &eagerReducer{
-			comm:      c,
-			ar:        partial.New(c, dim, popts),
-			mode:      cfg.mode,
-			algo:      algo,
-			dim:       dim,
-			syncEvery: cfg.syncEvery,
-			segElems:  cfg.segElems,
-		}, nil
+		e := &eagerReducer{
+			comm:        c,
+			ar:          partial.New(c, dim, popts),
+			mode:        cfg.mode,
+			algo:        algo,
+			dim:         dim,
+			syncEvery:   cfg.syncEvery,
+			segElems:    cfg.segElems,
+			overlap:     cfg.overlap,
+			bucketElems: cfg.bucketElems,
+		}
+		e.lens, e.offs = e.layoutOf()
+		return e, nil
 	default:
 		return nil, fmt.Errorf("collective: unknown mode %v", cfg.mode)
 	}
@@ -86,6 +100,8 @@ func ctxError(ctx context.Context, err error) error {
 
 // syncReducer is the Sync mode: a blocking allreduce per call, optionally
 // chunked (Deep500-style) or preceded by a negotiation round (Horovod-style).
+// It also implements BucketReducer (bucket.go): the bucketed step runs each
+// bucket's allreduce on a stream worker as soon as the bucket is submitted.
 type syncReducer struct {
 	comm      *comm.Communicator
 	dim       int
@@ -94,6 +110,18 @@ type syncReducer struct {
 	negotiate bool
 	segElems  int
 	calls     int
+
+	overlap     bool
+	bucketElems int
+
+	// mu guards the bucketed-step fields below: the step API itself is
+	// driven by one goroutine (the rank's training loop), but Close may be
+	// called concurrently by World.Close while a step is in flight.
+	mu        sync.Mutex
+	streams   *bucketStreams // lazily started stream workers (bucket.go)
+	step      *syncStep      // in-flight bucketed step, nil between steps
+	closed    bool
+	closeOnce sync.Once
 }
 
 // Name identifies the reducer in reports.
@@ -151,11 +179,11 @@ func (s *syncReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, e
 	return Result{Sum: sum, Ranks: size, ActiveRanks: size, Included: true, Round: call}, nil
 }
 
-// Close is a no-op: the communicator owns shutdown.
-func (s *syncReducer) Close() error { return nil }
-
 // eagerReducer wraps a partial.Allreducer in the Reducer interface and adds
-// the periodic full synchronization of WithSyncEvery.
+// the periodic full synchronization of WithSyncEvery. It also implements
+// BucketReducer (bucket.go): buckets are staged during backprop, committed to
+// the engine in one atomic fold (one participation decision per step), and
+// their results resolve as the engine's per-bucket chains complete.
 type eagerReducer struct {
 	comm      *comm.Communicator
 	ar        *partial.Allreducer
@@ -165,6 +193,12 @@ type eagerReducer struct {
 	syncEvery int
 	segElems  int
 	calls     int
+
+	overlap     bool
+	bucketElems int
+	lens, offs  []int         // the engine's fixed bucket layout (layoutOf)
+	stepBuf     tensor.Vector // staging buffer for the in-flight step's buckets
+	estep       *eagerStep    // in-flight bucketed step, nil between steps
 }
 
 // Name identifies the reducer in reports.

@@ -22,6 +22,9 @@ type World struct {
 	cfg   config
 	nodes []*Node
 
+	mu       sync.Mutex
+	reducers []Reducer // every reducer minted via Node.Reducer, for Close
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -89,8 +92,24 @@ func (w *World) Nodes() []*Node {
 // the collective shutdown point of the job (call it after all ranks have
 // stopped reducing), is safe to call more than once, and returns the first
 // error encountered.
+//
+// Close first closes every reducer minted through Node.Reducer, so an
+// overlapped bucketed step caught in flight is released cleanly: queued
+// bucket submissions resolve with ErrReducerClosed and return their pooled
+// leases, pending handles and step waiters wake, and only then does the
+// transport go down — which in turn unblocks any bucket reduction already on
+// the wire with an error instead of a deadlock.
 func (w *World) Close() error {
 	w.closeOnce.Do(func() {
+		w.mu.Lock()
+		reducers := w.reducers
+		w.reducers = nil
+		w.mu.Unlock()
+		for _, r := range reducers {
+			if err := r.Close(); err != nil && w.closeErr == nil {
+				w.closeErr = err
+			}
+		}
 		for _, n := range w.nodes {
 			if err := n.comm.Close(); err != nil && w.closeErr == nil {
 				w.closeErr = err
@@ -112,7 +131,14 @@ func (n *Node) Size() int { return len(n.world.nodes) }
 // SPMD).
 func (n *Node) Reducer(dim int, opts ...Option) (Reducer, error) {
 	cfg := n.world.cfg.with(opts)
-	return NewReducer(n.comm, dim, func(c *config) { *c = cfg })
+	r, err := NewReducer(n.comm, dim, func(c *config) { *c = cfg })
+	if err != nil {
+		return nil, err
+	}
+	n.world.mu.Lock()
+	n.world.reducers = append(n.world.reducers, r)
+	n.world.mu.Unlock()
+	return r, nil
 }
 
 // Communicator exposes the node's underlying point-to-point communicator for

@@ -72,3 +72,16 @@ func WithSyncEvery(n int) Option { return collective.WithSyncEvery(n) }
 
 // WithSeed sets the shared initiator-selection seed for Majority and Quorum.
 func WithSeed(seed int64) Option { return collective.WithSeed(seed) }
+
+// WithOverlap enables the bucketed gradient exchange that overlaps backprop
+// with communication; see collective.BucketReducer.
+func WithOverlap() Option { return collective.WithOverlap() }
+
+// WithBucketElems sets the bucket coalescing target of the overlapped
+// exchange (0 = one bucket per layer segment).
+func WithBucketElems(n int) Option { return collective.WithBucketElems(n) }
+
+// WithBucketLayout fixes the bucket layout at construction — required for
+// overlapped steps on the eager modes (Solo/Majority/Quorum), whose engine
+// builds its per-round schedules per bucket.
+func WithBucketLayout(lens ...int) Option { return collective.WithBucketLayout(lens...) }

@@ -1,0 +1,62 @@
+// Overlapped bucketed training: the same multi-layer image workload run with
+// the classic serial exchange (full backward pass, then one fused allreduce)
+// and with the bucketed exchange (train.Spec.Overlap — layer-aligned buckets
+// are submitted as the backward pass produces them, so the tail of backprop
+// overlaps the head of communication, and each bucket's averaged result is
+// applied as it lands). The two runs reach the same kind of loss; the
+// overlapped one spends less wall-clock per step once communication is no
+// longer serialized behind compute.
+//
+// Run with: go run ./examples/overlap
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"eagersgd/train"
+)
+
+func main() {
+	if err := run(os.Stdout, 4, 40); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the comparison with the given scale and prints the table; the
+// smoke test drives it with a tiny configuration.
+func run(w *os.File, ranks, steps int) error {
+	workload := train.Images(train.ImagesConfig{
+		Classes: 8, Dim: 48, Hidden: 96, Samples: 640, Batch: 8,
+	})
+	runOne := func(name string, overlap bool) (*train.Result, error) {
+		return train.Run(train.Spec{
+			Name:        name,
+			Ranks:       ranks,
+			Steps:       steps,
+			Workload:    workload,
+			Variant:     train.SynchSGD(),
+			Overlap:     overlap,
+			BucketElems: 4096, // coalesce small layers into ~4Ki-element fusion buckets
+			Seed:        7,
+		})
+	}
+
+	serial, err := runOne("serial exchange", false)
+	if err != nil {
+		return err
+	}
+	overlapped, err := runOne("overlapped buckets", true)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%-22s %12s %14s %16s\n", "exchange", "steps/s", "train time", "final val loss")
+	for _, r := range []*train.Result{serial, overlapped} {
+		fmt.Fprintf(w, "%-22s %12.2f %14v %16.4f\n", r.Name, r.Throughput, r.TrainingTime.Round(1e6), r.Loss)
+	}
+	fmt.Fprintf(w, "\noverlap step-time speedup: %.2fx (identical updates — the overlap only moves communication under backprop)\n",
+		overlapped.Throughput/serial.Throughput)
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestOverlapExampleSmoke runs the example end to end at a tiny scale: both
+// the serial and the overlapped configuration must complete without error.
+func TestOverlapExampleSmoke(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run(devnull, 2, 6); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -119,12 +119,20 @@ const pipelineWindow = 2
 // Config carries the tunables of the algorithm implementations. The zero
 // value selects the defaults. Like the algorithm and the operator, the
 // configuration is SPMD state: every rank of a collective must use the same
-// values (segmentation determines the message stream each peer expects).
+// values (segmentation determines the message stream each peer expects, and
+// the tag offset determines which stream a message belongs to).
 type Config struct {
 	// SegmentElems is the pipeline segment size in elements. Zero selects
 	// DefaultSegmentElems; a negative value disables segmentation (one
 	// message per hop, the pre-pipelining behaviour).
 	SegmentElems int
+	// TagOffset shifts every tag the collective uses by a fixed amount,
+	// placing the whole operation in a private tag block. Concurrent
+	// allreduces over one communicator — the bucket streams of an overlapped
+	// gradient exchange — each use a distinct offset (BucketStreamTagOffset)
+	// so their message streams never collide. Zero is the default block,
+	// shared with the non-bucketed collectives.
+	TagOffset int
 }
 
 func (cfg Config) segmentElems() int {
@@ -136,6 +144,31 @@ func (cfg Config) segmentElems() int {
 	default:
 		return DefaultSegmentElems
 	}
+}
+
+// MaxBucketStreams is the number of disjoint tag blocks available for
+// concurrent bucket streams. The blocks occupy
+// [tagBase, tagBase + MaxBucketStreams*tagSpan), which stays far below the
+// partial-collective namespace at 2^24.
+const MaxBucketStreams = 64
+
+// BucketStreamTagOffset returns the Config.TagOffset of bucket stream i.
+// Stream 0 is the default tag block (offset 0), shared with non-bucketed
+// collectives; callers that interleave bucketed and plain collectives on one
+// communicator must issue them in the same order on every rank (per-(source,
+// tag) FIFO then keeps the streams matched).
+func BucketStreamTagOffset(i int) int {
+	if i < 0 || i >= MaxBucketStreams {
+		panic(fmt.Sprintf("collectives: bucket stream %d out of range [0,%d)", i, MaxBucketStreams))
+	}
+	return i * tagSpan
+}
+
+// BucketStreamTagRange returns the [lo, hi) tag interval covering every
+// bucket-stream block, for comm.DiscardTagRange hygiene after an abandoned
+// (canceled) bucketed step.
+func BucketStreamTagRange() (lo, hi int) {
+	return tagBase, tagBase + MaxBucketStreams*tagSpan
 }
 
 // env bundles the communicator with the cancel channel and the resolved
@@ -152,7 +185,11 @@ type env struct {
 	c      *comm.Communicator
 	cancel <-chan struct{}
 	seg    int
+	off    int // tag offset of this collective's tag block (Config.TagOffset)
 }
+
+// tag places a package tag constant into this collective's tag block.
+func (e env) tag(t int) int { return t + e.off }
 
 func (e env) recv(source, tag int) (tensor.Vector, comm.Status, error) {
 	return e.c.RecvCancel(source, tag, e.cancel)
@@ -275,7 +312,7 @@ func AllreduceCancel(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo
 // segment size, and cancellation. Every rank must pass the same op, algo, and
 // cfg (SPMD).
 func AllreduceWith(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo Algorithm, cfg Config, cancel <-chan struct{}) error {
-	e := env{c: c, cancel: cancel, seg: cfg.segmentElems()}
+	e := env{c: c, cancel: cancel, seg: cfg.segmentElems(), off: cfg.TagOffset}
 	switch algo {
 	case AlgoRecursiveDoubling:
 		return allreduceRecursiveDoubling(e, data, op)
@@ -313,12 +350,12 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 	switch {
 	case rank < 2*rem && rank%2 == 0:
 		// SendCopy: data is still needed to receive the final result below.
-		if err := c.SendCopy(rank+1, tagFold, data); err != nil {
+		if err := c.SendCopy(rank+1, e.tag(tagFold), data); err != nil {
 			return err
 		}
 		inDoubling = false
 	case rank < 2*rem && rank%2 == 1:
-		incoming, _, err := e.recv(rank-1, tagFold)
+		incoming, _, err := e.recv(rank-1, e.tag(tagFold))
 		if err != nil {
 			return err
 		}
@@ -333,7 +370,7 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 		step := 0
 		for d := 1; d < pof2; d *= 2 {
 			peer := doublingToRank(doublingRank^d, rem)
-			incoming, _, err := e.sendRecv(peer, tagRecursiveDoubling+step, data, peer, tagRecursiveDoubling+step)
+			incoming, _, err := e.sendRecv(peer, e.tag(tagRecursiveDoubling+step), data, peer, e.tag(tagRecursiveDoubling+step))
 			if err != nil {
 				return err
 			}
@@ -346,9 +383,9 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 	// Post phase: odd folded ranks return the result to their even partners.
 	switch {
 	case rank < 2*rem && rank%2 == 1:
-		return c.SendCopy(rank-1, tagFold+1, data)
+		return c.SendCopy(rank-1, e.tag(tagFold+1), data)
 	case rank < 2*rem && rank%2 == 0:
-		result, _, err := e.recv(rank+1, tagFold+1)
+		result, _, err := e.recv(rank+1, e.tag(tagFold+1))
 		if err != nil {
 			return err
 		}
@@ -381,7 +418,7 @@ func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
 		recvIdx := (rank - step - 1 + size) % size
 		sendLo, sendHi := tensor.ChunkBounds(n, size, sendIdx)
 		recvLo, recvHi := tensor.ChunkBounds(n, size, recvIdx)
-		if err := e.exchangeSegmented(next, prev, tagRingReduce+step, data[sendLo:sendHi], data[recvLo:recvHi], op, true); err != nil {
+		if err := e.exchangeSegmented(next, prev, e.tag(tagRingReduce+step), data[sendLo:sendHi], data[recvLo:recvHi], op, true); err != nil {
 			return err
 		}
 	}
@@ -392,7 +429,7 @@ func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
 		recvIdx := (rank - step + size) % size
 		sendLo, sendHi := tensor.ChunkBounds(n, size, sendIdx)
 		recvLo, recvHi := tensor.ChunkBounds(n, size, recvIdx)
-		if err := e.exchangeSegmented(next, prev, tagRingGather+step, data[sendLo:sendHi], data[recvLo:recvHi], op, false); err != nil {
+		if err := e.exchangeSegmented(next, prev, e.tag(tagRingGather+step), data[sendLo:sendHi], data[recvLo:recvHi], op, false); err != nil {
 			return err
 		}
 	}
@@ -417,12 +454,12 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 	switch {
 	case rank < 2*rem && rank%2 == 0:
 		// SendCopy: data is still needed to receive the final result below.
-		if err := c.SendCopy(rank+1, tagFold+2, data); err != nil {
+		if err := c.SendCopy(rank+1, e.tag(tagFold+2), data); err != nil {
 			return err
 		}
 		inGroup = false
 	case rank < 2*rem && rank%2 == 1:
-		incoming, _, err := e.recv(rank-1, tagFold+2)
+		incoming, _, err := e.recv(rank-1, e.tag(tagFold+2))
 		if err != nil {
 			return err
 		}
@@ -450,7 +487,7 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 			} else {
 				sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 			}
-			if err := e.exchangeSegmented(peer, peer, tagScatterReduce+step, data[sendLo:sendHi], data[keepLo:keepHi], op, true); err != nil {
+			if err := e.exchangeSegmented(peer, peer, e.tag(tagScatterReduce+step), data[sendLo:sendHi], data[keepLo:keepHi], op, true); err != nil {
 				return err
 			}
 			lo, hi = keepLo, keepHi
@@ -467,7 +504,7 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 			peerGroup := groupRank ^ d
 			peer := doublingToRank(peerGroup, rem)
 			peerLo, peerHi := rabOwnedRange(len(data), pof2, peerGroup, d)
-			if err := e.exchangeSegmented(peer, peer, tagAllgatherRab+agStep, data[lo:hi], data[peerLo:peerHi], op, false); err != nil {
+			if err := e.exchangeSegmented(peer, peer, e.tag(tagAllgatherRab+agStep), data[lo:hi], data[peerLo:peerHi], op, false); err != nil {
 				return err
 			}
 			if peerLo < lo {
@@ -483,9 +520,9 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 	// Post phase for folded-out ranks.
 	switch {
 	case rank < 2*rem && rank%2 == 1:
-		return c.SendCopy(rank-1, tagFold+3, data)
+		return c.SendCopy(rank-1, e.tag(tagFold+3), data)
 	case rank < 2*rem && rank%2 == 0:
-		result, _, err := e.recv(rank+1, tagFold+3)
+		result, _, err := e.recv(rank+1, e.tag(tagFold+3))
 		if err != nil {
 			return err
 		}

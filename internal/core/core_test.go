@@ -466,3 +466,115 @@ func TestSyncModelAveragesReplicas(t *testing.T) {
 		}
 	}
 }
+
+// buildDeepClassificationTask builds a multi-layer MLP classification task so
+// the overlapped path exercises several layer-aligned buckets.
+func buildDeepClassificationTask(rank, size int) *core.ClassificationTask {
+	train := data.Blobs(4, 6, 64, 0.3, 41)
+	eval := data.Blobs(4, 6, 16, 0.3, 42)
+	net := nn.NewNetwork(nn.SoftmaxCrossEntropy{},
+		nn.NewDense(6, 24), nn.NewTanh(24), nn.NewDense(24, 16), nn.NewReLU(16), nn.NewDense(16, 4))
+	return core.NewClassificationTask("blobs-deep", net, train, eval, 8, rank, size, 3)
+}
+
+// TestOverlappedSyncTrainingBitForBit is the trainer-level half of the
+// numerical-equivalence acceptance gate: on the in-process transport with
+// recursive doubling (whose per-element reduction tree is independent of the
+// vector length), overlapped bucketed training must produce bit-for-bit the
+// parameters of the serial single-shot path.
+func TestOverlappedSyncTrainingBitForBit(t *testing.T) {
+	const size = 4
+	const steps = 6
+	run := func(overlap bool, bucketElems int) []tensor.Vector {
+		finalParams := make([]tensor.Vector, size)
+		runWorld(t, size, func(rank int, c *comm.Communicator) error {
+			task := buildDeepClassificationTask(rank, size)
+			opts := []collective.Option{collective.WithAlgorithm(collective.RecursiveDoubling)}
+			if overlap {
+				opts = append(opts, collective.WithOverlap(), collective.WithBucketElems(bucketElems))
+			}
+			tr, err := core.NewTrainer(core.Config{
+				Comm:      c,
+				Task:      task,
+				Exchanger: mustReducer(c, task.NumParams(), opts...),
+				Optimizer: optimizer.NewSGD(0.05),
+			})
+			if err != nil {
+				return err
+			}
+			defer tr.Close()
+			for s := 0; s < steps; s++ {
+				rec, err := tr.Step()
+				if err != nil {
+					return err
+				}
+				if rec.ActiveProcesses != size || !rec.Included {
+					t.Errorf("overlapped sync step stats wrong: %+v", rec)
+				}
+			}
+			finalParams[rank] = task.Params().Clone()
+			return nil
+		})
+		return finalParams
+	}
+	serial := run(false, 0)
+	for _, bucketElems := range []int{0, 200} { // per-layer buckets and coalesced buckets
+		overlapped := run(true, bucketElems)
+		for r := 0; r < size; r++ {
+			for i := range serial[r] {
+				if serial[r][i] != overlapped[r][i] {
+					t.Fatalf("bucketElems=%d rank %d param %d: overlapped %v != serial %v (must be bit-for-bit)",
+						bucketElems, r, i, overlapped[r][i], serial[r][i])
+				}
+			}
+		}
+	}
+}
+
+// TestOverlappedEagerTraining smoke-tests the overlapped path through the
+// eager (solo) engine end to end, including the periodic WithSyncEvery
+// synchronization happening per bucket: replicas must converge after a final
+// model sync and per-step stats must stay sane.
+func TestOverlappedEagerTraining(t *testing.T) {
+	const size = 4
+	const steps = 160
+	evalLosses := make([]float64, size)
+	runWorld(t, size, func(rank int, c *comm.Communicator) error {
+		task := buildRegressionTask(rank, size, 8, 8)
+		layout := core.BucketLayout(task, 0)
+		tr, err := core.NewTrainer(core.Config{
+			Comm: c,
+			Task: task,
+			Exchanger: mustReducer(c, task.NumParams(),
+				collective.WithMode(collective.Solo), collective.WithSeed(17),
+				collective.WithOverlap(), collective.WithBucketLayout(layout...),
+				collective.WithSyncEvery(10)),
+			Optimizer:      optimizer.NewSGD(0.02),
+			SyncEverySteps: 20,
+		})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		for s := 0; s < steps; s++ {
+			rec, err := tr.Step()
+			if err != nil {
+				return err
+			}
+			if rec.ActiveProcesses < 0 || rec.ActiveProcesses > size {
+				t.Errorf("rank %d step %d: active processes %d out of range", rank, s, rec.ActiveProcesses)
+			}
+		}
+		if err := tr.SyncModel(); err != nil {
+			return err
+		}
+		evalLosses[rank] = task.Evaluate().Loss
+		return nil
+	})
+	initial := buildRegressionTask(0, 1, 8, 8).Evaluate().Loss
+	for r, l := range evalLosses {
+		if l > initial*0.5 {
+			t.Fatalf("rank %d overlapped eager training did not make progress: eval loss %v (initial %v)", r, l, initial)
+		}
+	}
+}

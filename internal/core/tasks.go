@@ -47,6 +47,23 @@ type Task interface {
 	WorkloadUnits(step int) int
 }
 
+// BucketedTask is a Task whose gradient computation can announce
+// layer-aligned segments as they become final during the backward pass, in
+// reverse layer order — the hook the overlapped (bucketed) gradient exchange
+// is built on. All built-in tasks implement it.
+type BucketedTask interface {
+	Task
+	// Segments returns the layer-aligned bucket boundaries of Grads(), in
+	// offset order, tiling [0, NumParams()).
+	Segments() []nn.Segment
+	// ComputeGradientBuckets behaves exactly like ComputeGradient (same
+	// gradients, bit for bit) but invokes ready for each segment the moment
+	// its gradient is final — during the backward pass, so the caller can
+	// start exchanging early segments while later layers still
+	// backpropagate.
+	ComputeGradientBuckets(step int, ready func(nn.Segment)) float64
+}
+
 // RegressionTask trains an nn.Network on a data.RegressionDataset shard —
 // the hyperplane workload of §6.2.1.
 type RegressionTask struct {
@@ -93,6 +110,22 @@ func (t *RegressionTask) ComputeGradient(int) float64 {
 		ys[i] = t.train.Targets[j]
 	}
 	return t.net.BatchGradient(xs, ys)
+}
+
+// Segments returns the network's layer-aligned bucket boundaries.
+func (t *RegressionTask) Segments() []nn.Segment { return t.net.Segments() }
+
+// ComputeGradientBuckets is ComputeGradient with per-segment ready
+// notifications during the backward pass (see BucketedTask).
+func (t *RegressionTask) ComputeGradientBuckets(_ int, ready func(nn.Segment)) float64 {
+	idx := t.sampler.Next()
+	xs := make([]tensor.Vector, len(idx))
+	ys := make([]tensor.Vector, len(idx))
+	for i, j := range idx {
+		xs[i] = t.train.Inputs[j]
+		ys[i] = t.train.Targets[j]
+	}
+	return t.net.BatchGradientBuckets(xs, ys, ready)
 }
 
 // Evaluate returns the mean validation loss.
@@ -157,6 +190,22 @@ func (t *ClassificationTask) ComputeGradient(int) float64 {
 		ys[i] = nn.OneHot(t.train.Labels[j], t.train.Classes)
 	}
 	return t.net.BatchGradient(xs, ys)
+}
+
+// Segments returns the network's layer-aligned bucket boundaries.
+func (t *ClassificationTask) Segments() []nn.Segment { return t.net.Segments() }
+
+// ComputeGradientBuckets is ComputeGradient with per-segment ready
+// notifications during the backward pass (see BucketedTask).
+func (t *ClassificationTask) ComputeGradientBuckets(_ int, ready func(nn.Segment)) float64 {
+	idx := t.sampler.Next()
+	xs := make([]tensor.Vector, len(idx))
+	ys := make([]tensor.Vector, len(idx))
+	for i, j := range idx {
+		xs[i] = t.train.Inputs[j]
+		ys[i] = nn.OneHot(t.train.Labels[j], t.train.Classes)
+	}
+	return t.net.BatchGradientBuckets(xs, ys, ready)
 }
 
 // Evaluate returns held-out loss and top-1/top-5 accuracy.
@@ -257,6 +306,26 @@ func (t *SequenceTask) ComputeGradient(int) float64 {
 	}
 	t.lastWorkload = workload
 	return t.model.BatchGradient(seqs, labels)
+}
+
+// Segments returns the model's layer-aligned bucket boundaries (recurrent
+// block and dense read-out).
+func (t *SequenceTask) Segments() []nn.Segment { return t.model.Segments() }
+
+// ComputeGradientBuckets is ComputeGradient with per-segment ready
+// notifications during backpropagation through time (see BucketedTask).
+func (t *SequenceTask) ComputeGradientBuckets(_ int, ready func(nn.Segment)) float64 {
+	idx := t.sampler.Next()
+	seqs := make([][]tensor.Vector, len(idx))
+	labels := make([]int, len(idx))
+	workload := 0
+	for i, j := range idx {
+		seqs[i] = t.train.Sequences[j]
+		labels[i] = t.train.Labels[j]
+		workload += len(seqs[i])
+	}
+	t.lastWorkload = workload
+	return t.model.BatchGradientBuckets(seqs, labels, ready)
 }
 
 // Evaluate returns held-out loss and top-1/top-5 accuracy.

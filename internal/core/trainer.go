@@ -9,6 +9,7 @@ import (
 	"eagersgd/internal/collectives"
 	"eagersgd/internal/comm"
 	"eagersgd/internal/imbalance"
+	"eagersgd/internal/nn"
 	"eagersgd/internal/optimizer"
 	"eagersgd/internal/tensor"
 	"eagersgd/internal/trace"
@@ -51,9 +52,26 @@ type Trainer struct {
 	cfg      Config
 	recorder *trace.ThroughputRecorder
 	step     int
+	// bucket is non-nil when the overlapped (bucketed) exchange path is
+	// active: the exchanger was built with collective.WithOverlap and the
+	// task can announce layer segments during its backward pass.
+	bucket *trainerBuckets
 }
 
-// NewTrainer validates the configuration and builds a trainer.
+// trainerBuckets holds the overlapped path's wiring: the bucket-capable
+// reducer and task plus the bucket plan mapping layer segments onto exchange
+// buckets.
+type trainerBuckets struct {
+	reducer collective.BucketReducer
+	task    BucketedTask
+	plan    bucketPlan
+}
+
+// NewTrainer validates the configuration and builds a trainer. When the
+// exchanger was built with collective.WithOverlap and the task supports
+// bucketed gradients, steps run the overlapped path: buckets are submitted
+// during the backward pass and each bucket's reduced result is applied as it
+// lands.
 func NewTrainer(cfg Config) (*Trainer, error) {
 	if cfg.Comm == nil || cfg.Task == nil || cfg.Exchanger == nil || cfg.Optimizer == nil {
 		return nil, fmt.Errorf("core: config requires Comm, Task, Exchanger, and Optimizer")
@@ -61,7 +79,16 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	if cfg.Injector == nil {
 		cfg.Injector = imbalance.None{}
 	}
-	return &Trainer{cfg: cfg, recorder: trace.NewThroughputRecorder()}, nil
+	t := &Trainer{cfg: cfg, recorder: trace.NewThroughputRecorder()}
+	if enabled, bucketElems := collective.OverlapSettings(cfg.Exchanger); enabled {
+		br, brOK := cfg.Exchanger.(collective.BucketReducer)
+		bt, btOK := cfg.Task.(BucketedTask)
+		if !brOK || !btOK {
+			return nil, fmt.Errorf("core: overlap requires a bucket-capable exchanger and task (have %T, %T)", cfg.Exchanger, cfg.Task)
+		}
+		t.bucket = &trainerBuckets{reducer: br, task: bt, plan: planBuckets(bt.Segments(), bucketElems)}
+	}
+	return t, nil
 }
 
 // Rank returns the trainer's rank.
@@ -82,39 +109,28 @@ func (t *Trainer) Step() (trace.StepRecord, error) {
 // any injected or modelled imbalance), gradient exchange through the Reducer,
 // averaging, and the optimizer update, followed by the periodic model
 // synchronization if due. Canceling ctx aborts a blocked gradient exchange.
+//
+// On the overlapped path the exchange is bucketed: layer-aligned buckets are
+// submitted as the backward pass produces them (communication overlaps the
+// remaining backprop) and each bucket's averaged result is applied as it
+// lands; the end-of-step WaitStep supplies the same loss/participation
+// accounting as the one-shot exchange.
 func (t *Trainer) StepContext(ctx context.Context) (trace.StepRecord, error) {
 	start := time.Now()
 	step := t.step
 	t.step++
 
-	loss := t.cfg.Task.ComputeGradient(step)
-
-	// Modelled base compute cost of the system the local model stands in for.
-	if t.cfg.BaseStepPaperMs > 0 {
-		t.cfg.Clock.Sleep(t.cfg.BaseStepPaperMs)
+	var loss float64
+	var res collective.Result
+	var err error
+	if t.bucket != nil {
+		loss, res, err = t.stepOverlapped(ctx, step)
+	} else {
+		loss, res, err = t.stepSerial(ctx, step)
 	}
-	// Inherent-imbalance cost model: charge time proportional to the batch
-	// workload (e.g. total frames).
-	if t.cfg.CostModel != nil {
-		if units := t.cfg.Task.WorkloadUnits(step); units > 0 {
-			t.cfg.Clock.Sleep(t.cfg.CostModel.Runtime(units))
-		}
-	}
-	// System-caused imbalance injection.
-	if d := t.cfg.Injector.Delay(step, t.Rank()); d > 0 {
-		t.cfg.Clock.Sleep(d)
-	}
-
-	res, err := t.cfg.Exchanger.Reduce(ctx, t.cfg.Task.Grads())
 	if err != nil {
-		return trace.StepRecord{}, fmt.Errorf("core: step %d exchange: %w", step, err)
+		return trace.StepRecord{}, err
 	}
-	global := res.Sum
-	global.Scale(1 / float64(t.Size()))
-	t.cfg.Optimizer.Step(t.cfg.Task.Params(), global, step)
-	// The reduced sum is a pool lease and has been fully applied: recycle it
-	// so every training step reuses the same result buffer.
-	tensor.PutVector(global)
 
 	if t.cfg.SyncEverySteps > 0 && (step+1)%t.cfg.SyncEverySteps == 0 {
 		if err := t.SyncModel(); err != nil {
@@ -131,6 +147,109 @@ func (t *Trainer) StepContext(ctx context.Context) (trace.StepRecord, error) {
 	}
 	t.recorder.Add(rec)
 	return rec, nil
+}
+
+// sleepImbalance replays the step's modelled compute cost and injected
+// delays through the scaled clock.
+func (t *Trainer) sleepImbalance(step int) {
+	// Modelled base compute cost of the system the local model stands in for.
+	if t.cfg.BaseStepPaperMs > 0 {
+		t.cfg.Clock.Sleep(t.cfg.BaseStepPaperMs)
+	}
+	// Inherent-imbalance cost model: charge time proportional to the batch
+	// workload (e.g. total frames).
+	if t.cfg.CostModel != nil {
+		if units := t.cfg.Task.WorkloadUnits(step); units > 0 {
+			t.cfg.Clock.Sleep(t.cfg.CostModel.Runtime(units))
+		}
+	}
+	// System-caused imbalance injection.
+	if d := t.cfg.Injector.Delay(step, t.Rank()); d > 0 {
+		t.cfg.Clock.Sleep(d)
+	}
+}
+
+// stepSerial is the classic path: full backward pass, then one blocking
+// exchange over the whole flat gradient.
+func (t *Trainer) stepSerial(ctx context.Context, step int) (float64, collective.Result, error) {
+	loss := t.cfg.Task.ComputeGradient(step)
+	t.sleepImbalance(step)
+
+	res, err := t.cfg.Exchanger.Reduce(ctx, t.cfg.Task.Grads())
+	if err != nil {
+		return 0, collective.Result{}, fmt.Errorf("core: step %d exchange: %w", step, err)
+	}
+	global := res.Sum
+	global.Scale(1 / float64(t.Size()))
+	t.cfg.Optimizer.Step(t.cfg.Task.Params(), global, step)
+	// The reduced sum is a pool lease and has been fully applied: recycle it
+	// so every training step reuses the same result buffer.
+	tensor.PutVector(global)
+	res.Sum = nil
+	return loss, res, nil
+}
+
+// stepOverlapped is the bucketed path: the backward pass announces each
+// bucket as its gradients settle, the bucket is submitted immediately (its
+// reduction rides under the rest of backprop and the modelled compute
+// sleeps), and results are averaged and applied per bucket in submission
+// order. The modelled imbalance sleeps run after the local compute as on the
+// serial path — by then the buckets are already in flight, which is exactly
+// the overlap being modelled.
+func (t *Trainer) stepOverlapped(ctx context.Context, step int) (float64, collective.Result, error) {
+	bk := t.bucket
+	grads := bk.task.Grads()
+	if err := bk.reducer.BeginStep(ctx, bk.plan.lens); err != nil {
+		return 0, collective.Result{}, fmt.Errorf("core: step %d begin: %w", step, err)
+	}
+	handles := make([]*collective.BucketHandle, 0, len(bk.plan.lens))
+	remaining := append([]int(nil), bk.plan.segsPerBucket...)
+	var submitErr error
+	loss := bk.task.ComputeGradientBuckets(step, func(seg nn.Segment) {
+		if submitErr != nil {
+			return
+		}
+		b := bk.plan.bucketOf[seg.Offset]
+		remaining[b]--
+		if remaining[b] > 0 {
+			return // bucket coalesces several segments; wait for the rest
+		}
+		lo := bk.plan.offs[b]
+		h, err := bk.reducer.SubmitBucket(ctx, lo, grads[lo:lo+bk.plan.lens[b]])
+		if err != nil {
+			submitErr = err
+			return
+		}
+		handles = append(handles, h)
+	})
+	t.sleepImbalance(step)
+
+	var applyErr error
+	if submitErr == nil {
+		inv := 1 / float64(t.Size())
+		for _, h := range handles {
+			sum, err := h.Wait(ctx)
+			if err != nil {
+				applyErr = err
+				break
+			}
+			sum.Scale(inv)
+			t.cfg.Optimizer.StepSegment(t.cfg.Task.Params(), sum, h.Offset(), step)
+			tensor.PutVector(sum)
+		}
+	}
+	// WaitStep always runs: it is the step's cleanup point (unclaimed bucket
+	// results are released there) and its accounting source.
+	res, waitErr := bk.reducer.WaitStep(ctx)
+	switch {
+	case submitErr != nil:
+		return 0, collective.Result{}, fmt.Errorf("core: step %d submit: %w", step, submitErr)
+	case applyErr != nil:
+		return 0, collective.Result{}, fmt.Errorf("core: step %d exchange: %w", step, applyErr)
+	case waitErr != nil:
+		return 0, collective.Result{}, fmt.Errorf("core: step %d exchange: %w", step, waitErr)
+	}
+	return loss, res, nil
 }
 
 // SyncModel averages the model replicas across all ranks (a synchronous

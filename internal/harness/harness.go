@@ -31,6 +31,14 @@ type Config struct {
 	// Seed drives all pseudo-randomness (datasets, initiator selection,
 	// injection schedules).
 	Seed int64
+	// Overlap runs every training variant with the bucketed gradient exchange
+	// (train.Spec.Overlap / collective.WithOverlap): buckets are submitted as
+	// the backward pass produces them instead of one fused exchange at the
+	// end.
+	Overlap bool
+	// BucketElems is the bucket coalescing target when Overlap is on; 0 keeps
+	// one bucket per layer segment.
+	BucketElems int
 }
 
 // DefaultConfig returns the full-scale configuration.

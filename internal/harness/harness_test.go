@@ -3,8 +3,6 @@ package harness
 import (
 	"strings"
 	"testing"
-
-	"eagersgd/internal/race"
 )
 
 func TestExperimentsListAndRunByID(t *testing.T) {
@@ -133,22 +131,22 @@ func TestFig9MicrobenchmarkQuick(t *testing.T) {
 	if len(r.Tables) != 1 || len(r.Curves) != 5 {
 		t.Fatalf("fig9 shape wrong: %d tables %d curves", len(r.Tables), len(r.Curves))
 	}
-	if race.Enabled {
-		// The assertions below compare wall-clock latencies of concurrent
-		// collectives; the race detector's instrumentation skews scheduling
-		// enough that the qualitative ordering (solo fastest, majority in
-		// between) flakes on slow machines. The shape checks above still ran.
-		t.Skip("latency-ordering thresholds are unreliable under the race detector")
-	}
+	// The assertions below are latency RATIOS under a skew deliberately
+	// replayed large (quick fig9Clock = 4.0): the synchronous allreduce is
+	// structurally forced to wait out the slowest rank's ~32 ms delay while
+	// solo returns after engine overhead only and majority waits for one
+	// random initiator (~half the skew in expectation). The injected delays
+	// dominate scheduler and race-detector noise by an order of magnitude, so
+	// the thresholds — widened well below the structural ratios (solo
+	// measures >5x, majority >1.5x here; the paper reports 53.3x and 2.5x) —
+	// hold deterministically with and without -race.
 	soloSpeedup := r.Value("speedup/solo-mean")
 	majSpeedup := r.Value("speedup/majority-mean")
-	// The qualitative claims of §6.1: solo is the fastest, majority sits in
-	// between, both beat the synchronous allreduce under full skew.
-	if soloSpeedup <= 1 {
-		t.Fatalf("solo allreduce speedup %.2f should exceed 1", soloSpeedup)
+	if soloSpeedup <= 2 {
+		t.Fatalf("solo allreduce speedup %.2f should comfortably exceed 2 under 4x-replayed skew", soloSpeedup)
 	}
-	if majSpeedup <= 1 {
-		t.Fatalf("majority allreduce speedup %.2f should exceed 1", majSpeedup)
+	if majSpeedup <= 1.1 {
+		t.Fatalf("majority allreduce speedup %.2f should exceed 1.1 under 4x-replayed skew", majSpeedup)
 	}
 	if soloSpeedup <= majSpeedup {
 		t.Fatalf("solo speedup %.2f should exceed majority speedup %.2f", soloSpeedup, majSpeedup)

@@ -53,17 +53,19 @@ func eagerVariant(mode collective.Mode, syncEvery int) variant {
 // trainingSpec bundles everything needed to run one distributed training
 // configuration.
 type trainingSpec struct {
-	name      string
-	size      int
-	steps     int
-	evalEvery int
-	lr        float64
-	baseMs    float64
-	costModel *imbalance.SequenceCostModel
-	injector  imbalance.Injector
-	clock     imbalance.Clock
-	seed      int64
-	buildTask func(rank, size int) core.Task
+	name        string
+	size        int
+	steps       int
+	evalEvery   int
+	lr          float64
+	baseMs      float64
+	costModel   *imbalance.SequenceCostModel
+	injector    imbalance.Injector
+	clock       imbalance.Clock
+	seed        int64
+	overlap     bool // bucketed overlapped exchange (Config.Overlap)
+	bucketElems int
+	buildTask   func(rank, size int) core.Task
 }
 
 // runVariant executes the spec with the given SGD variant and returns the
@@ -78,6 +80,16 @@ func runVariant(spec trainingSpec, v variant) (*core.RunResult, error) {
 		Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
 			task := spec.buildTask(rank, spec.size)
 			opts := append([]collective.Option{collective.WithSeed(spec.seed)}, v.opts...)
+			if spec.overlap {
+				bt, ok := task.(core.BucketedTask)
+				if !ok {
+					return nil, fmt.Errorf("harness: task %T does not support the overlapped exchange", task)
+				}
+				opts = append(opts,
+					collective.WithOverlap(),
+					collective.WithBucketElems(spec.bucketElems),
+					collective.WithBucketLayout(core.BucketLayout(bt, spec.bucketElems)...))
+			}
 			ex, err := collective.NewReducer(c, task.NumParams(), opts...)
 			if err != nil {
 				return nil, err
@@ -158,7 +170,7 @@ func Fig10Hyperplane(cfg Config) (*Report, error) {
 			name: fmt.Sprintf("fig10-%.0fms", inj), size: p.fig10Procs, steps: p.fig10Steps,
 			evalEvery: p.evalEvery, lr: p.fig10LR, baseMs: p.fig10BaseMs,
 			injector: imbalance.RandomSubset{Size: p.fig10Procs, K: 1, Amount: inj, Seed: cfg.Seed + int64(inj)},
-			clock:    clock, seed: cfg.Seed, buildTask: buildTask,
+			clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
 		}
 
 		variants := []variant{
@@ -228,7 +240,7 @@ func Fig11ImageNetLight(cfg Config) (*Report, error) {
 			name: fmt.Sprintf("fig11-%.0fms", inj), size: p.fig11Procs, steps: p.fig11Steps,
 			evalEvery: p.evalEvery, lr: p.fig11LR, baseMs: p.fig11BaseMs,
 			injector: imbalance.RandomSubset{Size: p.fig11Procs, K: p.fig11InjectedK, Amount: inj, Seed: cfg.Seed + int64(inj)},
-			clock:    clock, seed: cfg.Seed, buildTask: buildTask,
+			clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
 		}
 		variants := []variant{
 			synchVariant(styleDeep500),
@@ -283,7 +295,7 @@ func Fig12CifarSevere(cfg Config) (*Report, error) {
 		name: "fig12", size: p.fig12Procs, steps: p.fig12Steps,
 		evalEvery: p.evalEvery, lr: p.fig12LR, baseMs: p.fig12BaseMs,
 		injector: imbalance.ShiftedSevere{Size: p.fig12Procs, MinMs: p.fig12MinMs, MaxMs: p.fig12MaxMs},
-		clock:    clock, seed: cfg.Seed, buildTask: buildTask,
+		clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
 	}
 
 	table := trace.NewTable(
@@ -345,7 +357,7 @@ func Fig13VideoLSTM(cfg Config) (*Report, error) {
 	spec := trainingSpec{
 		name: "fig13", size: p.fig13Procs, steps: p.fig13Steps,
 		evalEvery: p.evalEvery, lr: p.fig13LR, baseMs: 0, costModel: costModel,
-		injector: imbalance.None{}, clock: clock, seed: cfg.Seed, buildTask: buildTask,
+		injector: imbalance.None{}, clock: clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
 	}
 
 	table := trace.NewTable(
@@ -409,7 +421,7 @@ func ScalingSummary(cfg Config) (*Report, error) {
 	single := trainingSpec{
 		name: "scaling-1", size: 1, steps: steps, evalEvery: 0, lr: p.fig10LR,
 		baseMs:   p.fig10BaseMs * float64(p.fig10Procs), // one process does the whole global batch
-		injector: imbalance.None{}, clock: clock, seed: cfg.Seed, buildTask: buildTask,
+		injector: imbalance.None{}, clock: clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
 	}
 	singleRes, err := runVariant(single, synchVariant(styleDeep500))
 	if err != nil {
@@ -420,7 +432,7 @@ func ScalingSummary(cfg Config) (*Report, error) {
 		name: fmt.Sprintf("scaling-%d", p.fig10Procs), size: p.fig10Procs, steps: steps,
 		evalEvery: 0, lr: p.fig10LR, baseMs: p.fig10BaseMs,
 		injector: imbalance.RandomSubset{Size: p.fig10Procs, K: 1, Amount: inj, Seed: cfg.Seed},
-		clock:    clock, seed: cfg.Seed, buildTask: buildTask,
+		clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
 	}
 
 	table := trace.NewTable(

@@ -184,10 +184,39 @@ func (m *LSTMClassifier) Predict(seq []tensor.Vector) int {
 	return m.Forward(seq).ArgMax()
 }
 
+// recurrentParams returns the element count of the recurrent block (wx, wh,
+// bias) at the head of the flat vectors; the dense read-out (wout, bout)
+// occupies the tail.
+func (m *LSTMClassifier) recurrentParams() int {
+	h, i := m.HiddenSize, m.InputSize
+	return 4*h*i + 4*h*h + 4*h
+}
+
+// Segments returns the two layer-aligned segments of the flat vectors: the
+// recurrent block (wx, wh, bias) and the dense read-out (wout, bout). During
+// backpropagation through time the read-out's gradient settles first and the
+// recurrent block's last, so a bucketed exchange sees the segments become
+// ready in reverse layer order.
+func (m *LSTMClassifier) Segments() []Segment {
+	r := m.recurrentParams()
+	return []Segment{
+		{Name: "0:lstm", Offset: 0, Len: r},
+		{Name: "1:readout", Offset: r, Len: m.NumParams() - r},
+	}
+}
+
 // AccumulateGradient runs forward and full backpropagation through time for
 // one labelled sequence, accumulating gradients, and returns the sample's
 // cross-entropy loss.
 func (m *LSTMClassifier) AccumulateGradient(seq []tensor.Vector, label int) float64 {
+	return m.accumulateGradient(seq, label, nil)
+}
+
+// accumulateGradient is AccumulateGradient with an optional hook invoked
+// right after the read-out gradients (gwout, gbout) have been accumulated —
+// the point at which the read-out segment is final for the sample while the
+// BPTT loop over the recurrent block is still to come.
+func (m *LSTMClassifier) accumulateGradient(seq []tensor.Vector, label int, afterReadout func()) float64 {
 	if len(seq) == 0 {
 		panic("nn: empty sequence")
 	}
@@ -201,6 +230,9 @@ func (m *LSTMClassifier) AccumulateGradient(seq []tensor.Vector, label int) floa
 	last := caches[len(caches)-1]
 	m.gwout.AddOuter(1, dLogits, last.h)
 	m.gbout.Add(dLogits)
+	if afterReadout != nil {
+		afterReadout()
+	}
 
 	dh := tensor.NewVector(h)
 	m.wout.MulVecT(dLogits, dh)
@@ -248,6 +280,43 @@ func (m *LSTMClassifier) BatchGradient(seqs [][]tensor.Vector, labels []int) flo
 	}
 	inv := 1 / float64(len(seqs))
 	m.grads.Scale(inv)
+	return total * inv
+}
+
+// BatchGradientBuckets computes exactly the gradients of BatchGradient (same
+// accumulation order, same element-wise scaling — bit-for-bit identical) but
+// announces each segment through ready as soon as it is final during the
+// final sequence's backpropagation: the read-out segment right after its
+// gradient settles, the recurrent segment once the BPTT loop finishes. Each
+// segment is already scaled by the batch size when its notification fires. A
+// nil ready degrades to BatchGradient.
+func (m *LSTMClassifier) BatchGradientBuckets(seqs [][]tensor.Vector, labels []int, ready func(Segment)) float64 {
+	if len(seqs) != len(labels) {
+		panic(fmt.Sprintf("nn: batch size mismatch %d sequences vs %d labels", len(seqs), len(labels)))
+	}
+	if len(seqs) == 0 {
+		panic("nn: empty batch")
+	}
+	m.ZeroGrads()
+	var total float64
+	last := len(seqs) - 1
+	for i := 0; i < last; i++ {
+		total += m.AccumulateGradient(seqs[i], labels[i])
+	}
+	inv := 1 / float64(len(seqs))
+	segs := m.Segments()
+	total += m.accumulateGradient(seqs[last], labels[last], func() {
+		seg := segs[1] // read-out: final before the BPTT loop runs
+		m.grads[seg.Offset : seg.Offset+seg.Len].Scale(inv)
+		if ready != nil {
+			ready(seg)
+		}
+	})
+	seg := segs[0] // recurrent block: final after the full BPTT loop
+	m.grads[seg.Offset : seg.Offset+seg.Len].Scale(inv)
+	if ready != nil {
+		ready(seg)
+	}
 	return total * inv
 }
 

@@ -196,3 +196,54 @@ func TestLSTMLearnsSequenceSumSign(t *testing.T) {
 		t.Fatalf("LSTM failed to learn sum-sign task: accuracy %.2f", acc)
 	}
 }
+
+func TestLSTMSegmentsTileFlatVector(t *testing.T) {
+	m := NewLSTMClassifier(6, 9, 4)
+	segs := m.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("want recurrent + read-out segments, got %d", len(segs))
+	}
+	if segs[0].Offset != 0 || segs[0].Len+segs[1].Len != m.NumParams() || segs[1].Offset != segs[0].Len {
+		t.Fatalf("segments %+v do not tile [0,%d)", segs, m.NumParams())
+	}
+}
+
+func TestLSTMBatchGradientBucketsBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	build := func() *LSTMClassifier {
+		m := NewLSTMClassifier(4, 6, 3)
+		m.Init(rand.New(rand.NewSource(23)))
+		return m
+	}
+	plain, bucketed := build(), build()
+	for _, batch := range []int{1, 3} {
+		seqs := make([][]tensor.Vector, batch)
+		labels := make([]int, batch)
+		for i := range seqs {
+			length := 2 + rng.Intn(5)
+			seqs[i] = make([]tensor.Vector, length)
+			for tstep := range seqs[i] {
+				seqs[i][tstep] = tensor.NewVector(4)
+				seqs[i][tstep].Randomize(rng, 1)
+			}
+			labels[i] = rng.Intn(3)
+		}
+		lossPlain := plain.BatchGradient(seqs, labels)
+		var order []int
+		lossBucketed := bucketed.BatchGradientBuckets(seqs, labels, func(s Segment) {
+			order = append(order, s.Offset)
+		})
+		if lossPlain != lossBucketed {
+			t.Fatalf("batch %d: loss %v != %v", batch, lossPlain, lossBucketed)
+		}
+		for i := range plain.Grads() {
+			if plain.Grads()[i] != bucketed.Grads()[i] {
+				t.Fatalf("batch %d: gradient element %d differs: %v != %v (must be bit-for-bit)",
+					batch, i, plain.Grads()[i], bucketed.Grads()[i])
+			}
+		}
+		if len(order) != 2 || order[0] <= order[1] {
+			t.Fatalf("batch %d: ready offsets %v, want read-out (tail) before recurrent (head)", batch, order)
+		}
+	}
+}

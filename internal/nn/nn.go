@@ -268,13 +268,28 @@ func OneHot(class, length int) tensor.Vector {
 	return v
 }
 
+// Segment describes one layer-aligned slice of a model's flat parameter and
+// gradient vectors — the natural bucket boundary of a bucketed gradient
+// exchange: the slice [Offset, Offset+Len) of Params()/Grads() belongs to one
+// layer, so it becomes final (and exchangeable) as soon as that layer's
+// backward pass completes.
+type Segment struct {
+	// Name identifies the owning layer in diagnostics.
+	Name string
+	// Offset is the segment's start within the flat vectors.
+	Offset int
+	// Len is the segment's element count.
+	Len int
+}
+
 // Network is a feed-forward stack of layers with a loss, holding all
 // parameters and gradients in flat vectors.
 type Network struct {
-	layers []Layer
-	loss   Loss
-	params tensor.Vector
-	grads  tensor.Vector
+	layers  []Layer
+	offsets []int // per-layer start offset within the flat vectors
+	loss    Loss
+	params  tensor.Vector
+	grads   tensor.Vector
 }
 
 // NewNetwork assembles the layers into a network and allocates the flat
@@ -296,13 +311,37 @@ func NewNetwork(loss Loss, layers ...Layer) *Network {
 		params: tensor.NewVector(total),
 		grads:  tensor.NewVector(total),
 	}
+	n.offsets = make([]int, len(layers))
 	off := 0
-	for _, l := range layers {
+	for i, l := range layers {
 		sz := l.NumParams()
+		n.offsets[i] = off
 		l.Bind(n.params[off:off+sz], n.grads[off:off+sz])
 		off += sz
 	}
 	return n
+}
+
+// layerName labels a layer for Segment diagnostics.
+func layerName(i int, l Layer) string {
+	if s, ok := l.(fmt.Stringer); ok {
+		return fmt.Sprintf("%d:%s", i, s.String())
+	}
+	return fmt.Sprintf("%d:%T", i, l)
+}
+
+// Segments returns the layer-aligned segments of the flat parameter and
+// gradient vectors in layer (offset) order, one per layer that owns
+// parameters. The segments tile [0, NumParams()) exactly when every layer has
+// parameters; parameter-free layers (activations) own no segment.
+func (n *Network) Segments() []Segment {
+	var segs []Segment
+	for i, l := range n.layers {
+		if sz := l.NumParams(); sz > 0 {
+			segs = append(segs, Segment{Name: layerName(i, l), Offset: n.offsets[i], Len: sz})
+		}
+	}
+	return segs
 }
 
 // Init initializes every layer's parameters.
@@ -374,6 +413,49 @@ func (n *Network) BatchGradient(xs, targets []tensor.Vector) float64 {
 	}
 	inv := 1 / float64(len(xs))
 	n.grads.Scale(inv)
+	return total * inv
+}
+
+// BatchGradientBuckets computes exactly the gradients of BatchGradient — the
+// same accumulation order and the same element-wise scaling, so the result is
+// bit-for-bit identical — but announces each layer's segment through ready as
+// soon as it is final, which happens during the final sample's backward pass
+// in reverse layer order (the output layer's gradient settles first). Each
+// segment is already scaled by the batch size when its notification fires, so
+// the callback may hand Grads()[Offset:Offset+Len] straight to a gradient
+// exchange while the remaining layers are still backpropagating. A nil ready
+// degrades to BatchGradient.
+func (n *Network) BatchGradientBuckets(xs, targets []tensor.Vector, ready func(Segment)) float64 {
+	if len(xs) != len(targets) {
+		panic(fmt.Sprintf("nn: batch size mismatch %d inputs vs %d targets", len(xs), len(targets)))
+	}
+	if len(xs) == 0 {
+		panic("nn: empty batch")
+	}
+	n.ZeroGrads()
+	var total float64
+	last := len(xs) - 1
+	for i := 0; i < last; i++ {
+		total += n.AccumulateGradient(xs[i], targets[i])
+	}
+	inv := 1 / float64(len(xs))
+
+	// Final sample: backpropagate layer by layer; a layer's gradient segment
+	// is final the moment its backward completes, so finalize (scale) and
+	// announce it right there.
+	pred := n.Forward(xs[last])
+	total += n.loss.Loss(pred, targets[last])
+	g := n.loss.Grad(pred, targets[last])
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		l := n.layers[i]
+		g = l.Backward(g)
+		if sz := l.NumParams(); sz > 0 {
+			n.grads[n.offsets[i] : n.offsets[i]+sz].Scale(inv)
+			if ready != nil {
+				ready(Segment{Name: layerName(i, l), Offset: n.offsets[i], Len: sz})
+			}
+		}
+	}
 	return total * inv
 }
 

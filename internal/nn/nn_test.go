@@ -340,3 +340,66 @@ func TestNetworkLearnsXOR(t *testing.T) {
 		}
 	}
 }
+
+func TestNetworkSegmentsTileFlatVector(t *testing.T) {
+	net := NewNetwork(SoftmaxCrossEntropy{}, NewDense(6, 16), NewReLU(16), NewDense(16, 8), NewTanh(8), NewDense(8, 3))
+	segs := net.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("want one segment per parameterized layer (3), got %d", len(segs))
+	}
+	off := 0
+	for _, s := range segs {
+		if s.Offset != off {
+			t.Fatalf("segment %q offset %d, want %d (segments must tile the flat vector)", s.Name, s.Offset, off)
+		}
+		if s.Len <= 0 {
+			t.Fatalf("segment %q has non-positive length %d", s.Name, s.Len)
+		}
+		off += s.Len
+	}
+	if off != net.NumParams() {
+		t.Fatalf("segments cover %d elements, want %d", off, net.NumParams())
+	}
+}
+
+func TestNetworkBatchGradientBucketsBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	build := func() *Network {
+		net := NewNetwork(MSE{}, NewDense(5, 12), NewTanh(12), NewDense(12, 7), NewReLU(7), NewDense(7, 2))
+		net.Init(rand.New(rand.NewSource(99)))
+		return net
+	}
+	plain, bucketed := build(), build()
+	for _, batch := range []int{1, 4} {
+		xs := make([]tensor.Vector, batch)
+		ys := make([]tensor.Vector, batch)
+		for i := range xs {
+			xs[i] = tensor.NewVector(5)
+			xs[i].Randomize(rng, 1)
+			ys[i] = tensor.NewVector(2)
+			ys[i].Randomize(rng, 1)
+		}
+		lossPlain := plain.BatchGradient(xs, ys)
+		var order []int
+		lossBucketed := bucketed.BatchGradientBuckets(xs, ys, func(s Segment) {
+			order = append(order, s.Offset)
+		})
+		if lossPlain != lossBucketed {
+			t.Fatalf("batch %d: loss %v != %v", batch, lossPlain, lossBucketed)
+		}
+		for i := range plain.Grads() {
+			if plain.Grads()[i] != bucketed.Grads()[i] {
+				t.Fatalf("batch %d: gradient element %d differs: %v != %v (must be bit-for-bit)",
+					batch, i, plain.Grads()[i], bucketed.Grads()[i])
+			}
+		}
+		if len(order) != 3 {
+			t.Fatalf("batch %d: %d ready notifications, want 3", batch, len(order))
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i] >= order[i-1] {
+				t.Fatalf("batch %d: ready offsets %v not in reverse layer order", batch, order)
+			}
+		}
+	}
+}

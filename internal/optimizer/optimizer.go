@@ -46,6 +46,13 @@ func (s StepDecay) LearningRate(step int) float64 {
 type Optimizer interface {
 	// Step applies the update w <- w + U(grad, w, step) in place.
 	Step(params, grad tensor.Vector, step int)
+	// StepSegment applies the update to one contiguous segment of the model:
+	// params is the full flat parameter vector and grad the reduced gradient
+	// for [offset, offset+len(grad)). A bucketed (overlapped) trainer applies
+	// each bucket's result as it lands; applying every segment of a step
+	// exactly once, in any order, must equal one full-vector Step — which
+	// holds for element-wise updates like SGD and momentum.
+	StepSegment(params, grad tensor.Vector, offset, step int)
 	// Name identifies the optimizer in reports.
 	Name() string
 }
@@ -64,6 +71,11 @@ func (s *SGD) Name() string { return "sgd" }
 // Step applies w <- w - lr*grad.
 func (s *SGD) Step(params, grad tensor.Vector, step int) {
 	params.Axpy(-s.LR.LearningRate(step), grad)
+}
+
+// StepSegment applies the SGD update to one segment of the model.
+func (s *SGD) StepSegment(params, grad tensor.Vector, offset, step int) {
+	params[offset:offset+len(grad)].Axpy(-s.LR.LearningRate(step), grad)
 }
 
 // Momentum is SGD with classical (heavy-ball) momentum:
@@ -87,13 +99,28 @@ func (m *Momentum) Name() string { return "momentum" }
 
 // Step applies the heavy-ball update.
 func (m *Momentum) Step(params, grad tensor.Vector, step int) {
-	if m.velocity == nil {
-		m.velocity = tensor.NewVector(len(params))
-	}
-	if len(m.velocity) != len(params) {
-		panic(fmt.Sprintf("optimizer: parameter length changed from %d to %d", len(m.velocity), len(params)))
-	}
+	m.ensureVelocity(len(params))
 	m.velocity.Scale(m.Beta)
 	m.velocity.Add(grad)
 	params.Axpy(-m.LR.LearningRate(step), m.velocity)
+}
+
+// StepSegment applies the heavy-ball update to one segment of the model. The
+// velocity is element-wise, so updating it segment by segment — each segment
+// exactly once per step — matches the full-vector Step bit for bit.
+func (m *Momentum) StepSegment(params, grad tensor.Vector, offset, step int) {
+	m.ensureVelocity(len(params))
+	v := m.velocity[offset : offset+len(grad)]
+	v.Scale(m.Beta)
+	v.Add(grad)
+	params[offset:offset+len(grad)].Axpy(-m.LR.LearningRate(step), v)
+}
+
+func (m *Momentum) ensureVelocity(n int) {
+	if m.velocity == nil {
+		m.velocity = tensor.NewVector(n)
+	}
+	if len(m.velocity) != n {
+		panic(fmt.Sprintf("optimizer: parameter length changed from %d to %d", len(m.velocity), n))
+	}
 }

@@ -77,6 +77,15 @@ type Options struct {
 	// BaseTag is the first tag of the private tag namespace. Defaults to
 	// DefaultBaseTag.
 	BaseTag int
+	// Buckets partitions the n-element gradient into contiguous buckets of
+	// the given lengths (summing to n). Each round then reduces the buckets
+	// as concurrent per-bucket sub-collectives behind a single activation —
+	// one solo/majority/quorum participation decision per round, shared by
+	// every bucket — and publishes each bucket's result as soon as its chain
+	// completes, which is what the overlapped (bucketed) step API exposes.
+	// Empty means one bucket covering the whole vector. Every rank must use
+	// the same layout (the per-bucket tag blocks are wire state).
+	Buckets []int
 }
 
 // RoundInfo describes the completed round an Exchange call observed.
@@ -115,6 +124,9 @@ type Allreducer struct {
 	n    int
 	opts Options
 
+	buckets    []int // bucket lengths, summing to n (single whole-vector bucket by default)
+	bucketOffs []int // bucket start offsets
+
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -129,8 +141,11 @@ type Allreducer struct {
 	lastResult     tensor.Vector
 	records        map[int]roundRecord
 
-	currentEx   *sched.Executor
-	currentPlan sched.PartialAllreducePlan
+	bucketRound int    // round whose bucketDone entries are valid
+	bucketDone  []bool // per-bucket completion of bucketRound
+
+	currentEx         *sched.Executor
+	currentActivation sched.OpID
 
 	closed   bool
 	engineWG sync.WaitGroup
@@ -147,14 +162,34 @@ func New(c *comm.Communicator, n int, opts Options) *Allreducer {
 	if opts.Candidates < 1 {
 		opts.Candidates = 1
 	}
+	buckets := opts.Buckets
+	if len(buckets) == 0 {
+		buckets = []int{n}
+	}
+	offs := make([]int, len(buckets))
+	total := 0
+	for b, l := range buckets {
+		if l <= 0 {
+			panic(fmt.Sprintf("partial: bucket %d length %d must be positive", b, l))
+		}
+		offs[b] = total
+		total += l
+	}
+	if total != n {
+		panic(fmt.Sprintf("partial: bucket lengths sum to %d, want %d", total, n))
+	}
 	a := &Allreducer{
 		comm:           c,
 		n:              n,
 		opts:           opts,
+		buckets:        buckets,
+		bucketOffs:     offs,
 		sendBuf:        tensor.NewVector(n),
 		appArrived:     -1,
 		pendingInit:    -1,
 		completedRound: -1,
+		bucketRound:    -1,
+		bucketDone:     make([]bool, len(buckets)),
 		lastResult:     tensor.NewVector(n),
 		records:        make(map[int]roundRecord),
 	}
@@ -162,6 +197,14 @@ func New(c *comm.Communicator, n int, opts Options) *Allreducer {
 	a.engineWG.Add(1)
 	go a.engineLoop()
 	return a
+}
+
+// NumBuckets returns the number of buckets each round reduces.
+func (a *Allreducer) NumBuckets() int { return len(a.buckets) }
+
+// BucketRange returns the [lo, hi) element range of bucket b.
+func (a *Allreducer) BucketRange(b int) (lo, hi int) {
+	return a.bucketOffs[b], a.bucketOffs[b] + a.buckets[b]
 }
 
 // Mode returns the configured mode.
@@ -277,21 +320,7 @@ func (a *Allreducer) ExchangeContext(ctx context.Context, grad tensor.Vector) (t
 	if len(grad) != a.n {
 		return nil, RoundInfo{}, fmt.Errorf("partial: gradient length %d, want %d", len(grad), a.n)
 	}
-	if done := ctx.Done(); done != nil {
-		// Convert the context cancellation into a condition-variable wakeup so
-		// the wait loop below can observe it.
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			select {
-			case <-done:
-				a.mu.Lock()
-				a.cond.Broadcast()
-				a.mu.Unlock()
-			case <-stop:
-			}
-		}()
-	}
+	defer a.watchContext(ctx)()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
@@ -355,6 +384,147 @@ func (a *Allreducer) resultCopyLocked() tensor.Vector {
 	return tensor.GetVectorCopy(a.lastResult)
 }
 
+// watchContext converts a context cancellation into condition-variable
+// wakeups so the wait loops can observe it. The returned stop function must
+// be called (usually deferred) when the wait is over.
+func (a *Allreducer) watchContext(ctx context.Context) (stop func()) {
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			a.mu.Lock()
+			a.cond.Broadcast()
+			a.mu.Unlock()
+		case <-stopCh:
+		}
+	}()
+	return func() { close(stopCh) }
+}
+
+// BeginStep reserves the next exchange round for a bucketed step and returns
+// its round index. The bucketed step protocol — the overlapped path behind
+// collective's SubmitBucket/WaitStep — is:
+//
+//	round, _ := a.BeginStep()
+//	// ... as backprop produces buckets, stage them application-side ...
+//	seq, _ := a.Contribute(round, full)   // commit: the step's arrival
+//	a.WaitBucket(ctx, round, b)           // per bucket, as results land
+//	a.WaitStep(ctx, round, seq)           // end-of-step accounting
+//
+// The contribution is committed atomically by Contribute, so the set of ranks
+// whose data is fresh in the round is identical for every bucket: one
+// participation decision per step. Every rank must interleave its
+// BeginStep/Contribute pairs and Exchange calls in the same order (SPMD).
+func (a *Allreducer) BeginStep() (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return 0, ErrClosed
+	}
+	if a.err != nil {
+		return 0, a.err
+	}
+	round := a.appRound
+	a.appRound++
+	return round, nil
+}
+
+// Contribute commits the step's whole gradient vector to the send buffer in
+// one atomic fold — the bucketed step's arrival point. If this rank may
+// initiate the round under the configured mode, the round is activated. The
+// returned sequence number identifies the contribution for WaitStep's
+// inclusion accounting. Contribute never blocks on communication: if the
+// round already completed (straggler), the data simply stays buffered and is
+// folded into a later round as a stale gradient (Fig. 7).
+func (a *Allreducer) Contribute(round int, grad tensor.Vector) (uint64, error) {
+	if len(grad) != a.n {
+		return 0, fmt.Errorf("partial: gradient length %d, want %d", len(grad), a.n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return 0, ErrClosed
+	}
+	a.sendBuf.Add(grad)
+	a.contribSeq++
+	seq := a.contribSeq
+	if round > a.appArrived {
+		a.appArrived = round
+	}
+	if a.err != nil {
+		return seq, a.err
+	}
+	if a.completedRound < round && a.isInitiator(round) {
+		a.pendingInit = round
+		a.triggerIfArmedLocked(round)
+	}
+	return seq, nil
+}
+
+// WaitBucket blocks until bucket b of the round has been reduced and returns
+// a pool-leased copy of the bucket's receive-buffer slice. Buckets complete
+// (and unblock their waiters) as their chains drain, before the round as a
+// whole finishes. If the round — or a later one — already completed, the
+// latest receive-buffer contents for the bucket are returned immediately:
+// the straggler path of Fig. 7 at bucket granularity.
+func (a *Allreducer) WaitBucket(ctx context.Context, round, b int) (tensor.Vector, error) {
+	if b < 0 || b >= len(a.buckets) {
+		return nil, fmt.Errorf("partial: bucket %d out of range [0,%d)", b, len(a.buckets))
+	}
+	defer a.watchContext(ctx)()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if a.err != nil {
+			return nil, a.err
+		}
+		if a.closed {
+			return nil, ErrClosed
+		}
+		if a.completedRound >= round || (a.bucketRound == round && a.bucketDone[b]) {
+			lo := a.bucketOffs[b]
+			return tensor.GetVectorCopy(a.lastResult[lo : lo+a.buckets[b]]), nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a.cond.Wait()
+	}
+}
+
+// WaitStep blocks until the round has fully completed and returns its
+// accounting: the number of active processes and whether the contribution
+// identified by seq (from Contribute) made it into the round's snapshot.
+// Because the snapshot is atomic and the activation decision is made once per
+// round, inclusion is the same for every bucket of the step.
+func (a *Allreducer) WaitStep(ctx context.Context, round int, seq uint64) (RoundInfo, error) {
+	defer a.watchContext(ctx)()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.completedRound < round && !a.closed && a.err == nil {
+		if err := ctx.Err(); err != nil {
+			return RoundInfo{}, err
+		}
+		a.cond.Wait()
+	}
+	if a.err != nil {
+		return RoundInfo{}, a.err
+	}
+	if a.closed {
+		return RoundInfo{}, ErrClosed
+	}
+	info := RoundInfo{Round: round}
+	if rec, ok := a.records[round]; ok {
+		info.ActiveProcesses = rec.nap
+		info.Included = seq > 0 && seq <= rec.snapshotSeq
+	}
+	return info, nil
+}
+
 // triggerIfArmedLocked triggers the internal activation of the armed round if
 // it matches the requested one; otherwise the engine triggers it itself when
 // it arms the round (it checks pendingInit). Caller holds a.mu. Holding a.mu
@@ -363,7 +533,7 @@ func (a *Allreducer) resultCopyLocked() tensor.Vector {
 // held, so there is no lock cycle.
 func (a *Allreducer) triggerIfArmedLocked(round int) {
 	if a.currentEx != nil && a.engineRound == round {
-		_ = a.currentEx.Trigger(a.currentPlan.InternalActivation)
+		_ = a.currentEx.Trigger(a.currentActivation)
 	}
 }
 
@@ -384,17 +554,21 @@ func (a *Allreducer) snapshot(round int, data tensor.Vector) {
 	a.sendBuf.Zero()
 }
 
-// engineLoop is the background communication engine: it arms one schedule per
-// round, lets it be activated internally or externally, and publishes the
-// result.
+// engineLoop is the background communication engine: it arms one bucketed
+// schedule per round, lets it be activated internally or externally (one
+// participation decision per round, shared by every bucket), publishes each
+// bucket's result as its chain completes, and publishes the round itself when
+// every chain has drained.
 func (a *Allreducer) engineLoop() {
 	defer a.engineWG.Done()
 	rank, size := a.comm.Rank(), a.comm.Size()
+	roundStride := sched.BucketRoundTagStride(len(a.buckets))
 	for round := 0; ; round++ {
-		baseTag := a.opts.BaseTag + round*sched.TagStride
+		baseTag := a.opts.BaseTag + round*roundStride
 		r := round
-		plan := sched.BuildPartialAllreduceWithPrepare(rank, size, baseTag, a.n+1, sched.SumReduce,
-			func(data tensor.Vector) { a.snapshot(r, data) })
+		plan := sched.BuildBucketedPartialAllreduce(rank, size, baseTag, a.buckets, sched.SumReduce,
+			func(data tensor.Vector) { a.snapshot(r, data) },
+			func(b int, seg tensor.Vector) { a.publishBucket(r, b, seg) })
 		ex, err := sched.NewExecutor(a.comm, plan.Schedule)
 		if err != nil {
 			a.fail(err)
@@ -412,7 +586,11 @@ func (a *Allreducer) engineLoop() {
 		}
 		a.engineRound = round
 		a.currentEx = ex
-		a.currentPlan = plan
+		a.currentActivation = plan.InternalActivation
+		a.bucketRound = round
+		for b := range a.bucketDone {
+			a.bucketDone[b] = false
+		}
 		trigger := a.pendingInit >= round
 		a.mu.Unlock()
 
@@ -449,12 +627,28 @@ func (a *Allreducer) engineLoop() {
 	}
 }
 
-// publish records the result of a completed round and wakes waiting Exchange
-// calls.
+// publishBucket records one completed bucket of the armed round into the
+// receive buffer and wakes WaitBucket callers. It runs on a schedule compute
+// goroutine as soon as the bucket's reduction chain drains — typically while
+// other buckets of the same round are still in flight.
+func (a *Allreducer) publishBucket(round, b int, seg tensor.Vector) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lo := a.bucketOffs[b]
+	a.lastResult[lo : lo+a.buckets[b]].CopyFrom(seg)
+	if a.bucketRound == round {
+		a.bucketDone[b] = true
+	}
+	a.cond.Broadcast()
+}
+
+// publish records the accounting of a completed round and wakes waiting
+// Exchange calls. The receive buffer itself was already filled bucket by
+// bucket (publishBucket) as the chains drained; only the flag element — the
+// round's number of active processes — is read here.
 func (a *Allreducer) publish(round int, data tensor.Vector) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.lastResult.CopyFrom(data[:a.n])
 	nap := int(data[a.n] + 0.5)
 	rec := a.records[round]
 	rec.nap = nap

@@ -97,12 +97,61 @@ func BuildPartialAllreduceWithPrepare(rank, size, baseTag, n int, reduce ReduceF
 	act[0] = float64(rank)
 	s.SetBuffer(ActivationBuffer, act)
 
-	actTag := baseTag + tagActivation
+	n0, n1 := buildActivationPhase(s, rank, size, baseTag+tagActivation)
 
-	// --- Activation phase -------------------------------------------------
+	// Optional prepare hook: snapshot the application's send buffer into the
+	// schedule's data buffer at activation time.
+	start := n1
+	if prepare != nil {
+		start = s.AddCompute(func(bufs map[string]tensor.Vector) {
+			prepare(bufs[DataBuffer])
+		}, DepAnd, n1)
+	}
+
+	// --- Allreduce phase ---------------------------------------------------
+	completion := buildRecursiveDoubling(s, rank, size, baseTag, DataBuffer, reduce, start)
+
+	plan := PartialAllreducePlan{
+		Schedule:           s,
+		InternalActivation: n0,
+		AllreduceActivated: n1,
+		Completion:         completion,
+	}
+	s.SetCompletionOps(completion)
+	return plan
+}
+
+// BuildAllreduce constructs a plain synchronous allreduce schedule (no
+// activation phase): the schedule starts executing as soon as the executor
+// starts, which matches the internal activation of a synchronous collective.
+// It exists so the schedule engine can also express the baseline collective,
+// and for tests comparing the two paths.
+func BuildAllreduce(rank, size, baseTag, n int, reduce ReduceFunc) PartialAllreducePlan {
+	if reduce == nil {
+		reduce = SumReduce
+	}
+	s := NewSchedule()
+	s.SetBuffer(DataBuffer, tensor.GetVectorZero(n))
+	start := s.AddNop(DepAnd) // triggered by the caller when its data is ready
+	completion := buildRecursiveDoubling(s, rank, size, baseTag, DataBuffer, reduce, start)
+	s.SetCompletionOps(completion)
+	return PartialAllreducePlan{
+		Schedule:           s,
+		InternalActivation: start,
+		AllreduceActivated: start,
+		Completion:         completion,
+	}
+}
+
+// buildActivationPhase appends the Fig. 6 activation phase to s: the internal
+// activation NOP (n0, fired by Executor.Trigger), the external activation
+// receives (one per recursive-doubling distance), and the consumable
+// forwarding sends. It returns n0 and n1, the NOP that completes on the first
+// activation of any kind.
+func buildActivationPhase(s *Schedule, rank, size, actTag int) (n0, n1 OpID) {
 	// Internal activation NOP (N0 in Fig. 6): fired by Executor.Trigger when
 	// the local application reaches the collective call.
-	n0 := s.AddNop(DepAnd)
+	n0 = s.AddNop(DepAnd)
 
 	// External activation receives (R0, R1, ... in Fig. 6): one per
 	// recursive-doubling distance, posted immediately. Any of them completing
@@ -134,10 +183,104 @@ func BuildPartialAllreduceWithPrepare(rank, size, baseTag, n int, reduce ReduceF
 	// N1 in Fig. 6: the allreduce phase starts on the first activation of any
 	// kind.
 	allreduceDeps := append([]OpID{n0}, actRecvs...)
-	n1 := s.AddNop(DepOr, allreduceDeps...)
+	n1 = s.AddNop(DepOr, allreduceDeps...)
+	return n0, n1
+}
 
-	// Optional prepare hook: snapshot the application's send buffer into the
-	// schedule's data buffer at activation time.
+// Bucketed rounds: one activation decision shared by every bucket.
+
+// BucketBuffer returns the schedule buffer name of bucket b — a slice view
+// into the full DataBuffer registered by BuildBucketedPartialAllreduce.
+func BucketBuffer(b int) string { return fmt.Sprintf("bucket[%d]", b) }
+
+// FlagBuffer names the one-element fresh-contribution flag chain's buffer (a
+// view of DataBuffer's last element); its reduced value is the round's number
+// of active processes.
+const FlagBuffer = "flag"
+
+// BucketRoundTagStride returns the tag-space width one bucketed round
+// occupies: block 0 carries the activation broadcast, blocks 1..B the bucket
+// chains, and block B+1 the flag chain. Per-round base tags of a bucketed
+// engine must be spaced this far apart.
+func BucketRoundTagStride(numBuckets int) int { return (numBuckets + 2) * TagStride }
+
+// BucketedPartialAllreducePlan describes one rank's bucketed partial
+// allreduce schedule for one round, as produced by
+// BuildBucketedPartialAllreduce.
+type BucketedPartialAllreducePlan struct {
+	Schedule *Schedule
+	// InternalActivation is the NOP the application triggers when it commits
+	// its step contribution (internal activation, §4.1.1).
+	InternalActivation OpID
+	// AllreduceActivated is the NOP that completes on the first internal or
+	// external activation — the round's single participation decision point.
+	AllreduceActivated OpID
+	// BucketReady holds, per bucket, the operation after which the bucket's
+	// slice of DataBuffer is fully reduced on this rank.
+	BucketReady []OpID
+}
+
+// ReleaseBuffers returns the plan's pool-leased schedule buffers to the
+// vector pool (the per-bucket buffers are views of DataBuffer and share its
+// lease). Same contract as PartialAllreducePlan.ReleaseBuffers.
+func (p BucketedPartialAllreducePlan) ReleaseBuffers() {
+	tensor.PutVector(p.Schedule.Buffer(DataBuffer))
+	tensor.PutVector(p.Schedule.Buffer(ActivationBuffer))
+}
+
+// BuildBucketedPartialAllreduce constructs the bucketed variant of the Fig. 6
+// schedule: the same single activation phase (so the solo/majority/quorum
+// participation decision is made exactly once per round, shared by every
+// bucket), one prepare hook that atomically snapshots the application's send
+// buffer into DataBuffer, and then one independent recursive-doubling
+// reduction chain per bucket plus a one-element chain for the
+// fresh-contribution flag. The chains run concurrently on the executor —
+// bucket b's later hops overlap bucket b+1's earlier ones — and each chain
+// uses its own tag block within the round (see BucketRoundTagStride), so the
+// streams never collide.
+//
+// bucketLens partitions the data range: DataBuffer has sum(bucketLens)+1
+// elements, the final element being the flag. onBucket, when non-nil, is
+// invoked once per bucket as soon as that bucket's chain completes — before
+// the round as a whole finishes — with the bucket index and its reduced slice
+// (valid until ReleaseBuffers); it may be called concurrently for different
+// buckets.
+func BuildBucketedPartialAllreduce(rank, size, baseTag int, bucketLens []int, reduce ReduceFunc, prepare func(data tensor.Vector), onBucket func(b int, seg tensor.Vector)) BucketedPartialAllreducePlan {
+	if size <= 0 {
+		panic(fmt.Sprintf("sched: invalid communicator size %d", size))
+	}
+	if len(bucketLens) == 0 {
+		panic("sched: bucketed plan needs at least one bucket")
+	}
+	if reduce == nil {
+		reduce = SumReduce
+	}
+	n := 0
+	for b, l := range bucketLens {
+		if l <= 0 {
+			panic(fmt.Sprintf("sched: bucket %d length %d must be positive", b, l))
+		}
+		n += l
+	}
+
+	s := NewSchedule()
+	data := tensor.GetVectorZero(n + 1)
+	s.SetBuffer(DataBuffer, data)
+	off := 0
+	for b, l := range bucketLens {
+		s.SetBuffer(BucketBuffer(b), data[off:off+l])
+		off += l
+	}
+	s.SetBuffer(FlagBuffer, data[n:])
+	act := tensor.GetVectorZero(1)
+	act[0] = float64(rank)
+	s.SetBuffer(ActivationBuffer, act)
+
+	n0, n1 := buildActivationPhase(s, rank, size, baseTag+tagActivation)
+
+	// One atomic snapshot for the whole step: every bucket sees the send
+	// buffer as of the same instant, so the set of ranks whose contribution is
+	// fresh is identical across buckets (the step-consistency invariant).
 	start := n1
 	if prepare != nil {
 		start = s.AddCompute(func(bufs map[string]tensor.Vector) {
@@ -145,49 +288,35 @@ func BuildPartialAllreduceWithPrepare(rank, size, baseTag, n int, reduce ReduceF
 		}, DepAnd, n1)
 	}
 
-	// --- Allreduce phase ---------------------------------------------------
-	completion := buildRecursiveDoubling(s, rank, size, baseTag, reduce, start)
-
-	plan := PartialAllreducePlan{
+	plan := BucketedPartialAllreducePlan{
 		Schedule:           s,
 		InternalActivation: n0,
 		AllreduceActivated: n1,
-		Completion:         completion,
+		BucketReady:        make([]OpID, len(bucketLens)),
 	}
-	s.SetCompletionOps(completion)
+	completions := make([]OpID, 0, len(bucketLens)+1)
+	for b := range bucketLens {
+		bucketTag := baseTag + (b+1)*TagStride
+		done := buildRecursiveDoubling(s, rank, size, bucketTag, BucketBuffer(b), reduce, start)
+		if onBucket != nil {
+			bb := b
+			done = s.AddCompute(func(bufs map[string]tensor.Vector) {
+				onBucket(bb, bufs[BucketBuffer(bb)])
+			}, DepAnd, done)
+		}
+		plan.BucketReady[b] = done
+		completions = append(completions, done)
+	}
+	flagTag := baseTag + (len(bucketLens)+1)*TagStride
+	completions = append(completions, buildRecursiveDoubling(s, rank, size, flagTag, FlagBuffer, reduce, start))
+	s.SetCompletionOps(completions...)
 	return plan
 }
 
-// BuildAllreduce constructs a plain synchronous allreduce schedule (no
-// activation phase): the schedule starts executing as soon as the executor
-// starts, which matches the internal activation of a synchronous collective.
-// It exists so the schedule engine can also express the baseline collective,
-// and for tests comparing the two paths.
-func BuildAllreduce(rank, size, baseTag, n int, reduce ReduceFunc) PartialAllreducePlan {
-	if reduce == nil {
-		reduce = SumReduce
-	}
-	s := NewSchedule()
-	s.SetBuffer(DataBuffer, tensor.GetVectorZero(n))
-	start := s.AddNop(DepAnd) // triggered by the caller when its data is ready
-	completion := buildRecursiveDoubling(s, rank, size, baseTag, reduce, start)
-	s.SetCompletionOps(completion)
-	return PartialAllreducePlan{
-		Schedule:           s,
-		InternalActivation: start,
-		AllreduceActivated: start,
-		Completion:         completion,
-	}
-}
-
-// buildRecursiveDoubling appends a recursive-doubling allreduce to s, gated
-// on the given start operation, and returns the operation after which
-// DataBuffer holds the reduced value on this rank.
-//
 // Non-power-of-two sizes use the standard MPICH approach: the first 2*rem
 // ranks (rem = size - 2^k) fold pairwise so 2^k ranks run the doubling loop,
 // and the result is copied back to the folded-out ranks afterwards.
-func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, reduce ReduceFunc, start OpID) OpID {
+func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, buffer string, reduce ReduceFunc, start OpID) OpID {
 	pof2 := 1
 	for pof2*2 <= size {
 		pof2 *= 2
@@ -203,11 +332,11 @@ func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, reduce ReduceF
 	case rank < 2*rem && rank%2 == 0:
 		// Fold out: send contribution to rank+1, then wait for the final
 		// result in the post phase.
-		prev = s.AddSend(rank+1, foldTag, DataBuffer, DepAnd, prev)
+		prev = s.AddSend(rank+1, foldTag, buffer, DepAnd, prev)
 		inDoubling = false
 	case rank < 2*rem && rank%2 == 1:
 		// Fold in: absorb the even neighbour's contribution.
-		prev = s.AddRecvReduce(rank-1, foldTag, DataBuffer, reduce, DepAnd, prev)
+		prev = s.AddRecvReduce(rank-1, foldTag, buffer, reduce, DepAnd, prev)
 		doublingRank = rank / 2
 	default:
 		doublingRank = rank - rem
@@ -218,10 +347,10 @@ func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, reduce ReduceF
 			peerDoubling := doublingRank ^ d
 			peer := doublingToRank(peerDoubling, rem)
 			dataTag := baseTag + tagDataBase + log2(d)
-			send := s.AddSend(peer, dataTag, DataBuffer, DepAnd, prev)
+			send := s.AddSend(peer, dataTag, buffer, DepAnd, prev)
 			// The receive-reduce waits for the send so the outgoing payload is
 			// snapshotted before the buffer is modified.
-			prev = s.AddRecvReduce(peer, dataTag, DataBuffer, reduce, DepAnd, send)
+			prev = s.AddRecvReduce(peer, dataTag, buffer, reduce, DepAnd, send)
 		}
 	}
 
@@ -229,9 +358,9 @@ func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, reduce ReduceF
 	// back to their even neighbours.
 	switch {
 	case rank < 2*rem && rank%2 == 1:
-		prev = s.AddSend(rank-1, foldTag+TagStride/2, DataBuffer, DepAnd, prev)
+		prev = s.AddSend(rank-1, foldTag+TagStride/2, buffer, DepAnd, prev)
 	case rank < 2*rem && rank%2 == 0:
-		prev = s.AddRecv(rank+1, foldTag+TagStride/2, DataBuffer, DepAnd, prev)
+		prev = s.AddRecv(rank+1, foldTag+TagStride/2, buffer, DepAnd, prev)
 	}
 	return prev
 }

@@ -170,6 +170,15 @@ type Spec struct {
 	BaseStepMs float64
 	// LearningRate overrides the workload's default when positive.
 	LearningRate float64
+	// Overlap enables the bucketed gradient exchange: layer-aligned buckets
+	// are submitted as the backward pass produces them, overlapping the tail
+	// of backprop with the head of communication, and each bucket's result is
+	// applied as it lands (collective.WithOverlap under the hood).
+	Overlap bool
+	// BucketElems coalesces adjacent layer segments into buckets of at least
+	// this many elements when Overlap is on (collective.WithBucketElems);
+	// 0 keeps one bucket per layer.
+	BucketElems int
 	// EvalEvery inserts a held-out evaluation every that many steps (0 =
 	// final evaluation only).
 	EvalEvery int
@@ -243,6 +252,18 @@ func Run(spec Spec) (*Result, error) {
 		Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
 			task := buildTask(rank, spec.Ranks)
 			opts := append([]collective.Option{collective.WithSeed(spec.Seed)}, v.opts...)
+			if spec.Overlap {
+				bt, ok := task.(core.BucketedTask)
+				if !ok {
+					return nil, fmt.Errorf("train: workload task %T does not support the overlapped exchange", task)
+				}
+				opts = append(opts,
+					collective.WithOverlap(),
+					collective.WithBucketElems(spec.BucketElems),
+					// Eager reducers fix the bucket layout at construction;
+					// sync reducers ignore it.
+					collective.WithBucketLayout(core.BucketLayout(bt, spec.BucketElems)...))
+			}
 			ex, err := collective.NewReducer(c, task.NumParams(), opts...)
 			if err != nil {
 				return nil, err
