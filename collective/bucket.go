@@ -269,6 +269,19 @@ func (st *bucketStreams) close() {
 	st.mu.Unlock()
 }
 
+// joinEngine blocks until the stream workers have drained and exited,
+// returning their queued leases to the pool. Only valid after the
+// communicator is closed (a worker blocked inside a collective exits then);
+// World.Close calls it so shutdown leaks no pool leases.
+func (s *syncReducer) joinEngine() {
+	s.mu.Lock()
+	st := s.streams
+	s.mu.Unlock()
+	if st != nil {
+		st.wg.Wait()
+	}
+}
+
 func (s *syncReducer) ensureStreams() *bucketStreams {
 	if s.streams != nil {
 		return s.streams
@@ -279,7 +292,7 @@ func (s *syncReducer) ensureStreams() *bucketStreams {
 		st.wg.Add(1)
 		go func(i int) {
 			defer st.wg.Done()
-			cfg := collectives.Config{SegmentElems: s.segElems, TagOffset: collectives.BucketStreamTagOffset(i)}
+			cfg := collectives.Config{SegmentElems: s.segElems, TagOffset: collectives.BucketStreamTagOffset(i), PeerDeadline: s.peerDeadline}
 			for {
 				st.mu.Lock()
 				for len(st.qs[i]) == 0 && !st.closed {
@@ -363,7 +376,7 @@ func (s *syncReducer) BeginStep(ctx context.Context, lens []int) error {
 	if s.negotiate {
 		ready := tensor.GetVector(1)
 		ready[0] = 1
-		err := collectives.AllreduceCancel(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, ctx.Done())
+		err := collectives.AllreduceWith(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, collectives.Config{PeerDeadline: s.peerDeadline}, ctx.Done())
 		tensor.PutVector(ready)
 		if err != nil {
 			return ctxError(ctx, err)
@@ -622,7 +635,7 @@ func (e *eagerReducer) launchSyncStep(ctx context.Context, st *eagerStep, lens, 
 		st.syncWG.Add(1)
 		go func(i int) {
 			defer st.syncWG.Done()
-			cfg := collectives.Config{SegmentElems: e.segElems, TagOffset: collectives.BucketStreamTagOffset(i)}
+			cfg := collectives.Config{SegmentElems: e.segElems, TagOffset: collectives.BucketStreamTagOffset(i), PeerDeadline: e.peerDeadline}
 			for b := i; b < len(lens); b += streams {
 				h := st.handles[b]
 				seg := sum[offs[b] : offs[b]+lens[b]]
@@ -643,8 +656,11 @@ func (e *eagerReducer) launchSyncStep(ctx context.Context, st *eagerStep, lens, 
 	// Reaper: once every stream goroutine is done, restore the contribution
 	// on failure (no gradient lost — it returns to the send buffer as stale
 	// data) and recycle the step's scratch leases. Running detached keeps
-	// WaitStep cancelable without freeing buffers under the workers.
+	// WaitStep cancelable without freeing buffers under the workers; the
+	// reducer's joinEngine waits for it at world shutdown.
+	e.reapers.Add(1)
 	go func() {
+		defer e.reapers.Done()
 		st.syncWG.Wait()
 		st.syncMu.Lock()
 		failed := st.syncErr != nil

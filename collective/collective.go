@@ -29,8 +29,17 @@ import (
 	"context"
 	"fmt"
 
+	"eagersgd/internal/collectives"
 	"eagersgd/internal/tensor"
 )
+
+// ErrRankUnreachable is wrapped by reduction errors caused by a rank that is
+// dead or unreachable (crashed process, partitioned link, dead connection).
+// Sync reducers surface it instead of blocking forever once a peer is marked
+// down — by the transport, by an external detector (Node.MarkPeerDown), or by
+// the WithPeerDeadline failure detector. Match with errors.Is; the underlying
+// comm.PeerDownError (rank and root cause) remains in the chain.
+var ErrRankUnreachable = collectives.ErrRankUnreachable
 
 // Result describes one completed reduction.
 type Result struct {

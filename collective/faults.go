@@ -1,0 +1,91 @@
+package collective
+
+import (
+	"eagersgd/internal/comm"
+	"eagersgd/internal/faults"
+)
+
+// The fault-injection substrate lives in internal/faults; these aliases are
+// its public surface, following the same pattern as package harness. A
+// FaultScenario describes deterministic, seed-driven faults per directed link
+// (drops, delay distributions, reordering, one-way partitions) plus scripted
+// rank crashes; pass one to WithFaults to run a world's transport through it.
+type (
+	// FaultScenario is the scriptable fault spec (see WithFaults).
+	FaultScenario = faults.Scenario
+	// FaultLink identifies one directed sender→receiver link.
+	FaultLink = faults.Link
+	// FaultLinkRule describes the faults injected on one link.
+	FaultLinkRule = faults.LinkRule
+	// FaultInjector executes a scenario; obtain a world's via FaultInjector.
+	FaultInjector = faults.Injector
+)
+
+// ErrRankCrashed is returned by a crashed rank's own operations under an
+// injected crash scenario.
+var ErrRankCrashed = faults.ErrCrashed
+
+// FaultInjector returns the injector executing the world's WithFaults
+// scenario, or nil when the world was built without one. Training loops call
+// AdvanceStep on it at step boundaries so crash-at-step scripts fire
+// deterministically; chaos tests use it to crash ranks and cut links at
+// runtime.
+func (w *World) FaultInjector() *FaultInjector { return w.injector }
+
+// PeerStatus is one rank's health as observed by the world's failure
+// detectors.
+type PeerStatus struct {
+	// Rank identifies the rank.
+	Rank int
+	// Up is false once any node's communicator has marked the rank down (or
+	// an injected fault scenario crashed it).
+	Up bool
+	// Err is the first cause recorded for the marking (nil while up): a
+	// transport read failure, comm.ErrPeerDeadline, or an injected crash.
+	Err error
+}
+
+// Peers returns the per-rank health view of the world: rank r is reported
+// down as soon as any node's failure detector marked it down, or the fault
+// injector crashed it. A world without failures (and without deadlines or
+// fault injection configured) reports every rank up.
+func (w *World) Peers() []PeerStatus {
+	out := make([]PeerStatus, len(w.nodes))
+	for r := range out {
+		out[r] = PeerStatus{Rank: r, Up: true}
+	}
+	for _, n := range w.nodes {
+		for r := range out {
+			if !out[r].Up {
+				continue
+			}
+			if err := n.comm.PeerError(r); err != nil {
+				out[r].Up = false
+				out[r].Err = err
+			}
+		}
+	}
+	if w.injector != nil {
+		for r := range out {
+			if out[r].Up && w.injector.Crashed(r) {
+				out[r].Up = false
+				out[r].Err = faults.ErrCrashed
+			}
+		}
+	}
+	return out
+}
+
+// PeerDown reports whether this node's communicator has marked the rank down
+// (see comm-level failure detection); the node's own rank is always up.
+func (n *Node) PeerDown(rank int) bool { return n.comm.PeerDown(rank) }
+
+// MarkPeerDown lets integrations with external failure detectors (a cluster
+// membership service, an orchestrator's liveness probe) declare a rank dead
+// on this node: blocked operations naming it unblock with a typed error and
+// eager reducers drop it from subsequent rounds. The marking is sticky.
+func (n *Node) MarkPeerDown(rank int, cause error) { n.comm.MarkPeerDown(rank, cause) }
+
+// ErrPeerDown is the comm-layer sentinel matched by every peer-failure error
+// surfaced through this package (errors.Is). See also ErrRankUnreachable.
+var ErrPeerDown = comm.ErrPeerDown

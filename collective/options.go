@@ -1,5 +1,11 @@
 package collective
 
+import (
+	"time"
+
+	"eagersgd/internal/faults"
+)
+
 // DefaultBasePort is the first loopback port a TCP world listens on when
 // WithBasePort is not given.
 const DefaultBasePort = 29500
@@ -8,18 +14,20 @@ const DefaultBasePort = 29500
 // NewReducer. World-level options (transport, base port) are ignored by
 // reducer construction and vice versa where they do not apply.
 type config struct {
-	transport   Transport
-	basePort    int
-	mode        Mode
-	algorithm   Algorithm
-	syncEvery   int
-	seed        int64
-	chunks      int
-	negotiate   bool
-	segElems    int
-	overlap     bool
-	bucketElems int
-	layout      []int
+	transport    Transport
+	basePort     int
+	mode         Mode
+	algorithm    Algorithm
+	syncEvery    int
+	seed         int64
+	chunks       int
+	negotiate    bool
+	segElems     int
+	overlap      bool
+	bucketElems  int
+	layout       []int
+	peerDeadline time.Duration
+	faults       *faults.Scenario
 }
 
 func defaultConfig() config {
@@ -134,6 +142,35 @@ func WithOverlap() Option {
 // SPMD wire state).
 func WithBucketElems(n int) Option {
 	return func(c *config) { c.bucketElems = n }
+}
+
+// WithPeerDeadline enables rank-failure tolerance with the given
+// failure-detector deadline. Sync reducers abort a reduction blocked on a
+// dead rank with an error wrapping ErrRankUnreachable instead of hanging;
+// the eager (partial) reducers treat a rank silent past the deadline as
+// permanently failed — its data and activation flag drop out of every
+// subsequent round, a dead designated initiator is failed over, and training
+// continues with the surviving participant set. The deadline is a failure
+// detector, not a latency bound: choose it far above any legitimate skew,
+// because a rank it fires on is never readmitted. Zero (the default)
+// disables failure tolerance.
+func WithPeerDeadline(d time.Duration) Option {
+	return func(c *config) { c.peerDeadline = d }
+}
+
+// WithFaults runs the world's transport through a deterministic fault
+// injector executing the scenario: seed-driven per-link message drops,
+// delays, reordering, one-way partitions, and scripted rank crashes. The
+// injector is exposed through World.FaultInjector for runtime control
+// (advancing crash-at-step counters, cutting links mid-step). Combine with
+// WithPeerDeadline so the layers above detect the injected failures instead
+// of blocking on them. Ignored by NewReducer (the injector wraps transport
+// endpoints, which only the World builder constructs).
+func WithFaults(sc FaultScenario) Option {
+	return func(c *config) {
+		copied := sc
+		c.faults = &copied
+	}
 }
 
 // WithBucketLayout fixes the reducer's bucket layout at construction: lens

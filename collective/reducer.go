@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"eagersgd/internal/collectives"
 	"eagersgd/internal/comm"
@@ -44,9 +45,10 @@ func NewReducer(c *comm.Communicator, dim int, opts ...Option) (Reducer, error) 
 			comm: c, dim: dim, algo: algo,
 			chunks: cfg.chunks, negotiate: cfg.negotiate, segElems: cfg.segElems,
 			overlap: cfg.overlap, bucketElems: cfg.bucketElems,
+			peerDeadline: cfg.peerDeadline,
 		}, nil
 	case kindSolo, kindMajority, kindQuorum:
-		popts := partial.Options{Seed: cfg.seed, Buckets: cfg.layout}
+		popts := partial.Options{Seed: cfg.seed, Buckets: cfg.layout, PeerDeadline: cfg.peerDeadline}
 		switch cfg.mode.kind {
 		case kindSolo:
 			popts.Mode = partial.Solo
@@ -57,15 +59,16 @@ func NewReducer(c *comm.Communicator, dim int, opts ...Option) (Reducer, error) 
 			popts.Candidates = cfg.mode.candidates
 		}
 		e := &eagerReducer{
-			comm:        c,
-			ar:          partial.New(c, dim, popts),
-			mode:        cfg.mode,
-			algo:        algo,
-			dim:         dim,
-			syncEvery:   cfg.syncEvery,
-			segElems:    cfg.segElems,
-			overlap:     cfg.overlap,
-			bucketElems: cfg.bucketElems,
+			comm:         c,
+			ar:           partial.New(c, dim, popts),
+			mode:         cfg.mode,
+			algo:         algo,
+			dim:          dim,
+			syncEvery:    cfg.syncEvery,
+			segElems:     cfg.segElems,
+			overlap:      cfg.overlap,
+			bucketElems:  cfg.bucketElems,
+			peerDeadline: cfg.peerDeadline,
 		}
 		e.lens, e.offs = e.layoutOf()
 		return e, nil
@@ -111,8 +114,9 @@ type syncReducer struct {
 	segElems  int
 	calls     int
 
-	overlap     bool
-	bucketElems int
+	overlap      bool
+	bucketElems  int
+	peerDeadline time.Duration
 
 	// mu guards the bucketed-step fields below: the step API itself is
 	// driven by one goroutine (the rank's training loop), but Close may be
@@ -152,14 +156,14 @@ func (s *syncReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, e
 		// allreduce over the whole gradient.
 		ready := tensor.GetVector(1)
 		ready[0] = 1
-		err := collectives.AllreduceCancel(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, cancel)
+		err := collectives.AllreduceWith(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, collectives.Config{PeerDeadline: s.peerDeadline}, cancel)
 		tensor.PutVector(ready)
 		if err != nil {
 			tensor.PutVector(sum)
 			return Result{}, ctxError(ctx, err)
 		}
 	}
-	wireCfg := collectives.Config{SegmentElems: s.segElems}
+	wireCfg := collectives.Config{SegmentElems: s.segElems, PeerDeadline: s.peerDeadline}
 	if s.chunks > 1 {
 		for i := 0; i < s.chunks; i++ {
 			lo, hi := tensor.ChunkBounds(len(sum), s.chunks, i)
@@ -194,11 +198,13 @@ type eagerReducer struct {
 	segElems  int
 	calls     int
 
-	overlap     bool
-	bucketElems int
-	lens, offs  []int         // the engine's fixed bucket layout (layoutOf)
-	stepBuf     tensor.Vector // staging buffer for the in-flight step's buckets
-	estep       *eagerStep    // in-flight bucketed step, nil between steps
+	overlap      bool
+	bucketElems  int
+	peerDeadline time.Duration
+	reapers      sync.WaitGroup // detached periodic-sync reapers (bucket.go)
+	lens, offs   []int          // the engine's fixed bucket layout (layoutOf)
+	stepBuf      tensor.Vector  // staging buffer for the in-flight step's buckets
+	estep        *eagerStep     // in-flight bucketed step, nil between steps
 }
 
 // Name identifies the reducer in reports.
@@ -224,7 +230,7 @@ func (e *eagerReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, 
 		drained := e.ar.DrainPending()
 		sum := tensor.GetVectorCopy(grad)
 		sum.Add(drained)
-		if err := collectives.AllreduceWith(e.comm, sum, collectives.OpSum, e.algo, collectives.Config{SegmentElems: e.segElems}, ctx.Done()); err != nil {
+		if err := collectives.AllreduceWith(e.comm, sum, collectives.OpSum, e.algo, collectives.Config{SegmentElems: e.segElems, PeerDeadline: e.peerDeadline}, ctx.Done()); err != nil {
 			// Preserve the no-gradient-lost guarantee: the fresh gradient and
 			// the drained stale contributions return to the send buffer and
 			// are delivered in a later round.
@@ -256,4 +262,13 @@ func (e *eagerReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, 
 func (e *eagerReducer) Close() error {
 	e.ar.Close()
 	return nil
+}
+
+// joinEngine blocks until the partial engine and any detached
+// periodic-synchronization reapers have exited and returned their buffers to
+// the pool. Only valid after the communicator is closed; World.Close calls it
+// so shutdown leaks no pool leases.
+func (e *eagerReducer) joinEngine() {
+	e.ar.Join()
+	e.reapers.Wait()
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"eagersgd/internal/comm"
+	"eagersgd/internal/faults"
 	"eagersgd/internal/transport"
 )
 
@@ -19,8 +20,9 @@ import (
 // transport is in use — callers must not rely on the in-process transport's
 // close-one-closes-all behaviour, which TCP does not share.
 type World struct {
-	cfg   config
-	nodes []*Node
+	cfg      config
+	nodes    []*Node
+	injector *faults.Injector // non-nil when built WithFaults
 
 	mu       sync.Mutex
 	reducers []Reducer // every reducer minted via Node.Reducer, for Close
@@ -28,6 +30,11 @@ type World struct {
 	closeOnce sync.Once
 	closeErr  error
 }
+
+// engineJoiner is implemented by reducers with background goroutines that
+// only exit once the transport is closed; World.Close joins them after
+// closing the communicators.
+type engineJoiner interface{ joinEngine() }
 
 // Node is one rank's view of a World: the handle reducers are minted from.
 type Node struct {
@@ -44,22 +51,36 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 		return nil, fmt.Errorf("collective: world size %d must be positive", size)
 	}
 	cfg := defaultConfig().with(opts)
-	var comms []*comm.Communicator
+	eps := make([]comm.Endpoint, size)
 	switch cfg.transport {
 	case Inproc:
-		comms = transport.NewInprocWorld(size)
+		hub := transport.NewHub(size)
+		for r := 0; r < size; r++ {
+			eps[r] = hub.Endpoint(r)
+		}
 	case TCP:
-		var err error
-		comms, err = transport.NewTCPWorld(size, cfg.basePort)
+		teps, err := transport.NewTCPEndpoints(size, cfg.basePort)
 		if err != nil {
 			return nil, fmt.Errorf("collective: tcp world: %w", err)
+		}
+		for r := 0; r < size; r++ {
+			eps[r] = teps[r]
 		}
 	default:
 		return nil, fmt.Errorf("collective: unknown transport %v", cfg.transport)
 	}
 	w := &World{cfg: cfg, nodes: make([]*Node, size)}
+	if cfg.faults != nil {
+		// The injector interposes between every endpoint and its
+		// communicator, so all layers above experience the scenario's faults
+		// through their ordinary interfaces.
+		w.injector = faults.NewInjector(size, *cfg.faults)
+		for r := range eps {
+			eps[r] = w.injector.Wrap(eps[r])
+		}
+	}
 	for r := 0; r < size; r++ {
-		w.nodes[r] = &Node{world: w, comm: comms[r], rank: r}
+		w.nodes[r] = &Node{world: w, comm: comm.NewCommunicator(eps[r]), rank: r}
 	}
 	return w, nil
 }
@@ -114,6 +135,19 @@ func (w *World) Close() error {
 			if err := n.comm.Close(); err != nil && w.closeErr == nil {
 				w.closeErr = err
 			}
+		}
+		// With the transports down, every reducer engine can (and must)
+		// finish: join them so all their pool leases are back before Close
+		// returns — the zero-leaked-leases shutdown guarantee.
+		for _, r := range reducers {
+			if j, ok := r.(engineJoiner); ok {
+				j.joinEngine()
+			}
+		}
+		if w.injector != nil {
+			// After the transports: delivery workers holding delayed messages
+			// release their payloads back to the pool here.
+			w.injector.Close()
 		}
 	})
 	return w.closeErr

@@ -1,0 +1,113 @@
+// Chaos: eager-SGD training on a degraded cluster, through the public API.
+//
+// Four ranks train a linear model with solo partial collectives while a
+// deterministic fault injector abuses the network — every link delays and
+// occasionally reorders messages — and rank 2 is scripted to crash after its
+// third step. With a peer deadline configured, the survivors detect the
+// crash, drop the dead rank from the participant set, and finish training;
+// the world's health view shows who died and why.
+//
+// Run with: go run ./examples/chaos
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"eagersgd/collective"
+	"eagersgd/tensor"
+)
+
+const (
+	ranks     = 4
+	dim       = 8
+	steps     = 6
+	crashRank = 2
+	crashStep = 3
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
+	scenario := collective.FaultScenario{
+		Name: "lossy-cluster",
+		Seed: 42,
+		Default: collective.FaultLinkRule{
+			DelayProb: 0.4,
+			DelayMin:  200 * time.Microsecond,
+			DelayMax:  2 * time.Millisecond,
+			Reorder:   0.1,
+		},
+		CrashAtStep:   map[int]int{crashRank: crashStep},
+		SignalCrashes: true, // survivors get the TCP-reset analogue
+	}
+
+	world, err := collective.NewWorld(ranks,
+		collective.WithMode(collective.Solo),
+		collective.WithFaults(scenario),
+		collective.WithPeerDeadline(2*time.Second),
+	)
+	if err != nil {
+		return err
+	}
+	defer world.Close()
+	inj := world.FaultInjector()
+	fmt.Fprintf(out, "scenario: %s\n\n", scenario)
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		reducer, err := world.Node(r).Reducer(dim)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(r int, red collective.Reducer) {
+			defer wg.Done()
+			grad := make(tensor.Vector, dim)
+			for s := 0; s < steps; s++ {
+				for i := range grad {
+					grad[i] = float64(r + 1)
+				}
+				res, err := red.Reduce(context.Background(), grad)
+				if err != nil {
+					mu.Lock()
+					fmt.Fprintf(out, "rank %d step %d: stopped (%v)\n", r, s, err)
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				fmt.Fprintf(out, "rank %d step %d: round %d, %d/%d fresh contributions, included=%v\n",
+					r, s, res.Round, res.ActiveRanks, res.Ranks, res.Included)
+				mu.Unlock()
+				tensor.PutVector(res.Sum)
+				inj.AdvanceStep(r) // crash-at-step scripts fire here
+			}
+		}(r, reducer)
+	}
+	wg.Wait()
+
+	fmt.Fprintln(out, "\ncluster health after the run:")
+	crashedSeen := false
+	for _, p := range world.Peers() {
+		if p.Up {
+			fmt.Fprintf(out, "  rank %d: up\n", p.Rank)
+		} else {
+			fmt.Fprintf(out, "  rank %d: DOWN (%v)\n", p.Rank, p.Err)
+			crashedSeen = crashedSeen || p.Rank == crashRank
+		}
+	}
+	if !crashedSeen {
+		return fmt.Errorf("health view did not report the scripted crash of rank %d", crashRank)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestChaosExampleSmoke runs the degraded-cluster example end to end: the
+// survivors must finish training under the scripted crash and the health
+// view must report the dead rank.
+func TestChaosExampleSmoke(t *testing.T) {
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

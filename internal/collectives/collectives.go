@@ -15,11 +15,32 @@
 package collectives
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"eagersgd/internal/comm"
 	"eagersgd/internal/tensor"
 )
+
+// ErrRankUnreachable is wrapped by every collective error caused by a peer
+// that is dead or unreachable (a crashed process, a partitioned link, a
+// connection whose read loop died). The synchronous collectives cannot
+// complete without every rank, so instead of blocking forever they surface
+// this typed error as soon as the comm layer marks a peer down — either
+// because the transport reported the failure or because a Config.PeerDeadline
+// expired. Use errors.Is(err, ErrRankUnreachable); the underlying
+// comm.PeerDownError (with the rank and root cause) remains in the chain.
+var ErrRankUnreachable = errors.New("collectives: rank unreachable")
+
+// wrapUnreachable converts a comm-layer peer failure into the package's typed
+// error surface, preserving the cause chain.
+func wrapUnreachable(err error) error {
+	if err != nil && errors.Is(err, comm.ErrPeerDown) {
+		return fmt.Errorf("%w: %w", ErrRankUnreachable, err)
+	}
+	return err
+}
 
 // tagBase is the private tag namespace of this package. All collective
 // traffic uses tags in [tagBase, tagBase+tagSpan) so it cannot collide with
@@ -133,6 +154,27 @@ type Config struct {
 	// so their message streams never collide. Zero is the default block,
 	// shared with the non-bucketed collectives.
 	TagOffset int
+	// PeerDeadline bounds how long a collective receive may block on one
+	// peer: past the deadline the peer is marked down on the communicator and
+	// the collective returns an error wrapping ErrRankUnreachable instead of
+	// hanging on a rank that died. The deadline is a failure detector, not a
+	// latency bound — choose it far above legitimate skew, because a peer it
+	// fires on is treated as permanently failed by the communicator. Zero
+	// (the default) disables it; receives from peers already marked down
+	// still fail fast.
+	PeerDeadline time.Duration
+}
+
+// env builds the per-operation environment. The per-receive deadline carries
+// a hop allowance of the communicator size: detection latency accumulates
+// once per serial hop (a ring has size-1 of them; a live peer's send at hop k
+// can be delayed by its own deadline waits at earlier hops), and without the
+// slack the detection of one dead rank would cascade into falsely suspecting
+// live ones. Every collective in this package must build its env here so the
+// formula stays in one place.
+func (cfg Config) env(c *comm.Communicator, cancel <-chan struct{}) env {
+	return env{c: c, cancel: cancel, seg: cfg.segmentElems(), off: cfg.TagOffset,
+		deadline: cfg.PeerDeadline * time.Duration(c.Size())}
 }
 
 func (cfg Config) segmentElems() int {
@@ -182,21 +224,30 @@ func BucketStreamTagRange() (lo, hi int) {
 // / sendRecv snapshot into a pooled buffer internally), because data is owned
 // by the application for the whole collective.
 type env struct {
-	c      *comm.Communicator
-	cancel <-chan struct{}
-	seg    int
-	off    int // tag offset of this collective's tag block (Config.TagOffset)
+	c        *comm.Communicator
+	cancel   <-chan struct{}
+	seg      int
+	off      int           // tag offset of this collective's tag block (Config.TagOffset)
+	deadline time.Duration // per-peer failure-detector deadline (Config.PeerDeadline)
 }
 
 // tag places a package tag constant into this collective's tag block.
 func (e env) tag(t int) int { return t + e.off }
 
 func (e env) recv(source, tag int) (tensor.Vector, comm.Status, error) {
-	return e.c.RecvCancel(source, tag, e.cancel)
+	v, st, err := e.c.RecvTimeout(source, tag, e.cancel, e.deadline)
+	return v, st, wrapUnreachable(err)
 }
 
 func (e env) sendRecv(dest, sendTag int, data tensor.Vector, source, recvTag int) (tensor.Vector, comm.Status, error) {
-	return e.c.SendRecvCancel(dest, sendTag, data, source, recvTag, e.cancel)
+	v, st, err := e.c.SendRecvTimeout(dest, sendTag, data, source, recvTag, e.cancel, e.deadline)
+	return v, st, wrapUnreachable(err)
+}
+
+// sendCopy borrows data and sends it, surfacing a dead destination as
+// ErrRankUnreachable.
+func (e env) sendCopy(dest, tag int, data tensor.Vector) error {
+	return wrapUnreachable(e.c.SendCopy(dest, tag, data))
 }
 
 func (e env) release(v tensor.Vector) { comm.Release(v) }
@@ -290,9 +341,9 @@ func (e env) exchangeSegmented(dest, source, tag int, send, recvInto tensor.Vect
 // so a stalled peer cannot block a cancelable collective indefinitely.
 func (e env) sendSeg(dest, tag int, seg tensor.Vector) error {
 	if e.cancel == nil {
-		return e.c.SendCopy(dest, tag, seg)
+		return wrapUnreachable(e.c.SendCopy(dest, tag, seg))
 	}
-	return e.c.SendCopyCancel(dest, tag, seg, e.cancel)
+	return wrapUnreachable(e.c.SendCopyCancel(dest, tag, seg, e.cancel))
 }
 
 // Allreduce reduces data element-wise across all ranks with op and leaves the
@@ -312,7 +363,7 @@ func AllreduceCancel(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo
 // segment size, and cancellation. Every rank must pass the same op, algo, and
 // cfg (SPMD).
 func AllreduceWith(c *comm.Communicator, data tensor.Vector, op ReduceOp, algo Algorithm, cfg Config, cancel <-chan struct{}) error {
-	e := env{c: c, cancel: cancel, seg: cfg.segmentElems(), off: cfg.TagOffset}
+	e := cfg.env(c, cancel)
 	switch algo {
 	case AlgoRecursiveDoubling:
 		return allreduceRecursiveDoubling(e, data, op)
@@ -349,8 +400,8 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 	doublingRank := rank
 	switch {
 	case rank < 2*rem && rank%2 == 0:
-		// SendCopy: data is still needed to receive the final result below.
-		if err := c.SendCopy(rank+1, e.tag(tagFold), data); err != nil {
+		// sendCopy: data is still needed to receive the final result below.
+		if err := e.sendCopy(rank+1, e.tag(tagFold), data); err != nil {
 			return err
 		}
 		inDoubling = false
@@ -383,7 +434,7 @@ func allreduceRecursiveDoubling(e env, data tensor.Vector, op ReduceOp) error {
 	// Post phase: odd folded ranks return the result to their even partners.
 	switch {
 	case rank < 2*rem && rank%2 == 1:
-		return c.SendCopy(rank-1, e.tag(tagFold+1), data)
+		return e.sendCopy(rank-1, e.tag(tagFold+1), data)
 	case rank < 2*rem && rank%2 == 0:
 		result, _, err := e.recv(rank+1, e.tag(tagFold+1))
 		if err != nil {
@@ -453,8 +504,8 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 	groupRank := rank
 	switch {
 	case rank < 2*rem && rank%2 == 0:
-		// SendCopy: data is still needed to receive the final result below.
-		if err := c.SendCopy(rank+1, e.tag(tagFold+2), data); err != nil {
+		// sendCopy: data is still needed to receive the final result below.
+		if err := e.sendCopy(rank+1, e.tag(tagFold+2), data); err != nil {
 			return err
 		}
 		inGroup = false
@@ -520,7 +571,7 @@ func allreduceRabenseifner(e env, data tensor.Vector, op ReduceOp) error {
 	// Post phase for folded-out ranks.
 	switch {
 	case rank < 2*rem && rank%2 == 1:
-		return c.SendCopy(rank-1, e.tag(tagFold+3), data)
+		return e.sendCopy(rank-1, e.tag(tagFold+3), data)
 	case rank < 2*rem && rank%2 == 0:
 		result, _, err := e.recv(rank+1, e.tag(tagFold+3))
 		if err != nil {
@@ -541,7 +592,14 @@ func Broadcast(c *comm.Communicator, root int, data tensor.Vector) error {
 // BroadcastCancel behaves like Broadcast but aborts blocked receives with
 // comm.ErrCanceled when cancel is closed.
 func BroadcastCancel(c *comm.Communicator, root int, data tensor.Vector, cancel <-chan struct{}) error {
-	e := env{c: c, cancel: cancel}
+	return BroadcastWith(c, root, data, Config{}, cancel)
+}
+
+// BroadcastWith adds the Config tunables — in particular Config.PeerDeadline,
+// so a broadcast blocked on a dead parent aborts with ErrRankUnreachable
+// instead of hanging.
+func BroadcastWith(c *comm.Communicator, root int, data tensor.Vector, cfg Config, cancel <-chan struct{}) error {
+	e := cfg.env(c, cancel)
 	rank, size := c.Rank(), c.Size()
 	if size == 1 {
 		return nil
@@ -557,7 +615,7 @@ func BroadcastCancel(c *comm.Communicator, root int, data tensor.Vector, cancel 
 		for mask < size {
 			if rel&mask != 0 {
 				parent := (rel - mask + root) % size
-				incoming, _, err := e.recv(parent, tagBroadcast)
+				incoming, _, err := e.recv(parent, e.tag(tagBroadcast))
 				if err != nil {
 					return err
 				}
@@ -578,7 +636,7 @@ func BroadcastCancel(c *comm.Communicator, root int, data tensor.Vector, cancel 
 		childRel := rel + mask
 		if childRel < size {
 			child := (childRel + root) % size
-			if err := c.SendCopy(child, tagBroadcast, data); err != nil {
+			if err := e.sendCopy(child, e.tag(tagBroadcast), data); err != nil {
 				return err
 			}
 		}
@@ -598,12 +656,18 @@ func Reduce(c *comm.Communicator, root int, data tensor.Vector, op ReduceOp) err
 // ReduceCancel behaves like Reduce but aborts blocked receives with
 // comm.ErrCanceled when cancel is closed.
 func ReduceCancel(c *comm.Communicator, root int, data tensor.Vector, op ReduceOp, cancel <-chan struct{}) error {
+	return ReduceWith(c, root, data, op, Config{}, cancel)
+}
+
+// ReduceWith adds the Config tunables (PeerDeadline: abort typed on a dead
+// rank instead of hanging).
+func ReduceWith(c *comm.Communicator, root int, data tensor.Vector, op ReduceOp, cfg Config, cancel <-chan struct{}) error {
 	if root < 0 || root >= c.Size() {
 		return fmt.Errorf("collectives: reduce root %d out of range", root)
 	}
 	scratch := tensor.GetVectorCopy(data)
 	defer tensor.PutVector(scratch)
-	if err := AllreduceCancel(c, scratch, op, AlgoRecursiveDoubling, cancel); err != nil {
+	if err := AllreduceWith(c, scratch, op, AlgoRecursiveDoubling, cfg, cancel); err != nil {
 		return err
 	}
 	if c.Rank() == root {
@@ -621,7 +685,13 @@ func Allgather(c *comm.Communicator, contrib tensor.Vector) (tensor.Vector, erro
 // AllgatherCancel behaves like Allgather but aborts blocked receives with
 // comm.ErrCanceled when cancel is closed.
 func AllgatherCancel(c *comm.Communicator, contrib tensor.Vector, cancel <-chan struct{}) (tensor.Vector, error) {
-	e := env{c: c, cancel: cancel}
+	return AllgatherWith(c, contrib, Config{}, cancel)
+}
+
+// AllgatherWith adds the Config tunables (PeerDeadline: abort typed on a dead
+// rank instead of hanging).
+func AllgatherWith(c *comm.Communicator, contrib tensor.Vector, cfg Config, cancel <-chan struct{}) (tensor.Vector, error) {
+	e := cfg.env(c, cancel)
 	size := c.Size()
 	rank := c.Rank()
 	n := len(contrib)
@@ -636,7 +706,7 @@ func AllgatherCancel(c *comm.Communicator, contrib tensor.Vector, cancel <-chan 
 	for step := 0; step < size-1; step++ {
 		sendIdx := (rank - step + size) % size
 		recvIdx := (rank - step - 1 + size) % size
-		incoming, _, err := e.sendRecv(next, tagAllgather+step, out[sendIdx*n:(sendIdx+1)*n], prev, tagAllgather+step)
+		incoming, _, err := e.sendRecv(next, e.tag(tagAllgather+step), out[sendIdx*n:(sendIdx+1)*n], prev, e.tag(tagAllgather+step))
 		if err != nil {
 			return nil, err
 		}
@@ -655,7 +725,13 @@ func Barrier(c *comm.Communicator) error {
 // BarrierCancel behaves like Barrier but aborts blocked receives with
 // comm.ErrCanceled when cancel is closed.
 func BarrierCancel(c *comm.Communicator, cancel <-chan struct{}) error {
-	e := env{c: c, cancel: cancel}
+	return BarrierWith(c, Config{}, cancel)
+}
+
+// BarrierWith adds the Config tunables (PeerDeadline: a barrier blocked on a
+// dead rank aborts with ErrRankUnreachable instead of hanging).
+func BarrierWith(c *comm.Communicator, cfg Config, cancel <-chan struct{}) error {
+	e := cfg.env(c, cancel)
 	rank, size := c.Rank(), c.Size()
 	if size == 1 {
 		return nil
@@ -667,7 +743,7 @@ func BarrierCancel(c *comm.Communicator, cancel <-chan struct{}) error {
 	for d := 1; d < size; d *= 2 {
 		to := (rank + d) % size
 		from := (rank - d + size) % size
-		in, _, err := e.sendRecv(to, tagBarrier+step, token, from, tagBarrier+step)
+		in, _, err := e.sendRecv(to, e.tag(tagBarrier+step), token, from, e.tag(tagBarrier+step))
 		if err != nil {
 			return err
 		}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"eagersgd/internal/tensor"
 )
@@ -49,6 +50,56 @@ var ErrClosed = errors.New("comm: communicator closed")
 // ErrCanceled is returned by RecvCancel when the cancel channel fires before
 // a matching message arrives.
 var ErrCanceled = errors.New("comm: receive canceled")
+
+// ErrPeerDown is the sentinel every peer-failure error matches
+// (errors.Is(err, ErrPeerDown)). A peer is marked down by the transport (a
+// TCP read loop observing the connection die), by a deadline expiring on a
+// blocked receive (RecvTimeout), or explicitly via MarkPeerDown. Down status
+// is sticky: once marked, every receive naming that peer fails fast and every
+// send to it is refused, so no operation can block indefinitely on a rank
+// that will never answer.
+var ErrPeerDown = errors.New("comm: peer down")
+
+// ErrPeerDeadline is the cause recorded when a peer is marked down because a
+// blocked receive waited past its deadline. It wraps nothing; use
+// errors.Is(err, ErrPeerDeadline) to distinguish suspicion-by-timeout from a
+// transport-reported failure.
+var ErrPeerDeadline = errors.New("comm: peer deadline exceeded")
+
+// PeerDownError reports that an operation could not complete because the
+// named peer is marked down. It matches ErrPeerDown via errors.Is and unwraps
+// to the recorded cause (a transport read error, ErrPeerDeadline, or whatever
+// MarkPeerDown was given), so callers can surface why the peer was declared
+// dead — e.g. a TCPEndpoint.ReadError — instead of a bare timeout.
+type PeerDownError struct {
+	Rank  int
+	Cause error
+}
+
+// Error formats the failure with its cause.
+func (e *PeerDownError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("comm: peer %d down: %v", e.Rank, e.Cause)
+	}
+	return fmt.Sprintf("comm: peer %d down", e.Rank)
+}
+
+// Is matches the ErrPeerDown sentinel.
+func (e *PeerDownError) Is(target error) bool { return target == ErrPeerDown }
+
+// Unwrap exposes the recorded cause.
+func (e *PeerDownError) Unwrap() error { return e.Cause }
+
+// PeerFailureNotifier is implemented by transports that can observe peer
+// failures themselves (a TCP endpoint whose per-peer read loop died, a fault
+// injector delivering a scripted crash signal). NewCommunicator registers
+// MarkPeerDown with the endpoint when the interface is present, so
+// transport-level failures surface as PeerDownError on blocked operations
+// instead of hanging them. Implementations must replay failures observed
+// before registration.
+type PeerFailureNotifier interface {
+	NotifyPeerFailure(fn func(rank int, cause error))
+}
 
 // Message is the unit of communication: a payload of float64 values labelled
 // with the sending rank and a user tag. The Data vector is owned by whoever
@@ -103,21 +154,29 @@ type Status struct {
 type Communicator struct {
 	ep Endpoint
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []Message // unexpected-message queue, arrival order
-	closed  bool
-	demuxWG sync.WaitGroup
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []Message // unexpected-message queue, arrival order
+	closed   bool
+	closedCh chan struct{} // closed when the transport is down (see Done)
+	demuxWG  sync.WaitGroup
+
+	down      []error          // per-rank down cause; nil = peer believed up
+	downHooks []func(rank int) // observers notified (outside mu) on each marking
 }
 
 // NewCommunicator wraps a transport endpoint. The communicator starts a demux
 // goroutine that drains the endpoint's inbox; Close (or closing the endpoint)
-// stops it.
+// stops it. If the endpoint can observe peer failures itself
+// (PeerFailureNotifier), they are wired to MarkPeerDown.
 func NewCommunicator(ep Endpoint) *Communicator {
-	c := &Communicator{ep: ep}
+	c := &Communicator{ep: ep, down: make([]error, ep.Size()), closedCh: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
 	c.demuxWG.Add(1)
 	go c.demux()
+	if n, ok := ep.(PeerFailureNotifier); ok {
+		n.NotifyPeerFailure(c.MarkPeerDown)
+	}
 	return c
 }
 
@@ -133,7 +192,15 @@ func (c *Communicator) demux() {
 	c.closed = true
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	close(c.closedCh)
 }
+
+// Done returns a channel closed once the communicator's transport is down
+// (every blocked receive has been or will be woken with ErrClosed). It lets
+// code that deliberately waits on messages that may never arrive — the
+// schedule executor's held activation receives — observe shutdown without a
+// receive posted.
+func (c *Communicator) Done() <-chan struct{} { return c.closedCh }
 
 // Rank returns this communicator's rank.
 func (c *Communicator) Rank() int { return c.ep.Rank() }
@@ -142,16 +209,117 @@ func (c *Communicator) Rank() int { return c.ep.Rank() }
 func (c *Communicator) Size() int { return c.ep.Size() }
 
 // Close shuts down the underlying endpoint and wakes any blocked receivers
-// with ErrClosed.
+// with ErrClosed. Unexpected messages still queued are released back to the
+// vector pool — after Close no receive can claim them, and dropping the queue
+// without releasing would leak their leases.
 func (c *Communicator) Close() error {
 	err := c.ep.Close()
 	c.demuxWG.Wait()
+	c.mu.Lock()
+	for _, m := range c.queue {
+		tensor.PutVector(m.Data)
+	}
+	c.queue = nil
+	c.mu.Unlock()
 	return err
 }
 
 func (c *Communicator) checkPeer(rank int) error {
 	if rank < 0 || rank >= c.Size() {
 		return fmt.Errorf("comm: peer rank %d out of range [0,%d)", rank, c.Size())
+	}
+	return nil
+}
+
+// MarkPeerDown records that the given rank is unreachable, with an optional
+// cause. The marking is sticky and idempotent (the first cause wins). Blocked
+// receives naming the rank wake up with a PeerDownError; subsequent sends to
+// it are refused. Registered OnPeerDown observers are invoked (outside the
+// communicator lock) on the first marking.
+func (c *Communicator) MarkPeerDown(rank int, cause error) {
+	if rank < 0 || rank >= c.Size() || rank == c.Rank() {
+		return
+	}
+	if cause == nil {
+		cause = errors.New("marked down")
+	}
+	c.mu.Lock()
+	if c.down[rank] != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.down[rank] = cause
+	hooks := append([]func(int){}, c.downHooks...)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, fn := range hooks {
+		fn(rank)
+	}
+}
+
+// PeerDown reports whether the rank has been marked down.
+func (c *Communicator) PeerDown(rank int) bool {
+	if rank < 0 || rank >= c.Size() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[rank] != nil
+}
+
+// PeerError returns the cause the rank was marked down with (nil if up).
+func (c *Communicator) PeerError(rank int) error {
+	if rank < 0 || rank >= c.Size() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[rank]
+}
+
+// DownPeers returns the ranks currently marked down, in ascending order.
+func (c *Communicator) DownPeers() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for r, cause := range c.down {
+		if cause != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// OnPeerDown registers an observer invoked once per peer when that peer is
+// marked down. Peers already down at registration time are replayed
+// immediately, so no failure is lost to registration order. Observers run
+// outside the communicator lock and may call back into the communicator.
+func (c *Communicator) OnPeerDown(fn func(rank int)) {
+	c.mu.Lock()
+	c.downHooks = append(c.downHooks, fn)
+	var already []int
+	for r, cause := range c.down {
+		if cause != nil {
+			already = append(already, r)
+		}
+	}
+	c.mu.Unlock()
+	for _, r := range already {
+		fn(r)
+	}
+}
+
+// peerDownErrLocked builds the typed error for a down peer. Caller holds c.mu.
+func (c *Communicator) peerDownErrLocked(rank int) error {
+	return &PeerDownError{Rank: rank, Cause: c.down[rank]}
+}
+
+// checkPeerUp returns a PeerDownError when dest is marked down.
+func (c *Communicator) checkPeerUp(dest int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down[dest] != nil {
+		return c.peerDownErrLocked(dest)
 	}
 	return nil
 }
@@ -169,7 +337,21 @@ func (c *Communicator) Send(dest, tag int, data tensor.Vector) error {
 		tensor.PutVector(data)
 		return err
 	}
-	return c.ep.Send(dest, Message{Source: c.Rank(), Tag: tag, Data: data})
+	if err := c.checkPeerUp(dest); err != nil {
+		tensor.PutVector(data)
+		return err
+	}
+	err := c.ep.Send(dest, Message{Source: c.Rank(), Tag: tag, Data: data})
+	if err != nil && !errors.Is(err, ErrPeerDown) {
+		// The transport may fail a send because the peer's connection died
+		// while the frame was in flight (the read loop marks the peer down and
+		// tears the connection). Report that as the typed peer failure rather
+		// than a bare I/O error so callers see one error surface.
+		if downErr := c.checkPeerUp(dest); downErr != nil {
+			return downErr
+		}
+	}
+	return err
 }
 
 // SendCopy behaves like Send but snapshots data into a pool-leased buffer
@@ -177,10 +359,9 @@ func (c *Communicator) Send(dest, tag int, data tensor.Vector) error {
 // This is the right call when the payload aliases a live working buffer (a
 // caller-owned gradient, a collective's accumulation buffer).
 func (c *Communicator) SendCopy(dest, tag int, data tensor.Vector) error {
-	if err := c.checkPeer(dest); err != nil {
-		return err
-	}
-	return c.ep.Send(dest, Message{Source: c.Rank(), Tag: tag, Data: tensor.GetVectorCopy(data)})
+	// Send performs the peer validation and releases the copy on every error
+	// path, so one snapshot and one delegation suffice.
+	return c.Send(dest, tag, tensor.GetVectorCopy(data))
 }
 
 // SendCopyCancel behaves like SendCopy but gives up with ErrCanceled when
@@ -224,22 +405,7 @@ func (c *Communicator) matchLocked(source, tag int) (Message, bool) {
 // returned vector is a pool lease owned by the caller; release it with
 // Release once consumed.
 func (c *Communicator) Recv(source, tag int) (tensor.Vector, Status, error) {
-	if source != AnySource {
-		if err := c.checkPeer(source); err != nil {
-			return nil, Status{}, err
-		}
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for {
-		if m, ok := c.matchLocked(source, tag); ok {
-			return m.Data, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
-		}
-		if c.closed {
-			return nil, Status{}, ErrClosed
-		}
-		c.cond.Wait()
-	}
+	return c.RecvTimeout(source, tag, nil, 0)
 }
 
 // RecvCancel behaves like Recv but gives up with ErrCanceled if cancel is
@@ -248,41 +414,83 @@ func (c *Communicator) Recv(source, tag int) (tensor.Vector, Status, error) {
 // never be sent (e.g. when this rank was the only initiator of a solo
 // collective).
 func (c *Communicator) RecvCancel(source, tag int, cancel <-chan struct{}) (tensor.Vector, Status, error) {
+	return c.RecvTimeout(source, tag, cancel, 0)
+}
+
+// RecvTimeout is the fully general blocking receive: it matches (source, tag)
+// like Recv, aborts with ErrCanceled when cancel fires, and — when deadline is
+// positive and source names a specific rank — gives up after waiting that
+// long, marking the peer down (cause ErrPeerDeadline) and returning a
+// PeerDownError. A receive naming a peer already marked down fails fast with
+// a PeerDownError, though an already-queued matching message is still
+// delivered first (the payload made it before the peer died).
+//
+// The deadline is a failure-detector knob, not a latency bound: it should be
+// chosen far above any legitimate skew, because a peer it fires on is treated
+// as permanently failed by this communicator.
+func (c *Communicator) RecvTimeout(source, tag int, cancel <-chan struct{}, deadline time.Duration) (tensor.Vector, Status, error) {
 	if source != AnySource {
 		if err := c.checkPeer(source); err != nil {
 			return nil, Status{}, err
 		}
+	} else {
+		deadline = 0 // a wildcard receive names no peer to suspect
 	}
-	if cancel == nil {
-		return c.Recv(source, tag)
+	// Watcher goroutines convert channel close / timer expiry into
+	// condition-variable wakeups so the wait loop below can observe them.
+	var stop chan struct{}
+	if cancel != nil {
+		stop = make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-cancel:
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			case <-stop:
+			}
+		}()
 	}
-	// A watcher goroutine converts the channel close into a condition-variable
-	// wakeup so the waiter below can observe it.
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-cancel:
+	var start time.Time
+	var timer *time.Timer
+	if deadline > 0 {
+		start = time.Now()
+		timer = time.AfterFunc(deadline, func() {
 			c.mu.Lock()
 			c.cond.Broadcast()
 			c.mu.Unlock()
-		case <-stop:
-		}
-	}()
+		})
+		defer timer.Stop()
+	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for {
 		if m, ok := c.matchLocked(source, tag); ok {
+			c.mu.Unlock()
 			return m.Data, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
 		}
-		select {
-		case <-cancel:
-			return nil, Status{}, ErrCanceled
-		default:
+		if source != AnySource && c.down[source] != nil {
+			err := c.peerDownErrLocked(source)
+			c.mu.Unlock()
+			return nil, Status{}, err
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				c.mu.Unlock()
+				return nil, Status{}, ErrCanceled
+			default:
+			}
 		}
 		if c.closed {
+			c.mu.Unlock()
 			return nil, Status{}, ErrClosed
+		}
+		if deadline > 0 && time.Since(start) >= deadline {
+			c.mu.Unlock()
+			c.MarkPeerDown(source, fmt.Errorf("%w: no message within %v", ErrPeerDeadline, deadline))
+			return nil, Status{}, &PeerDownError{Rank: source, Cause: c.PeerError(source)}
 		}
 		c.cond.Wait()
 	}
@@ -420,15 +628,27 @@ func (c *Communicator) SendRecv(dest, sendTag int, data tensor.Vector, source, r
 // complete in the background; the communicator is then mid-collective and the
 // only safe follow-up is closing it.
 func (c *Communicator) SendRecvCancel(dest, sendTag int, data tensor.Vector, source, recvTag int, cancel <-chan struct{}) (tensor.Vector, Status, error) {
+	return c.SendRecvTimeout(dest, sendTag, data, source, recvTag, cancel, 0)
+}
+
+// SendRecvTimeout behaves like SendRecvCancel with a per-peer deadline on the
+// receive half (see RecvTimeout): a peer that neither delivers a matching
+// message nor is otherwise heard from within the deadline is marked down and
+// the call returns a PeerDownError instead of blocking forever — the typed
+// surface for "the peer's read loop died mid-collective".
+func (c *Communicator) SendRecvTimeout(dest, sendTag int, data tensor.Vector, source, recvTag int, cancel <-chan struct{}, deadline time.Duration) (tensor.Vector, Status, error) {
 	if cancel == nil {
 		if err := c.SendCopy(dest, sendTag, data); err != nil {
 			return nil, Status{}, err
 		}
-		return c.RecvCancel(source, recvTag, nil)
+		return c.RecvTimeout(source, recvTag, nil, deadline)
 	}
 	sreq := c.Isend(dest, sendTag, tensor.GetVectorCopy(data))
-	rdata, rstatus, rerr := c.RecvCancel(source, recvTag, cancel)
-	if errors.Is(rerr, ErrCanceled) {
+	rdata, rstatus, rerr := c.RecvTimeout(source, recvTag, cancel, deadline)
+	if errors.Is(rerr, ErrCanceled) || errors.Is(rerr, ErrPeerDown) {
+		// The peer will never satisfy the receive; abandon the in-flight send
+		// (it may itself be stuck on the dead peer's backpressure) rather than
+		// waiting on it.
 		return nil, Status{}, rerr
 	}
 	// The receive may have completed (its message was already queued) while

@@ -90,18 +90,25 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		EvalTop5:  &trace.Curve{Name: cfg.Name + " top5"},
 	}
 
+	inj := world.FaultInjector()
 	errs := make([]error, cfg.Size)
 	var wg sync.WaitGroup
 	for r := 0; r < cfg.Size; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			errs[r] = runRank(cfg, trainers[r], r == 0, result)
+			errs[r] = runRank(cfg, trainers[r], r == 0, result, inj, r)
 		}(r)
 	}
 	wg.Wait()
 	for r, err := range errs {
 		if err != nil {
+			if inj != nil && inj.Crashed(r) {
+				// The rank died by script (collective.WithFaults): its error
+				// is the crash taking effect, not a failure of the run. The
+				// survivors' results stand.
+				continue
+			}
 			return nil, fmt.Errorf("core: rank %d: %w", r, err)
 		}
 	}
@@ -118,8 +125,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 
 // runRank executes the training loop for one rank. Only rank 0 (record=true)
 // appends to the shared result curves; ranks never write concurrently to the
-// same fields because exactly one rank records.
-func runRank(cfg RunConfig, tr *Trainer, record bool, result *RunResult) error {
+// same fields because exactly one rank records. Under an injected fault
+// scenario (inj non-nil) the rank advances its crash-at-step counter once per
+// optimizer step, so scripted crashes fire deterministically in the rank's
+// own step sequence.
+func runRank(cfg RunConfig, tr *Trainer, record bool, result *RunResult, inj *collective.FaultInjector, rank int) error {
 	defer tr.Close()
 	lossAccum := 0.0
 	lossCount := 0
@@ -142,6 +152,9 @@ func runRank(cfg RunConfig, tr *Trainer, record bool, result *RunResult) error {
 		if err != nil {
 			return err
 		}
+		if inj != nil {
+			inj.AdvanceStep(rank)
+		}
 		lossAccum += rec.Loss
 		lossCount++
 		if cfg.EvalEverySteps > 0 && (step+1)%cfg.EvalEverySteps == 0 && step+1 < cfg.Steps {
@@ -150,7 +163,13 @@ func runRank(cfg RunConfig, tr *Trainer, record bool, result *RunResult) error {
 	}
 	if cfg.FinalSync {
 		if err := tr.SyncModel(); err != nil {
-			return err
+			// Model averaging needs every rank; when a scripted crash removed
+			// one, the survivors keep their replicas instead of failing. A
+			// sync failure with every rank alive is a real error even under
+			// an injected (lossy/delaying) scenario.
+			if inj == nil || !inj.AnyCrashed() {
+				return err
+			}
 		}
 	}
 	evaluate()

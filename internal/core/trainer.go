@@ -45,6 +45,13 @@ type Config struct {
 	// eager-SGD uses to bound replica divergence (§5). Ignored by synchronous
 	// exchangers, whose replicas never diverge.
 	SyncEverySteps int
+	// PeerDeadline is the failure-detector deadline applied to the trainer's
+	// own synchronous collectives (SyncModel): a rank silent past it is
+	// marked down and the collective returns an error wrapping
+	// collective.ErrRankUnreachable instead of blocking forever. Use the same
+	// value the exchanger was built with (collective.WithPeerDeadline). Zero
+	// disables it.
+	PeerDeadline time.Duration
 }
 
 // Trainer runs data-parallel SGD for one rank.
@@ -253,10 +260,13 @@ func (t *Trainer) stepOverlapped(ctx context.Context, step int) (float64, collec
 }
 
 // SyncModel averages the model replicas across all ranks (a synchronous
-// collective; every rank must call it at the same step).
+// collective; every rank must call it at the same step). With a
+// Config.PeerDeadline it aborts with a typed error instead of blocking on a
+// dead rank.
 func (t *Trainer) SyncModel() error {
 	params := t.cfg.Task.Params()
-	if err := collectives.Allreduce(t.cfg.Comm, params, collectives.OpSum, collectives.AlgoAuto); err != nil {
+	if err := collectives.AllreduceWith(t.cfg.Comm, params, collectives.OpSum, collectives.AlgoAuto,
+		collectives.Config{PeerDeadline: t.cfg.PeerDeadline}, nil); err != nil {
 		return err
 	}
 	params.Scale(1 / float64(t.Size()))

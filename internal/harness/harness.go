@@ -17,7 +17,9 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"eagersgd/internal/faults"
 	"eagersgd/internal/trace"
 )
 
@@ -39,6 +41,17 @@ type Config struct {
 	// BucketElems is the bucket coalescing target when Overlap is on; 0 keeps
 	// one bucket per layer segment.
 	BucketElems int
+	// Faults runs every training experiment's transport through a
+	// deterministic fault injector executing the scenario (per-link drops,
+	// delays, reordering, partitions, scripted rank crashes); see
+	// collective.WithFaults. Scripted crashes do not fail a run — the
+	// surviving ranks' results stand.
+	Faults *faults.Scenario
+	// PeerDeadline enables rank-failure tolerance with the given
+	// failure-detector deadline (collective.WithPeerDeadline). Set it when
+	// running a fault scenario so the stack detects the injected failures
+	// instead of blocking on them.
+	PeerDeadline time.Duration
 }
 
 // DefaultConfig returns the full-scale configuration.

@@ -2,11 +2,13 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"eagersgd/collective"
 	"eagersgd/internal/comm"
 	"eagersgd/internal/core"
 	"eagersgd/internal/data"
+	"eagersgd/internal/faults"
 	"eagersgd/internal/imbalance"
 	"eagersgd/internal/nn"
 	"eagersgd/internal/optimizer"
@@ -53,33 +55,43 @@ func eagerVariant(mode collective.Mode, syncEvery int) variant {
 // trainingSpec bundles everything needed to run one distributed training
 // configuration.
 type trainingSpec struct {
-	name        string
-	size        int
-	steps       int
-	evalEvery   int
-	lr          float64
-	baseMs      float64
-	costModel   *imbalance.SequenceCostModel
-	injector    imbalance.Injector
-	clock       imbalance.Clock
-	seed        int64
-	overlap     bool // bucketed overlapped exchange (Config.Overlap)
-	bucketElems int
-	buildTask   func(rank, size int) core.Task
+	name         string
+	size         int
+	steps        int
+	evalEvery    int
+	lr           float64
+	baseMs       float64
+	costModel    *imbalance.SequenceCostModel
+	injector     imbalance.Injector
+	clock        imbalance.Clock
+	seed         int64
+	overlap      bool // bucketed overlapped exchange (Config.Overlap)
+	bucketElems  int
+	faults       *faults.Scenario // fault-injection scenario (Config.Faults)
+	peerDeadline time.Duration    // failure-detector deadline (Config.PeerDeadline)
+	buildTask    func(rank, size int) core.Task
 }
 
 // runVariant executes the spec with the given SGD variant and returns the
 // run result.
 func runVariant(spec trainingSpec, v variant) (*core.RunResult, error) {
+	var worldOpts []collective.Option
+	if spec.faults != nil {
+		worldOpts = append(worldOpts, collective.WithFaults(*spec.faults))
+	}
 	return core.Run(core.RunConfig{
 		Name:           fmt.Sprintf("%s %s", spec.name, v.name),
 		Size:           spec.size,
 		Steps:          spec.steps,
 		EvalEverySteps: spec.evalEvery,
 		FinalSync:      true,
+		WorldOptions:   worldOpts,
 		Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
 			task := spec.buildTask(rank, spec.size)
 			opts := append([]collective.Option{collective.WithSeed(spec.seed)}, v.opts...)
+			if spec.peerDeadline > 0 {
+				opts = append(opts, collective.WithPeerDeadline(spec.peerDeadline))
+			}
 			if spec.overlap {
 				bt, ok := task.(core.BucketedTask)
 				if !ok {
@@ -108,6 +120,7 @@ func runVariant(spec trainingSpec, v variant) (*core.RunResult, error) {
 				BaseStepPaperMs: spec.baseMs,
 				CostModel:       spec.costModel,
 				SyncEverySteps:  syncEvery,
+				PeerDeadline:    spec.peerDeadline,
 			})
 		},
 	})
@@ -170,7 +183,7 @@ func Fig10Hyperplane(cfg Config) (*Report, error) {
 			name: fmt.Sprintf("fig10-%.0fms", inj), size: p.fig10Procs, steps: p.fig10Steps,
 			evalEvery: p.evalEvery, lr: p.fig10LR, baseMs: p.fig10BaseMs,
 			injector: imbalance.RandomSubset{Size: p.fig10Procs, K: 1, Amount: inj, Seed: cfg.Seed + int64(inj)},
-			clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
+			clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, faults: cfg.Faults, peerDeadline: cfg.PeerDeadline, buildTask: buildTask,
 		}
 
 		variants := []variant{
@@ -240,7 +253,7 @@ func Fig11ImageNetLight(cfg Config) (*Report, error) {
 			name: fmt.Sprintf("fig11-%.0fms", inj), size: p.fig11Procs, steps: p.fig11Steps,
 			evalEvery: p.evalEvery, lr: p.fig11LR, baseMs: p.fig11BaseMs,
 			injector: imbalance.RandomSubset{Size: p.fig11Procs, K: p.fig11InjectedK, Amount: inj, Seed: cfg.Seed + int64(inj)},
-			clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
+			clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, faults: cfg.Faults, peerDeadline: cfg.PeerDeadline, buildTask: buildTask,
 		}
 		variants := []variant{
 			synchVariant(styleDeep500),
@@ -295,7 +308,7 @@ func Fig12CifarSevere(cfg Config) (*Report, error) {
 		name: "fig12", size: p.fig12Procs, steps: p.fig12Steps,
 		evalEvery: p.evalEvery, lr: p.fig12LR, baseMs: p.fig12BaseMs,
 		injector: imbalance.ShiftedSevere{Size: p.fig12Procs, MinMs: p.fig12MinMs, MaxMs: p.fig12MaxMs},
-		clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
+		clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, faults: cfg.Faults, peerDeadline: cfg.PeerDeadline, buildTask: buildTask,
 	}
 
 	table := trace.NewTable(
@@ -357,7 +370,7 @@ func Fig13VideoLSTM(cfg Config) (*Report, error) {
 	spec := trainingSpec{
 		name: "fig13", size: p.fig13Procs, steps: p.fig13Steps,
 		evalEvery: p.evalEvery, lr: p.fig13LR, baseMs: 0, costModel: costModel,
-		injector: imbalance.None{}, clock: clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
+		injector: imbalance.None{}, clock: clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, faults: cfg.Faults, peerDeadline: cfg.PeerDeadline, buildTask: buildTask,
 	}
 
 	table := trace.NewTable(
@@ -421,7 +434,7 @@ func ScalingSummary(cfg Config) (*Report, error) {
 	single := trainingSpec{
 		name: "scaling-1", size: 1, steps: steps, evalEvery: 0, lr: p.fig10LR,
 		baseMs:   p.fig10BaseMs * float64(p.fig10Procs), // one process does the whole global batch
-		injector: imbalance.None{}, clock: clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
+		injector: imbalance.None{}, clock: clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, faults: cfg.Faults, peerDeadline: cfg.PeerDeadline, buildTask: buildTask,
 	}
 	singleRes, err := runVariant(single, synchVariant(styleDeep500))
 	if err != nil {
@@ -432,7 +445,7 @@ func ScalingSummary(cfg Config) (*Report, error) {
 		name: fmt.Sprintf("scaling-%d", p.fig10Procs), size: p.fig10Procs, steps: steps,
 		evalEvery: 0, lr: p.fig10LR, baseMs: p.fig10BaseMs,
 		injector: imbalance.RandomSubset{Size: p.fig10Procs, K: 1, Amount: inj, Seed: cfg.Seed},
-		clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, buildTask: buildTask,
+		clock:    clock, seed: cfg.Seed, overlap: cfg.Overlap, bucketElems: cfg.BucketElems, faults: cfg.Faults, peerDeadline: cfg.PeerDeadline, buildTask: buildTask,
 	}
 
 	table := trace.NewTable(

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"eagersgd/internal/comm"
 	"eagersgd/internal/sched"
@@ -86,6 +87,17 @@ type Options struct {
 	// Empty means one bucket covering the whole vector. Every rank must use
 	// the same layout (the per-bucket tag blocks are wire state).
 	Buckets []int
+	// PeerDeadline enables rank-failure tolerance: it is the failure
+	// detector's deadline. A reduction-chain receive blocked on a peer for
+	// longer than this marks the peer down (its subtree — data and activation
+	// flag — is dropped from the round and every later round), and a rank that
+	// has arrived at a round whose designated initiators are all marked down
+	// activates the round itself after this long, so a dead initiator cannot
+	// stall Majority/Quorum training. Choose it far above any legitimate
+	// skew: a rank it fires on is treated as permanently failed. Zero (the
+	// default) disables failure tolerance — a dead peer then blocks the round
+	// forever, the pre-fault-tolerance behaviour.
+	PeerDeadline time.Duration
 }
 
 // RoundInfo describes the completed round an Exchange call observed.
@@ -137,6 +149,7 @@ type Allreducer struct {
 	pendingInit int           // highest round the app wants internally activated (-1 none)
 
 	engineRound    int // round currently armed by the engine
+	activatedRound int // highest round whose activation snapshot ran (-1 none)
 	completedRound int // highest completed round (-1 none)
 	lastResult     tensor.Vector
 	records        map[int]roundRecord
@@ -187,6 +200,7 @@ func New(c *comm.Communicator, n int, opts Options) *Allreducer {
 		sendBuf:        tensor.NewVector(n),
 		appArrived:     -1,
 		pendingInit:    -1,
+		activatedRound: -1,
 		completedRound: -1,
 		bucketRound:    -1,
 		bucketDone:     make([]bool, len(buckets)),
@@ -194,9 +208,103 @@ func New(c *comm.Communicator, n int, opts Options) *Allreducer {
 		records:        make(map[int]roundRecord),
 	}
 	a.cond = sync.NewCond(&a.mu)
+	if opts.PeerDeadline > 0 {
+		// A peer marked down (by a chain deadline, the transport, or the
+		// failure detector of a sibling allreducer on the same communicator)
+		// may have been the only rank allowed to activate the armed round;
+		// re-evaluate failover activation on every marking.
+		c.OnPeerDown(func(int) { a.maybeFailoverActivate() })
+	}
 	a.engineWG.Add(1)
 	go a.engineLoop()
 	return a
+}
+
+// anyInitiatorAlive reports whether any designated initiator of the round is
+// still believed alive (self counts as alive). For Solo mode every rank may
+// initiate, so the answer is always true.
+func (a *Allreducer) anyInitiatorAlive(round int) bool {
+	inits := a.DesignatedInitiators(round)
+	if inits == nil {
+		return true // Solo (or Quorum covering all ranks)
+	}
+	me := a.comm.Rank()
+	for _, r := range inits {
+		if r == me || !a.comm.PeerDown(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// mayActivateLocked reports whether this rank may internally activate the
+// round: it is a designated initiator, or failure tolerance is on and every
+// designated initiator is marked down (the failover that keeps a round with a
+// dead initiator live — its activation then carries only survivors' flags).
+// Caller holds a.mu.
+func (a *Allreducer) mayActivateLocked(round int) bool {
+	if a.isInitiator(round) {
+		return true
+	}
+	return a.opts.PeerDeadline > 0 && !a.anyInitiatorAlive(round)
+}
+
+// maybeFailoverActivate triggers the armed round if the application has
+// arrived at it and its designated initiators are all dead.
+func (a *Allreducer) maybeFailoverActivate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed || a.err != nil {
+		return
+	}
+	round := a.engineRound
+	if a.appArrived >= round && a.completedRound < round && a.mayActivateLocked(round) {
+		if a.pendingInit < round {
+			a.pendingInit = round
+		}
+		a.triggerIfArmedLocked(round)
+	}
+}
+
+// armFailoverTimer starts the per-wait failure detector used while the
+// application waits on an incomplete round: if the round is still incomplete
+// after the peer deadline, the round's designated initiators that have not
+// been heard from are marked down on the communicator (cause
+// comm.ErrPeerDeadline) and, all initiators now being dead, the round is
+// failover-activated. The returned stop function must be called when the
+// wait ends. With failure tolerance off (or in Solo mode, where the waiter
+// activates the round itself) it does nothing.
+func (a *Allreducer) armFailoverTimer(round int) (stop func()) {
+	if a.opts.PeerDeadline <= 0 {
+		return func() {}
+	}
+	inits := a.DesignatedInitiators(round)
+	if inits == nil {
+		return func() {} // Solo: the application's own arrival activates
+	}
+	timer := time.AfterFunc(a.opts.PeerDeadline, func() {
+		a.mu.Lock()
+		// Only suspect the initiators while the round is both incomplete AND
+		// unactivated: once any live initiator activated it, the wait is on
+		// the reduction chains (whose own deadlines handle dead ranks), and
+		// marking the initiators down here would falsely kill live ranks.
+		expired := !a.closed && a.err == nil && a.completedRound < round && a.activatedRound < round
+		a.mu.Unlock()
+		if !expired {
+			return
+		}
+		me := a.comm.Rank()
+		for _, r := range inits {
+			if r != me {
+				// MarkPeerDown re-runs maybeFailoverActivate via the
+				// OnPeerDown hook; the direct call below covers the case
+				// where every initiator was already marked.
+				a.comm.MarkPeerDown(r, fmt.Errorf("partial: round %d initiator %d unresponsive: %w", round, r, comm.ErrPeerDeadline))
+			}
+		}
+		a.maybeFailoverActivate()
+	})
+	return func() { timer.Stop() }
 }
 
 // NumBuckets returns the number of buckets each round reduces.
@@ -350,10 +458,14 @@ func (a *Allreducer) ExchangeContext(ctx context.Context, grad tensor.Vector) (t
 	}
 
 	// The round is still open. Request internal activation if this rank is
-	// allowed to initiate under the configured mode.
-	if a.isInitiator(round) {
+	// allowed to initiate under the configured mode (or via failover when
+	// every designated initiator is already known dead).
+	if a.mayActivateLocked(round) {
 		a.pendingInit = round
 		a.triggerIfArmedLocked(round)
+	} else {
+		stopDetector := a.armFailoverTimer(round)
+		defer stopDetector()
 	}
 
 	// Wait for the round to complete (possibly activated externally).
@@ -458,7 +570,7 @@ func (a *Allreducer) Contribute(round int, grad tensor.Vector) (uint64, error) {
 	if a.err != nil {
 		return seq, a.err
 	}
-	if a.completedRound < round && a.isInitiator(round) {
+	if a.completedRound < round && a.mayActivateLocked(round) {
 		a.pendingInit = round
 		a.triggerIfArmedLocked(round)
 	}
@@ -476,6 +588,7 @@ func (a *Allreducer) WaitBucket(ctx context.Context, round, b int) (tensor.Vecto
 		return nil, fmt.Errorf("partial: bucket %d out of range [0,%d)", b, len(a.buckets))
 	}
 	defer a.watchContext(ctx)()
+	defer a.armFailoverTimer(round)()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for {
@@ -503,6 +616,7 @@ func (a *Allreducer) WaitBucket(ctx context.Context, round, b int) (tensor.Vecto
 // round, inclusion is the same for every bucket of the step.
 func (a *Allreducer) WaitStep(ctx context.Context, round int, seq uint64) (RoundInfo, error) {
 	defer a.watchContext(ctx)()
+	defer a.armFailoverTimer(round)()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for a.completedRound < round && !a.closed && a.err == nil {
@@ -544,6 +658,9 @@ func (a *Allreducer) triggerIfArmedLocked(round int) {
 func (a *Allreducer) snapshot(round int, data tensor.Vector) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if round > a.activatedRound {
+		a.activatedRound = round
+	}
 	copy(data[:a.n], a.sendBuf)
 	if a.appArrived >= round {
 		data[a.n] = 1 // this rank's application reached the collective in time
@@ -569,8 +686,13 @@ func (a *Allreducer) engineLoop() {
 		plan := sched.BuildBucketedPartialAllreduce(rank, size, baseTag, a.buckets, sched.SumReduce,
 			func(data tensor.Vector) { a.snapshot(r, data) },
 			func(b int, seg tensor.Vector) { a.publishBucket(r, b, seg) })
+		// Failure tolerance: reduction-chain receives blocked past the
+		// deadline mark their peer down and are skipped, so a round always
+		// drains with the surviving participant set (zero disables this).
+		plan.Schedule.SetPeerDeadline(a.opts.PeerDeadline)
 		ex, err := sched.NewExecutor(a.comm, plan.Schedule)
 		if err != nil {
+			plan.ReleaseBuffers()
 			a.fail(err)
 			return
 		}
@@ -580,10 +702,7 @@ func (a *Allreducer) engineLoop() {
 		ex.Start()
 
 		a.mu.Lock()
-		if a.closed {
-			a.mu.Unlock()
-			return
-		}
+		closing := a.closed
 		a.engineRound = round
 		a.currentEx = ex
 		a.currentActivation = plan.InternalActivation
@@ -594,11 +713,17 @@ func (a *Allreducer) engineLoop() {
 		trigger := a.pendingInit >= round
 		a.mu.Unlock()
 
-		if trigger {
+		if trigger && !closing {
 			_ = ex.Trigger(plan.InternalActivation)
 		}
 
+		// Even when the allreducer is closing, the armed executor must drain
+		// before its buffers can be recycled: peers may still activate the
+		// round, and the communicator's close unblocks it otherwise. Waiting
+		// here (instead of abandoning the executor) is what guarantees a
+		// closed engine leaks no pool leases.
 		if err := ex.Wait(); err != nil {
+			plan.ReleaseBuffers()
 			if errors.Is(err, comm.ErrClosed) {
 				a.fail(ErrClosed)
 				return
@@ -607,8 +732,10 @@ func (a *Allreducer) engineLoop() {
 			return
 		}
 
-		data := plan.Schedule.Buffer(sched.DataBuffer)
-		a.publish(round, data)
+		if !closing {
+			data := plan.Schedule.Buffer(sched.DataBuffer)
+			a.publish(round, data)
+		}
 		// The executor has fully drained (Wait returned), so nothing references
 		// the round's schedule buffers anymore: recycle them for the next round.
 		plan.ReleaseBuffers()
@@ -711,6 +838,14 @@ func (a *Allreducer) RestorePending(v tensor.Vector) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.sendBuf.Add(v)
+}
+
+// Join blocks until the background engine goroutine has exited and released
+// its round buffers back to the pool. The engine only exits once the
+// underlying communicator is closed, so call Join after that point (the
+// collective World does, giving leak-free shutdown accounting).
+func (a *Allreducer) Join() {
+	a.engineWG.Wait()
 }
 
 // Close marks the allreducer closed. Pending and future Exchange calls return

@@ -109,7 +109,7 @@ func BuildPartialAllreduceWithPrepare(rank, size, baseTag, n int, reduce ReduceF
 	}
 
 	// --- Allreduce phase ---------------------------------------------------
-	completion := buildRecursiveDoubling(s, rank, size, baseTag, DataBuffer, reduce, start)
+	completion := buildRecursiveDoubling(s, rank, size, baseTag, DataBuffer, reduce, start, PeerDownSkip)
 
 	plan := PartialAllreducePlan{
 		Schedule:           s,
@@ -133,7 +133,7 @@ func BuildAllreduce(rank, size, baseTag, n int, reduce ReduceFunc) PartialAllred
 	s := NewSchedule()
 	s.SetBuffer(DataBuffer, tensor.GetVectorZero(n))
 	start := s.AddNop(DepAnd) // triggered by the caller when its data is ready
-	completion := buildRecursiveDoubling(s, rank, size, baseTag, DataBuffer, reduce, start)
+	completion := buildRecursiveDoubling(s, rank, size, baseTag, DataBuffer, reduce, start, PeerDownFail)
 	s.SetCompletionOps(completion)
 	return PartialAllreducePlan{
 		Schedule:           s,
@@ -164,7 +164,13 @@ func buildActivationPhase(s *Schedule, rank, size, actTag int) (n0, n1 OpID) {
 			continue
 		}
 		peers = append(peers, peer)
-		actRecvs = append(actRecvs, s.AddRecv(peer, actTag, ActivationBuffer, DepAnd))
+		// PeerDownHold: a dead peer's activation simply never arrives. The
+		// receive must not complete on failure — it feeds the OR-activation
+		// NOP, and a spurious completion would activate the round with no
+		// initiator.
+		id := s.AddRecv(peer, actTag, ActivationBuffer, DepAnd)
+		s.SetPeerDownPolicy(id, PeerDownHold)
+		actRecvs = append(actRecvs, id)
 	}
 
 	// Activation forwarding sends (S0, S1, ...): consumable, fired on the
@@ -177,7 +183,8 @@ func buildActivationPhase(s *Schedule, rank, size, actTag int) (n0, n1 OpID) {
 				deps = append(deps, r)
 			}
 		}
-		s.AddSend(peer, actTag, ActivationBuffer, DepOr, deps...)
+		// PeerDownSkip: forwarding an activation to a dead peer is a no-op.
+		s.SetPeerDownPolicy(s.AddSend(peer, actTag, ActivationBuffer, DepOr, deps...), PeerDownSkip)
 	}
 
 	// N1 in Fig. 6: the allreduce phase starts on the first activation of any
@@ -297,7 +304,7 @@ func BuildBucketedPartialAllreduce(rank, size, baseTag int, bucketLens []int, re
 	completions := make([]OpID, 0, len(bucketLens)+1)
 	for b := range bucketLens {
 		bucketTag := baseTag + (b+1)*TagStride
-		done := buildRecursiveDoubling(s, rank, size, bucketTag, BucketBuffer(b), reduce, start)
+		done := buildRecursiveDoubling(s, rank, size, bucketTag, BucketBuffer(b), reduce, start, PeerDownSkip)
 		if onBucket != nil {
 			bb := b
 			done = s.AddCompute(func(bufs map[string]tensor.Vector) {
@@ -308,7 +315,7 @@ func BuildBucketedPartialAllreduce(rank, size, baseTag int, bucketLens []int, re
 		completions = append(completions, done)
 	}
 	flagTag := baseTag + (len(bucketLens)+1)*TagStride
-	completions = append(completions, buildRecursiveDoubling(s, rank, size, flagTag, FlagBuffer, reduce, start))
+	completions = append(completions, buildRecursiveDoubling(s, rank, size, flagTag, FlagBuffer, reduce, start, PeerDownSkip))
 	s.SetCompletionOps(completions...)
 	return plan
 }
@@ -316,7 +323,11 @@ func BuildBucketedPartialAllreduce(rank, size, baseTag int, bucketLens []int, re
 // Non-power-of-two sizes use the standard MPICH approach: the first 2*rem
 // ranks (rem = size - 2^k) fold pairwise so 2^k ranks run the doubling loop,
 // and the result is copied back to the folded-out ranks afterwards.
-func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, buffer string, reduce ReduceFunc, start OpID) OpID {
+func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, buffer string, reduce ReduceFunc, start OpID, onPeerDown PeerDownPolicy) OpID {
+	annotate := func(id OpID) OpID {
+		s.SetPeerDownPolicy(id, onPeerDown)
+		return id
+	}
 	pof2 := 1
 	for pof2*2 <= size {
 		pof2 *= 2
@@ -332,11 +343,11 @@ func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, buffer string,
 	case rank < 2*rem && rank%2 == 0:
 		// Fold out: send contribution to rank+1, then wait for the final
 		// result in the post phase.
-		prev = s.AddSend(rank+1, foldTag, buffer, DepAnd, prev)
+		prev = annotate(s.AddSend(rank+1, foldTag, buffer, DepAnd, prev))
 		inDoubling = false
 	case rank < 2*rem && rank%2 == 1:
 		// Fold in: absorb the even neighbour's contribution.
-		prev = s.AddRecvReduce(rank-1, foldTag, buffer, reduce, DepAnd, prev)
+		prev = annotate(s.AddRecvReduce(rank-1, foldTag, buffer, reduce, DepAnd, prev))
 		doublingRank = rank / 2
 	default:
 		doublingRank = rank - rem
@@ -347,10 +358,10 @@ func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, buffer string,
 			peerDoubling := doublingRank ^ d
 			peer := doublingToRank(peerDoubling, rem)
 			dataTag := baseTag + tagDataBase + log2(d)
-			send := s.AddSend(peer, dataTag, buffer, DepAnd, prev)
+			send := annotate(s.AddSend(peer, dataTag, buffer, DepAnd, prev))
 			// The receive-reduce waits for the send so the outgoing payload is
 			// snapshotted before the buffer is modified.
-			prev = s.AddRecvReduce(peer, dataTag, buffer, reduce, DepAnd, send)
+			prev = annotate(s.AddRecvReduce(peer, dataTag, buffer, reduce, DepAnd, send))
 		}
 	}
 
@@ -358,9 +369,9 @@ func buildRecursiveDoubling(s *Schedule, rank, size, baseTag int, buffer string,
 	// back to their even neighbours.
 	switch {
 	case rank < 2*rem && rank%2 == 1:
-		prev = s.AddSend(rank-1, foldTag+TagStride/2, buffer, DepAnd, prev)
+		prev = annotate(s.AddSend(rank-1, foldTag+TagStride/2, buffer, DepAnd, prev))
 	case rank < 2*rem && rank%2 == 0:
-		prev = s.AddRecv(rank+1, foldTag+TagStride/2, buffer, DepAnd, prev)
+		prev = annotate(s.AddRecv(rank+1, foldTag+TagStride/2, buffer, DepAnd, prev))
 	}
 	return prev
 }

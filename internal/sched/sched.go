@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"eagersgd/internal/comm"
 	"eagersgd/internal/tensor"
@@ -72,6 +73,32 @@ const (
 // OpID identifies an operation within its schedule.
 type OpID int
 
+// PeerDownPolicy selects how a communication operation reacts when its peer
+// is marked down on the communicator (comm.ErrPeerDown). The policies encode
+// the partial-collective failure semantics: a dead rank is
+// permanently-not-participating, so its data contributions are skipped and
+// its activations simply never happen.
+type PeerDownPolicy int
+
+const (
+	// PeerDownFail propagates the peer failure as an execution error — the
+	// synchronous semantics, where every rank must participate. The default.
+	PeerDownFail PeerDownPolicy = iota
+	// PeerDownSkip completes the operation silently without transferring any
+	// data: a receive skips its reduce/copy (the dead subtree contributes
+	// nothing, and its activation flag resolves false), a send is dropped.
+	// Dependents fire as if the operation had succeeded, so a reduction chain
+	// continues past the dead peer with the surviving participant set.
+	PeerDownSkip
+	// PeerDownHold treats the failure as a message that will never arrive:
+	// the operation neither completes nor errors, exactly like a receive
+	// whose sender never fires. Used for external-activation receives — a
+	// dead peer must not spuriously activate a round through an OR
+	// dependency. Held operations must not be in the completion set; they are
+	// abandoned when the schedule completes.
+	PeerDownHold
+)
+
 // ReduceFunc combines an incoming payload into a local buffer (e.g. addition
 // for allreduce-sum).
 type ReduceFunc func(local, incoming tensor.Vector)
@@ -109,16 +136,36 @@ type Op struct {
 	// dependencies.
 	Deps []OpID
 	Mode DepMode
+
+	// OnPeerDown selects the operation's reaction to a dead peer (send/recv
+	// kinds only). The zero value, PeerDownFail, preserves synchronous
+	// semantics: the failure surfaces as an execution error.
+	OnPeerDown PeerDownPolicy
 }
 
 // Schedule is a DAG of operations plus the named buffers they operate on.
 // Build one with NewSchedule and the Add* methods, then execute it with an
 // Executor.
 type Schedule struct {
-	ops        []*Op
-	buffers    map[string]tensor.Vector
-	completion []OpID
+	ops          []*Op
+	buffers      map[string]tensor.Vector
+	completion   []OpID
+	peerDeadline time.Duration
 }
+
+// SetPeerDeadline arms a per-peer deadline on the schedule's PeerDownSkip
+// receives: a receive that waits longer than d marks its peer down on the
+// communicator (see comm.RecvTimeout) and is then skipped, so a reduction
+// chain cannot block forever on a rank that died mid-round. Operations with
+// other policies are unaffected — in particular, activation receives
+// (PeerDownHold) may legitimately wait arbitrarily long for a slow
+// application and must not suspect their peers. Zero (the default) disables
+// the deadline.
+func (s *Schedule) SetPeerDeadline(d time.Duration) { s.peerDeadline = d }
+
+// SetPeerDownPolicy overrides the policy of one operation. Intended for
+// tests; the builders annotate their operations directly.
+func (s *Schedule) SetPeerDownPolicy(id OpID, p PeerDownPolicy) { s.ops[id].OnPeerDown = p }
 
 // NewSchedule returns an empty schedule.
 func NewSchedule() *Schedule {
@@ -324,6 +371,27 @@ func (e *Executor) Start() {
 		return
 	}
 	e.started = true
+	// Shutdown watcher: a schedule may reach a state with no operation
+	// observing the transport at all — a size-1 world's unactivated round has
+	// no receives, and a round whose receives all returned held. If the
+	// communicator closes then, nothing would ever complete and Wait would
+	// hang forever; the watcher aborts the schedule instead. It is not part
+	// of e.wg (it exits via e.done once the schedule finishes normally).
+	go func() {
+		select {
+		case <-e.comm.Done():
+			e.mu.Lock()
+			if !e.doneClosed {
+				if e.err == nil {
+					e.err = comm.ErrClosed
+				}
+				e.closeDoneLocked()
+				e.maybeCloseSendqsLocked()
+			}
+			e.mu.Unlock()
+		case <-e.done:
+		}
+	}()
 	for _, q := range e.sendqs {
 		e.wg.Add(1)
 		go e.sendLoop(q)
@@ -353,6 +421,12 @@ func (e *Executor) sendLoop(q chan sendItem) {
 	defer e.wg.Done()
 	for it := range q {
 		err := e.comm.Send(it.op.Peer, it.op.Tag, it.payload)
+		if err != nil && it.op.OnPeerDown != PeerDownFail && errors.Is(err, comm.ErrPeerDown) {
+			// The destination is dead and tolerated: the message is simply
+			// lost, like any send to a crashed process. Complete silently so
+			// the chain (and the round) can finish with the survivors.
+			err = nil
+		}
 		e.mu.Lock()
 		e.completeLocked(it.op, err)
 		e.mu.Unlock()
@@ -453,7 +527,41 @@ func (e *Executor) fireLocked(op *Op) {
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
-			data, _, err := e.comm.RecvCancel(op.Peer, op.Tag, e.cancel)
+			// Only PeerDownSkip receives arm the failure-detector deadline:
+			// they run post-activation, where progress is engine-bound, so a
+			// peer silent past the deadline is dead, not merely slow. The
+			// deadline carries a chain-depth allowance: a live peer's send can
+			// legitimately be delayed by its own detection wait on a dead rank
+			// earlier in its chain, and that latency accumulates once per
+			// doubling hop — without the slack, detection of one dead rank
+			// would cascade into falsely suspecting live ones.
+			var deadline time.Duration
+			if op.OnPeerDown == PeerDownSkip {
+				deadline = e.sched.peerDeadline * time.Duration(chainSlack(e.comm.Size()))
+			}
+			data, _, err := e.comm.RecvTimeout(op.Peer, op.Tag, e.cancel, deadline)
+			if err != nil && errors.Is(err, comm.ErrPeerDown) {
+				switch op.OnPeerDown {
+				case PeerDownSkip:
+					// The dead peer's subtree contributes nothing; the chain
+					// continues with the survivors.
+					e.mu.Lock()
+					e.completeLocked(op, nil)
+					e.mu.Unlock()
+					return
+				case PeerDownHold:
+					// Behave as if the message never arrives: wait out the
+					// schedule like any abandoned receive. The cancel channel
+					// always fires eventually — when the schedule completes,
+					// aborts on an error, or the shutdown watcher observes
+					// the communicator closing.
+					<-e.cancel
+					e.mu.Lock()
+					e.completeLocked(op, nil)
+					e.mu.Unlock()
+					return
+				}
+			}
 			e.mu.Lock()
 			if errors.Is(err, comm.ErrCanceled) {
 				// The schedule already reached its completion set; this
@@ -509,6 +617,13 @@ func (e *Executor) completeLocked(op *Op, err error) {
 	}
 	if err != nil && e.err == nil {
 		e.err = err
+		// A failed operation aborts the schedule. Its dependents can never
+		// run meaningfully, and completion ops downstream of the failure
+		// would never fire — waiting for them would hang Wait forever (the
+		// classic case: the communicator closes mid-round while the round's
+		// activation is still pending). Closing done cancels the outstanding
+		// receives and lets the executor wind down; Wait returns this error.
+		e.closeDoneLocked()
 	}
 	if !e.doneClosed {
 		for _, candidate := range e.sched.ops {
@@ -523,6 +638,18 @@ func (e *Executor) completeLocked(op *Op, err error) {
 	if e.pending == 0 {
 		e.closeDoneLocked()
 	}
+}
+
+// chainSlack returns the failure-detector depth allowance for a world of the
+// given size: one deadline unit per possible doubling hop plus one, so that
+// waiting on a live peer that is itself waiting out a dead rank does not trip
+// the detector.
+func chainSlack(size int) int {
+	slack := 2
+	for p := 2; p < size; p *= 2 {
+		slack++
+	}
+	return slack
 }
 
 // closeDoneLocked marks the schedule complete and cancels abandoned receives.

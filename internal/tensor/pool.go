@@ -86,6 +86,10 @@ func GetVector(n int) Vector {
 	}
 	c := classForLen(n)
 	if c >= poolClasses {
+		// Counted as a Get too: the lease-balance accounting
+		// (PoolStats.OutstandingSince) must see every lease, and the
+		// oversized buffer's eventual PutVector lands in Discards.
+		poolGets.Add(1)
 		poolMisses.Add(1)
 		return make(Vector, n)
 	}
@@ -123,6 +127,12 @@ func GetVectorCopy(src Vector) Vector {
 // aliasing v's backing array — after the call.
 func PutVector(v Vector) {
 	c := cap(v)
+	if c == 0 {
+		// Nil and empty vectors were never leases (GetVector(0) allocates
+		// nothing); dropping them is not a discard, so the lease-balance
+		// accounting stays exact.
+		return
+	}
 	if c < minPoolCap {
 		poolDiscards.Add(1)
 		return
@@ -141,8 +151,8 @@ func PutVector(v Vector) {
 // PoolStats is a snapshot of the vector pool counters. Counters are
 // monotonically increasing process-wide totals.
 type PoolStats struct {
-	// Gets counts GetVector calls served by the size classes (pool hit or
-	// fresh class-sized allocation).
+	// Gets counts every GetVector lease (pool hit, fresh class-sized
+	// allocation, or oversized direct allocation).
 	Gets uint64
 	// Puts counts vectors accepted back into a size class.
 	Puts uint64
@@ -152,6 +162,17 @@ type PoolStats struct {
 	// Discards counts PutVector calls whose buffer was dropped (capacity
 	// outside the size classes).
 	Discards uint64
+}
+
+// OutstandingSince estimates the number of pool leases taken between the two
+// snapshots that have not been returned: Δ(Gets) - Δ(Puts) - Δ(Discards).
+// It is exact when, over the interval, every vector released with PutVector
+// came from GetVector — which holds for the message substrate's steady
+// state. Chaos and shutdown tests assert it is zero across a quiesced
+// create/run/close cycle: a positive value means a leaked lease, the bug
+// class this counter exists to catch.
+func (s PoolStats) OutstandingSince(prev PoolStats) int64 {
+	return int64(s.Gets-prev.Gets) - int64(s.Puts-prev.Puts) - int64(s.Discards-prev.Discards)
 }
 
 // ReadPoolStats returns a snapshot of the pool counters. Intended for tests

@@ -48,8 +48,45 @@ type TCPEndpoint struct {
 	wg      sync.WaitGroup // read loops
 	senders sync.WaitGroup // in-flight deliverLocal calls; drained before closing the inbox
 
-	readMu  sync.Mutex
-	readErr error // first read-loop decode/IO failure, kept for diagnostics
+	readMu   sync.Mutex
+	readErr  error              // first read-loop decode/IO failure, kept for diagnostics
+	onFail   []func(int, error) // peer-failure handlers (NotifyPeerFailure)
+	failures map[int]error      // per-peer failures observed so far, for replay
+}
+
+// NotifyPeerFailure registers the handler invoked when a peer's connection
+// dies mid-job (read-loop EOF or decode/IO failure). Failures observed before
+// registration are replayed immediately. With a handler registered, a dead
+// connection fails only that peer — the handler typically marks the rank down
+// on the communicator so blocked receives surface a typed PeerDownError while
+// traffic with healthy peers continues. Without one, the endpoint falls back
+// to closing itself entirely (the pre-fault-tolerance behaviour), so bare
+// endpoints never hang their receivers.
+func (e *TCPEndpoint) NotifyPeerFailure(fn func(rank int, cause error)) {
+	e.readMu.Lock()
+	e.onFail = append(e.onFail, fn)
+	replay := make(map[int]error, len(e.failures))
+	for r, err := range e.failures {
+		replay[r] = err
+	}
+	e.readMu.Unlock()
+	for r, err := range replay {
+		fn(r, err)
+	}
+}
+
+// recordPeerFailure stores the failure for replay and returns the registered
+// handlers (nil if none).
+func (e *TCPEndpoint) recordPeerFailure(peer int, cause error) []func(int, error) {
+	e.readMu.Lock()
+	defer e.readMu.Unlock()
+	if e.failures == nil {
+		e.failures = make(map[int]error)
+	}
+	if e.failures[peer] == nil {
+		e.failures[peer] = cause
+	}
+	return e.onFail
 }
 
 // tcpWriter owns one peer connection's write half and coalesces concurrent
@@ -245,7 +282,7 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 			continue
 		}
 		ep.wg.Add(1)
-		go ep.readLoop(w.conn)
+		go ep.readLoop(peer, w.conn)
 	}
 	return ep, nil
 }
@@ -367,21 +404,16 @@ func (e *TCPEndpoint) Close() error {
 // buffer that is grown once and reused for every frame, so a steady-state
 // receive performs no allocation. A decode failure (including an oversized or
 // truncated frame) tears the connection down and is recorded on the endpoint
-// (see ReadError) instead of silently vanishing.
-func (e *TCPEndpoint) readLoop(conn net.Conn) {
+// (see ReadError) instead of silently vanishing; with a peer-failure handler
+// registered (NotifyPeerFailure) only that peer is declared dead, otherwise
+// the whole endpoint closes.
+func (e *TCPEndpoint) readLoop(peer int, conn net.Conn) {
 	defer e.wg.Done()
 	var scratch []byte
 	for {
 		m, err := decodeFrame(conn, &scratch)
 		if err != nil {
-			if e.recordReadError(err) {
-				// A fatal decode failure (not a clean EOF, not our own
-				// shutdown) leaves this connection unusable; fail the whole
-				// endpoint so blocked receivers return ErrClosed promptly
-				// instead of hanging on a peer that can no longer reach us.
-				// Close must run off this goroutine: it waits for read loops.
-				go e.Close()
-			}
+			e.handleReadFailure(peer, conn, err)
 			return
 		}
 		e.mu.Lock()
@@ -397,32 +429,51 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	}
 }
 
-// recordReadError keeps the first read-loop failure for diagnostics and
-// reports whether it was recorded. A clean peer EOF and the I/O errors of the
-// endpoint's own shutdown are not recorded (and not fatal).
-func (e *TCPEndpoint) recordReadError(err error) bool {
-	if errors.Is(err, io.EOF) {
-		return false
-	}
+// handleReadFailure reacts to a read loop ending: nothing during our own
+// shutdown; otherwise the peer is unreachable (its process exited — EOF — or
+// the stream is corrupt). Decode/IO failures are recorded for ReadError
+// diagnostics. With a peer-failure handler the failure is scoped to the peer:
+// the connection is closed (failing its pending writes) and the handler is
+// invoked so the comm layer can mark the rank down. Without a handler, a
+// fatal (non-EOF) failure closes the whole endpoint so blocked receivers
+// observe ErrClosed promptly instead of hanging.
+func (e *TCPEndpoint) handleReadFailure(peer int, conn net.Conn, err error) {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
-		return false
+		return
 	}
-	e.readMu.Lock()
-	if e.readErr == nil {
-		e.readErr = err
+	cause := err
+	if errors.Is(err, io.EOF) {
+		cause = fmt.Errorf("transport: rank %d closed its connection (process exited?): %w", peer, err)
+	} else {
+		e.readMu.Lock()
+		if e.readErr == nil {
+			e.readErr = err
+		}
+		e.readMu.Unlock()
 	}
-	e.readMu.Unlock()
-	return true
+	if fns := e.recordPeerFailure(peer, cause); len(fns) > 0 {
+		conn.Close() // fail pending writes toward the dead peer too
+		for _, fn := range fns {
+			fn(peer, cause)
+		}
+		return
+	}
+	if !errors.Is(err, io.EOF) {
+		// Close must run off this goroutine: it waits for read loops.
+		go e.Close()
+	}
 }
 
 // ReadError returns the first fatal decode or I/O failure observed by a read
 // loop (nil if none). A non-nil value means a peer connection died mid-job —
-// for example on a corrupt or oversized frame; the endpoint closes itself in
-// response, so blocked receivers observe ErrClosed and this error explains
-// why.
+// for example on a corrupt or oversized frame. With a peer-failure handler
+// registered (the communicator's default), only that peer is marked down and
+// blocked operations naming it observe a PeerDownError carrying this error;
+// without one the endpoint closes itself, so blocked receivers observe
+// ErrClosed and this error explains why.
 func (e *TCPEndpoint) ReadError() error {
 	e.readMu.Lock()
 	defer e.readMu.Unlock()
@@ -478,11 +529,11 @@ func decodeFrame(r io.Reader, scratch *[]byte) (comm.Message, error) {
 	return comm.Message{Source: source, Tag: tag, Data: data}, nil
 }
 
-// NewTCPWorld starts size TCP endpoints on consecutive loopback ports
-// beginning at basePort and returns a communicator per rank. It exists mainly
-// for tests and examples that want the TCP path exercised within one process;
+// NewTCPEndpoints starts size TCP endpoints on consecutive loopback ports
+// beginning at basePort and returns them indexed by rank. It exists for
+// in-process TCP worlds (tests, examples, fault-injection wrapping);
 // production deployments construct one NewTCPEndpoint per OS process.
-func NewTCPWorld(size, basePort int) ([]*comm.Communicator, error) {
+func NewTCPEndpoints(size, basePort int) ([]*TCPEndpoint, error) {
 	addrs := make([]string, size)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("127.0.0.1:%d", basePort+i)
@@ -507,6 +558,16 @@ func NewTCPWorld(size, basePort int) ([]*comm.Communicator, error) {
 			}
 			return nil, err
 		}
+	}
+	return eps, nil
+}
+
+// NewTCPWorld starts size TCP endpoints on consecutive loopback ports
+// beginning at basePort and returns a communicator per rank.
+func NewTCPWorld(size, basePort int) ([]*comm.Communicator, error) {
+	eps, err := NewTCPEndpoints(size, basePort)
+	if err != nil {
+		return nil, err
 	}
 	world := make([]*comm.Communicator, size)
 	for r := 0; r < size; r++ {

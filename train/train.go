@@ -188,6 +188,20 @@ type Spec struct {
 	// World configures the collective world the run executes on (transport,
 	// base port). Empty means in-process.
 	World []collective.Option
+	// Faults runs the world's transport through a deterministic fault
+	// injector executing the scenario (collective.WithFaults): per-link
+	// drops, delays, reordering, partitions, and scripted rank crashes. The
+	// run advances each rank's crash-at-step counter once per optimizer
+	// step, and a scripted crash does not fail the run — survivors' results
+	// stand. Combine with PeerDeadline so the stack detects the injected
+	// failures.
+	Faults *collective.FaultScenario
+	// PeerDeadline enables rank-failure tolerance with the given
+	// failure-detector deadline (collective.WithPeerDeadline): eager
+	// variants drop a dead rank from subsequent rounds and keep training
+	// with the survivors; synchronous variants abort with a typed error
+	// instead of hanging. Zero disables it.
+	PeerDeadline time.Duration
 }
 
 // Result aggregates one run's headline measurements (rank 0's view).
@@ -242,16 +256,23 @@ func Run(spec Spec) (*Result, error) {
 		injector = spec.Imbalance.build(spec.Ranks, spec.Seed)
 	}
 
+	worldOpts := spec.World
+	if spec.Faults != nil {
+		worldOpts = append(append([]collective.Option{}, worldOpts...), collective.WithFaults(*spec.Faults))
+	}
 	res, err := core.Run(core.RunConfig{
 		Name:           name,
 		Size:           spec.Ranks,
 		Steps:          spec.Steps,
 		EvalEverySteps: spec.EvalEvery,
 		FinalSync:      true,
-		WorldOptions:   spec.World,
+		WorldOptions:   worldOpts,
 		Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
 			task := buildTask(rank, spec.Ranks)
 			opts := append([]collective.Option{collective.WithSeed(spec.Seed)}, v.opts...)
+			if spec.PeerDeadline > 0 {
+				opts = append(opts, collective.WithPeerDeadline(spec.PeerDeadline))
+			}
 			if spec.Overlap {
 				bt, ok := task.(core.BucketedTask)
 				if !ok {
@@ -278,6 +299,7 @@ func Run(spec Spec) (*Result, error) {
 				BaseStepPaperMs: spec.BaseStepMs,
 				CostModel:       costModel,
 				SyncEverySteps:  v.syncEvery,
+				PeerDeadline:    spec.PeerDeadline,
 			})
 		},
 	})
