@@ -1,0 +1,131 @@
+// Command eagervet runs the repository's static-analysis suite
+// (internal/analysis) over package patterns and reports invariant
+// violations: pool-lease leaks (leasecheck), raw tag literals (tagcheck),
+// unjoinable goroutines (lifecyclecheck), and cancellation-hygiene breaks
+// (ctxcheck).
+//
+// Usage:
+//
+//	go run ./cmd/eagervet [-json] [-list] [patterns...]
+//
+// Patterns default to ./... and accept ./dir, ./dir/..., and module import
+// paths. Exit status: 0 no findings, 1 findings reported, 2 operational
+// error (bad pattern, unparseable package, ...).
+//
+// Findings can be suppressed case by case with
+//
+//	//eagervet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// on or above the flagged line (in the package doc: the whole file). The
+// reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"eagersgd/internal/analysis"
+)
+
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: eagervet [-json] [-list] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, az := range analysis.All() {
+			fmt.Printf("%-16s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, modPath, err := analysis.FindModule(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := analysis.NewLoader(root, modPath)
+
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var diags []jsonDiagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		found, err := analysis.Run(pkg, analysis.All(), loader.Fset, loader.Facts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range found {
+			pos := loader.Fset.Position(d.Pos)
+			diags = append(diags, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []jsonDiagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eagervet:", err)
+	os.Exit(2)
+}

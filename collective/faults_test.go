@@ -77,7 +77,7 @@ func TestCanceledBucketStepsLeakNoLeases(t *testing.T) {
 	}
 	after := tensor.ReadPoolStats()
 	if n := after.OutstandingSince(before); n != 0 {
-		t.Fatalf("%d canceled bucketed steps leaked %d pool leases", iters, n)
+		t.Fatalf("%d canceled bucketed steps leaked %d pool leases%s", iters, n, tensor.FormatLeaseReport())
 	}
 }
 
@@ -172,7 +172,7 @@ func TestWorldCloseReleasesLeasesUnderMidStepPartition(t *testing.T) {
 	}
 	after := tensor.ReadPoolStats()
 	if n := after.OutstandingSince(before); n != 0 {
-		t.Fatalf("mid-step partitioned close leaked %d pool leases", n)
+		t.Fatalf("mid-step partitioned close leaked %d pool leases%s", n, tensor.FormatLeaseReport())
 	}
 }
 
@@ -246,6 +246,6 @@ func TestReduceAfterExternalMarkPeerDown(t *testing.T) {
 	}
 	after := tensor.ReadPoolStats()
 	if n := after.OutstandingSince(before); n != 0 {
-		t.Fatalf("run leaked %d pool leases", n)
+		t.Fatalf("run leaked %d pool leases%s", n, tensor.FormatLeaseReport())
 	}
 }

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The golden-test harness mirrors golang.org/x/tools/go/analysis/analysistest
+// on the standard library: each package under testdata/src is type-checked
+// with the real loader and the suite's diagnostics are matched against
+// `want "regex"` markers in comments. Every diagnostic must match a marker on
+// its line and every marker must be consumed — extra and missing findings are
+// both failures.
+
+var wantRe = regexp.MustCompile(`want((?:\s+"[^"]*")+)`)
+var quotedRe = regexp.MustCompile(`"([^"]*)"`)
+
+type wantMarker struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// newTestLoader returns a loader rooted at the real module with testdata/src
+// as a GOPATH-style source root, optionally with a file overlay.
+func newTestLoader(t *testing.T, overlay map[string][]byte) *Loader {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modPath, err := FindModule(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	l.SrcRoots = []string{filepath.Join(wd, "testdata", "src")}
+	l.Overlay = overlay
+	return l
+}
+
+// runGolden loads the testdata package at the import path, runs the given
+// analyzers (plus ignore processing), and checks the diagnostics against the
+// package's want markers.
+func runGolden(t *testing.T, path string, azs []*Analyzer) {
+	t.Helper()
+	l := newTestLoader(t, nil)
+	pkg, err := l.Load(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	diags, err := Run(pkg, azs, l.Fset, l.Facts)
+	if err != nil {
+		t.Fatalf("run %s: %v", path, err)
+	}
+
+	wants := collectWants(t, pkg.Files, l)
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d:%d: unexpected diagnostic [%s] %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q was not reported", key, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants extracts want markers from every comment, keyed by
+// "filename:line".
+func collectWants(t *testing.T, files []*ast.File, l *Loader) map[string][]*wantMarker {
+	t.Helper()
+	wants := make(map[string][]*wantMarker)
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, q[1], err)
+					}
+					wants[key] = append(wants[key], &wantMarker{re: re, raw: q[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func TestLeaseCheckGolden(t *testing.T)     { runGolden(t, "leasetest", All()) }
+func TestTagCheckGolden(t *testing.T)       { runGolden(t, "tagtest", All()) }
+func TestLifecycleCheckGolden(t *testing.T) { runGolden(t, "collective", All()) }
+func TestCtxCheckGolden(t *testing.T)       { runGolden(t, "ctxtest", All()) }
+func TestIgnoreDirectives(t *testing.T)     { runGolden(t, "ignoretest", All()) }
+
+// TestSelfCheck runs the full suite over the real module and requires zero
+// diagnostics: the repository must stay eagervet-clean (the CI staticcheck
+// job enforces the same).
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check type-checks the whole module")
+	}
+	l := newTestLoader(t, nil)
+	l.SrcRoots = nil
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, err := Run(pkg, All(), l.Fset, l.Facts)
+		if err != nil {
+			t.Fatalf("run %s: %v", path, err)
+		}
+		for _, d := range diags {
+			pos := l.Fset.Position(d.Pos)
+			t.Errorf("%s:%d:%d: [%s] %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// parentMap records each node's parent, the backbone of the lexical-dominance
+// approximation the flow-sensitive checks use (no SSA/CFG in the standard
+// library). Built once per function body.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(root ast.Node) parentMap {
+	parents := make(parentMap)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// blockNode reports whether n delimits a statement list (the granularity of
+// the dominance approximation): blocks plus switch/select clause bodies.
+func blockNode(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+		return true
+	}
+	return false
+}
+
+// enclosingBlocks returns the chain of block-like ancestors of n, innermost
+// first, stopping at (and excluding) function boundaries.
+func enclosingBlocks(parents parentMap, n ast.Node) []ast.Node {
+	var chain []ast.Node
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		if blockNode(cur) {
+			chain = append(chain, cur)
+		}
+		if _, ok := cur.(*ast.FuncLit); ok {
+			break
+		}
+		if _, ok := cur.(*ast.FuncDecl); ok {
+			break
+		}
+	}
+	return chain
+}
+
+// nearestBlock returns the innermost block-like ancestor of n.
+func nearestBlock(parents parentMap, n ast.Node) ast.Node {
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		if blockNode(cur) {
+			return cur
+		}
+	}
+	return nil
+}
+
+// lexicallyDominates reports whether an event at node a is certainly executed
+// before node b on every path reaching b, under the lexical approximation:
+// a precedes b in the source AND a's innermost block is an ancestor of (or
+// the same as) b's block chain. This never claims dominance across sibling
+// branches or out of loop bodies, so it is safe for "must already have
+// happened" diagnostics (double release, use after release).
+func lexicallyDominates(parents parentMap, a, b ast.Node) bool {
+	if a.Pos() >= b.Pos() {
+		return false
+	}
+	ab := nearestBlock(parents, a)
+	if ab == nil {
+		return false
+	}
+	for _, blk := range enclosingBlocks(parents, b) {
+		if blk == ab {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost enclosing function node (FuncDecl or
+// FuncLit) of n, or nil.
+func enclosingFunc(parents parentMap, n ast.Node) ast.Node {
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		switch cur.(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return cur
+		}
+	}
+	return nil
+}
+
+// inDefer reports whether n is part of a defer statement — either directly
+// (`defer tensor.PutVector(v)`) or inside a deferred closure's body.
+func inDefer(parents parentMap, n ast.Node) bool {
+	for cur := n; cur != nil; cur = parents[cur] {
+		if _, ok := cur.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// deferStmtOf walks outward to the enclosing defer statement, if any, for
+// position comparisons: a defer covers everything after its registration.
+func deferStmtOf(parents parentMap, n ast.Node) *ast.DeferStmt {
+	for cur := n; cur != nil; cur = parents[cur] {
+		if d, ok := cur.(*ast.DeferStmt); ok {
+			return d
+		}
+	}
+	return nil
+}
+
+// isWaitGroupMethod reports whether the call invokes sync.WaitGroup's method
+// with the given name (Add, Done, Wait).
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// hasJoinEvidence reports whether a function body contains goroutine join
+// plumbing: a sync.WaitGroup Done call, a close() of a channel, or a
+// select/receive on a channel. lifecyclecheck accepts a `go` statement whose
+// body (or resolved callee) shows such evidence; everything else needs a
+// WaitGroup.Add before the launch or an explicit //eagervet:ignore.
+func hasJoinEvidence(body *ast.BlockStmt, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupMethod(info, n, "Done") {
+				found = true
+				return false
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			// A blocking receive: the goroutine observes a channel, typically
+			// a done/stop signal that bounds its lifetime.
+			if n.Op.String() == "<-" {
+				found = true
+				return false
+			}
+		case *ast.SelectStmt:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// LifecycleCheck enforces the leak-free-shutdown rule the chaos suite pins at
+// runtime (PoolStats.OutstandingSince, goroutine-count assertions): in the
+// concurrency-bearing packages — collective, internal/partial, internal/comm —
+// every goroutine must be joinable. A `go` statement passes if any of:
+//
+//   - a sync.WaitGroup Add call precedes it in the same function (the
+//     Add-before-go / defer-Done idiom used throughout the stack);
+//   - it launches a closure whose body visibly participates in join plumbing
+//     (WaitGroup.Done, close of a done-channel, a select or channel receive
+//     that bounds its lifetime);
+//   - it launches a named function or method whose body shows the same
+//     evidence (resolved module-wide via the facts registry).
+//
+// Fire-and-forget goroutines with no join path outlive Close/Shutdown and
+// show up as pool leaks and racy teardowns; either wire them to a WaitGroup
+// or reaper, or document why they terminate with //eagervet:ignore.
+var LifecycleCheck = &Analyzer{
+	Name: "lifecyclecheck",
+	Doc:  "require goroutines in collective/partial/comm to be joinable (WaitGroup, done channel, or reaper)",
+	Run:  runLifecycleCheck,
+}
+
+func runLifecycleCheck(pass *Pass) error {
+	if !pkgNameIs(pass.Pkg, "collective", "partial", "comm") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			parents := buildParents(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goStmtJoinable(pass, parents, fd.Body, g) {
+					pass.Report(g.Pos(),
+						"goroutine is not joinable: add sync.WaitGroup Add/Done around it, give it a done-channel select, or register it with a reaper")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func goStmtJoinable(pass *Pass, parents parentMap, body *ast.BlockStmt, g *ast.GoStmt) bool {
+	// (a) WaitGroup.Add lexically before the launch in the same function.
+	addBefore := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if addBefore {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() < g.Pos() && isWaitGroupMethod(pass.Info, call, "Add") {
+			addBefore = true
+			return false
+		}
+		return true
+	})
+	if addBefore {
+		return true
+	}
+	// (b) closure body shows join plumbing.
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return hasJoinEvidence(fl.Body, pass.Info)
+	}
+	// (c) named callee with module-wide join evidence.
+	if fn := calleeFunc(pass.Info, g.Call); fn != nil {
+		return pass.Facts.JoinEvidence[fn.FullName()]
+	}
+	return false
+}

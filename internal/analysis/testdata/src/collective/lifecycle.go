@@ -1,0 +1,62 @@
+// Package collective exercises lifecyclecheck (which polices the collective,
+// partial, and comm package paths): unjoinable goroutines, the
+// Add-before-go/defer-Done idiom, done-channel selects, named reaper callees,
+// and suppression.
+package collective
+
+import "sync"
+
+// fireAndForget launches an unjoinable goroutine: nothing can wait for it.
+func fireAndForget(work func()) {
+	go work() // want "goroutine is not joinable"
+}
+
+// bareClosure launches a closure with no join plumbing.
+func bareClosure() {
+	go func() { // want "goroutine is not joinable"
+		println("orphan")
+	}()
+}
+
+// waitGroupIdiom is the stack's standard pattern: Add before go, defer Done.
+func waitGroupIdiom(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// doneChannelIdiom bounds the goroutine's lifetime with a select on done.
+func doneChannelIdiom(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// reaper is a long-lived loop that exits when stop closes; go reaper(...) is
+// joinable because the body shows the receive (facts registry).
+func reaper(stop chan struct{}) {
+	<-stop
+}
+
+func launchReaper(stop chan struct{}) {
+	go reaper(stop)
+}
+
+// suppressedDetached launches a deliberately detached goroutine; the ignore
+// directive documents why that is safe here.
+func suppressedDetached(work func()) {
+	//eagervet:ignore lifecyclecheck -- best-effort telemetry flush; the process exits without waiting for it by design.
+	go work()
+}

@@ -1,0 +1,39 @@
+// Package comm is the golden-test stub of the transport layer, mirroring the
+// ownership semantics the analyzers encode: Send and Isend consume their
+// payload, SendCopy borrows it, and Release is a strict release.
+package comm
+
+import (
+	"context"
+
+	"tensor"
+)
+
+// Communicator is the stub endpoint.
+type Communicator struct{}
+
+// Send transfers ownership of payload, even on error.
+func (c *Communicator) Send(dest, tag int, payload tensor.Vector) error { return nil }
+
+// Isend transfers ownership of payload, even on error.
+func (c *Communicator) Isend(dest, tag int, payload tensor.Vector) error { return nil }
+
+// SendCopy borrows payload: the caller still owns it afterward.
+func (c *Communicator) SendCopy(dest, tag int, payload tensor.Vector) error { return nil }
+
+// Recv blocks until a message arrives.
+func (c *Communicator) Recv(source, tag int) (tensor.Vector, error) { return nil, nil }
+
+// RecvCancel is the cancellable variant of Recv.
+func (c *Communicator) RecvCancel(source, tag int, cancel <-chan struct{}) (tensor.Vector, error) {
+	return nil, nil
+}
+
+// Barrier blocks until every rank arrives.
+func (c *Communicator) Barrier() error { return nil }
+
+// BarrierContext is the cancellable variant of Barrier.
+func (c *Communicator) BarrierContext(ctx context.Context) error { return nil }
+
+// Release returns a received (pool-leased) vector to the pool.
+func Release(v tensor.Vector) {}

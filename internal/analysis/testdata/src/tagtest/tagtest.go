@@ -1,0 +1,45 @@
+// Package tagtest exercises tagcheck: raw literal tags at call sites and in
+// composite literals, named tag-block derivations, the 0 sentinel, and
+// suppression.
+package tagtest
+
+// The package's tag-block registry, mirroring the real layout.
+const (
+	tagBase   = 1 << 20
+	tagSpan   = 1 << 10
+	TagStride = 64
+)
+
+// Op is a schedule operation; Tag is its message tag.
+type Op struct {
+	Peer int
+	Tag  int
+}
+
+func send(dest, tag int)                          {}
+func sendRecv(dest, sendTag, source, recvTag int) {}
+func setCount(count int)                          {}
+
+// streamTag derives a tag from the registry.
+func streamTag(stream int) int { return tagBase + stream*tagSpan }
+
+func good() {
+	send(1, tagBase+3)
+	send(2, streamTag(4))
+	send(3, 0) // the 0 sentinel is the conventional default stream
+	sendRecv(1, tagBase, 2, tagBase+tagSpan)
+	setCount(17) // not a tag parameter: literals are fine
+	_ = Op{Peer: 1, Tag: TagStride * 2}
+}
+
+func bad() {
+	send(1, 42)                 // want "raw literal tag passed as .tag. to send"
+	send(2, 1<<20+7)            // want "raw literal tag passed as .tag. to send"
+	sendRecv(1, tagBase, 2, 99) // want "raw literal tag passed as .recvTag. to sendRecv"
+	_ = Op{Peer: 1, Tag: 7}     // want "raw literal tag passed as .Tag."
+}
+
+func suppressed() {
+	//eagervet:ignore tagcheck -- loopback self-test uses a fixed scratch tag outside every registered block.
+	send(1, 424242)
+}

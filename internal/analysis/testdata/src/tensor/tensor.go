@@ -1,0 +1,26 @@
+// Package tensor is the golden-test stub of the repository's pool API: the
+// analyzers match callees by package-path suffix and function name, so this
+// flat GOPATH-style stub exercises them without loading the real module.
+package tensor
+
+// Vector mirrors the real pool's vector type.
+type Vector []float64
+
+// GetVector leases a vector from the pool.
+func GetVector(n int) Vector { return make(Vector, n) }
+
+// GetVectorZero leases a zeroed vector from the pool.
+func GetVectorZero(n int) Vector { return make(Vector, n) }
+
+// GetVectorCopy leases a copy of src from the pool.
+func GetVectorCopy(src Vector) Vector {
+	v := make(Vector, len(src))
+	copy(v, src)
+	return v
+}
+
+// PutVector returns a leased vector to the pool.
+func PutVector(v Vector) {}
+
+// NewVector allocates an unpooled vector (no lease).
+func NewVector(n int) Vector { return make(Vector, n) }

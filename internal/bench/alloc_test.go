@@ -63,6 +63,9 @@ func TestAllreduceInprocAllocFree(t *testing.T) {
 	if race.Enabled {
 		t.Skip("AllocsPerRun is unreliable under the race detector")
 	}
+	if tensor.LeaseDebugEnabled {
+		t.Skip("-tags leasedebug trades the alloc-free guarantee for lease-site tracking")
+	}
 	const n = 2048
 	for _, ac := range allreduceAlgos {
 		for _, size := range []int{4, 3} { // power-of-two and folded sizes
@@ -107,6 +110,9 @@ func TestAllreduceInprocAllocFree(t *testing.T) {
 func TestAllreducePipelinedInprocAllocFree(t *testing.T) {
 	if race.Enabled {
 		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	if tensor.LeaseDebugEnabled {
+		t.Skip("-tags leasedebug trades the alloc-free guarantee for lease-site tracking")
 	}
 	const n = 1 << 18
 	for _, ac := range allreduceAlgos {
@@ -158,6 +164,9 @@ const partialRoundAllocBudget = 400
 func TestPartialRoundAllocBounded(t *testing.T) {
 	if race.Enabled {
 		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	if tensor.LeaseDebugEnabled {
+		t.Skip("-tags leasedebug trades the alloc-free guarantee for lease-site tracking")
 	}
 	const (
 		size = 4

@@ -256,6 +256,9 @@ func TestSendRecvInprocAllocFree(t *testing.T) {
 	if race.Enabled {
 		t.Skip("AllocsPerRun is unreliable under the race detector")
 	}
+	if tensor.LeaseDebugEnabled {
+		t.Skip("-tags leasedebug trades the alloc-free guarantee for lease-site tracking")
+	}
 	w := world(t, 2)
 	const n = 1024
 	payload := [2]tensor.Vector{tensor.NewVector(n), tensor.NewVector(n)}

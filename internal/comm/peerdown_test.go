@@ -148,7 +148,7 @@ func TestCloseReleasesUnexpectedQueue(t *testing.T) {
 	w[1].Close()
 	after := tensor.ReadPoolStats()
 	if n := after.OutstandingSince(before); n != 0 {
-		t.Fatalf("close leaked %d pool leases via the unexpected queue", n)
+		t.Fatalf("close leaked %d pool leases via the unexpected queue%s", n, tensor.FormatLeaseReport())
 	}
 }
 

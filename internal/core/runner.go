@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -58,11 +59,20 @@ type RunResult struct {
 	MeanActiveProcesses float64
 }
 
-// Run executes the configured training on a collective.World (in-process
-// unless WorldOptions say otherwise) and collects the curves the paper's
-// figures plot. Every rank's transport resources are released through
-// World.Close when the run finishes.
+// Run executes the configured training with no cancellation chain. It is the
+// compatibility entry point; code holding a context should call RunContext so
+// a blocked gradient exchange can be interrupted.
 func Run(cfg RunConfig) (*RunResult, error) {
+	//eagervet:ignore ctxcheck -- Run is the documented no-context shim over RunContext; the root lives here by design.
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the configured training on a collective.World
+// (in-process unless WorldOptions say otherwise) and collects the curves the
+// paper's figures plot. Every rank's transport resources are released through
+// World.Close when the run finishes. Canceling ctx aborts each rank's next
+// blocked gradient exchange; the run then returns the cancellation error.
+func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	if cfg.Size <= 0 || cfg.Steps <= 0 || cfg.Build == nil {
 		return nil, fmt.Errorf("core: run config requires positive Size and Steps and a Build function")
 	}
@@ -97,7 +107,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			errs[r] = runRank(cfg, trainers[r], r == 0, result, inj, r)
+			errs[r] = runRank(ctx, cfg, trainers[r], r == 0, result, inj, r)
 		}(r)
 	}
 	wg.Wait()
@@ -129,7 +139,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 // scenario (inj non-nil) the rank advances its crash-at-step counter once per
 // optimizer step, so scripted crashes fire deterministically in the rank's
 // own step sequence.
-func runRank(cfg RunConfig, tr *Trainer, record bool, result *RunResult, inj *collective.FaultInjector, rank int) error {
+func runRank(ctx context.Context, cfg RunConfig, tr *Trainer, record bool, result *RunResult, inj *collective.FaultInjector, rank int) error {
 	defer tr.Close()
 	lossAccum := 0.0
 	lossCount := 0
@@ -148,7 +158,7 @@ func runRank(cfg RunConfig, tr *Trainer, record bool, result *RunResult, inj *co
 		}
 	}
 	for step := 0; step < cfg.Steps; step++ {
-		rec, err := tr.Step()
+		rec, err := tr.StepContext(ctx)
 		if err != nil {
 			return err
 		}

@@ -89,7 +89,7 @@ func leaseBalanced(t *testing.T, fn func()) {
 	fn()
 	after := tensor.ReadPoolStats()
 	if n := after.OutstandingSince(before); n != 0 {
-		t.Errorf("pool lease accounting off by %d across the scenario (positive = leaked leases)", n)
+		t.Errorf("pool lease accounting off by %d across the scenario (positive = leaked leases)%s", n, tensor.FormatLeaseReport())
 	}
 }
 

@@ -109,6 +109,7 @@ func microSynchLatency(procs, elems, iterations int, skew imbalance.Injector, cl
 			clock.Sleep(skew.Delay(iter, rank))
 			buf.Fill(1)
 			start := time.Now()
+			//eagervet:ignore ctxcheck -- microbenchmark measures the uncancellable hot path; iterations bound the loop.
 			if err := collectives.Allreduce(c, buf, collectives.OpSum, collectives.AlgoAuto); err != nil {
 				return err
 			}
@@ -117,6 +118,7 @@ func microSynchLatency(procs, elems, iterations int, skew imbalance.Injector, cl
 			total += elapsed
 			count++
 			mu.Unlock()
+			//eagervet:ignore ctxcheck -- microbenchmark barrier on the measured path; iterations bound the loop.
 			if err := collectives.Barrier(c); err != nil {
 				return err
 			}
@@ -154,6 +156,7 @@ func microPartialLatency(procs, elems, iterations int, skew imbalance.Injector, 
 			clock.Sleep(skew.Delay(iter, rank))
 			buf.Fill(1)
 			start := time.Now()
+			//eagervet:ignore ctxcheck -- microbenchmark measures the uncancellable hot path; iterations bound the loop.
 			sum, info, err := reducers[rank].Exchange(buf)
 			if err != nil {
 				return err
@@ -167,6 +170,7 @@ func microPartialLatency(procs, elems, iterations int, skew imbalance.Injector, 
 				napByIter[iter] = info.ActiveProcesses
 			}
 			mu.Unlock()
+			//eagervet:ignore ctxcheck -- microbenchmark barrier on the measured path; iterations bound the loop.
 			if err := collectives.Barrier(c); err != nil {
 				return err
 			}

@@ -497,6 +497,7 @@ func QuorumSpectrum(cfg Config) (*Report, error) {
 	candidateCounts := []int{1, 2, size / 2, size}
 	for _, cand := range candidateCounts {
 		cand := cand
+		//eagervet:ignore ctxcheck -- figure harness sweep: each run is bounded by Steps on an in-process world; the harness owns the process lifetime.
 		res, err := core.Run(core.RunConfig{
 			Name:      fmt.Sprintf("quorum-%d", cand),
 			Size:      size,

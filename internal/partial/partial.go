@@ -415,6 +415,7 @@ func splitmix64(x uint64) uint64 {
 // result is the element-wise sum over contributions; divide by Size() for the
 // average used by eager-SGD.
 func (a *Allreducer) Exchange(grad tensor.Vector) (tensor.Vector, RoundInfo, error) {
+	//eagervet:ignore ctxcheck -- Exchange is the documented no-context shim over ExchangeContext; the root lives here by design.
 	return a.ExchangeContext(context.Background(), grad)
 }
 

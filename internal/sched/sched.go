@@ -180,7 +180,12 @@ func NewSchedule() *Schedule {
 func (s *Schedule) SetCompletionOps(ids ...OpID) { s.completion = append([]OpID(nil), ids...) }
 
 // SetBuffer registers (or replaces) a named buffer. Buffers are shared by
-// reference: the caller and the schedule observe each other's writes.
+// reference: the caller and the schedule observe each other's writes, and the
+// caller may keep slicing sub-views of v after registration — but the
+// schedule owns the recycling: pool-leased buffers registered here are
+// returned to the pool by ReleaseBuffers, never by the builder.
+//
+//eagersgd:takes-ownership
 func (s *Schedule) SetBuffer(name string, v tensor.Vector) { s.buffers[name] = v }
 
 // Buffer returns the named buffer, or nil if it was never registered.

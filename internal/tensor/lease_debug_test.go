@@ -1,0 +1,62 @@
+//go:build leasedebug
+
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLeaseDebugTracksSites exercises the -tags leasedebug pool: an
+// outstanding lease is reported against its minting call site, and releasing
+// it clears the report.
+func TestLeaseDebugTracksSites(t *testing.T) {
+	if !LeaseDebugEnabled {
+		t.Fatal("leasedebug build tag set but LeaseDebugEnabled is false")
+	}
+	before := len(OutstandingLeases())
+
+	v := GetVector(128)
+	w := GetVectorZero(64)
+
+	sites := OutstandingLeases()
+	total, mine, mineElems := 0, 0, 0
+	for i := range sites {
+		total += sites[i].Count
+		if strings.Contains(sites[i].Site, "lease_debug_test.go") {
+			mine += sites[i].Count
+			mineElems += sites[i].Elems
+		}
+	}
+	if total < before+2 {
+		t.Fatalf("expected at least %d outstanding leases, got %d", before+2, total)
+	}
+	if mine < 2 || mineElems < 128+64 {
+		t.Fatalf("expected >=2 leases / >=192 elems minted by this file, got %d / %d (sites: %v)", mine, mineElems, sites)
+	}
+	if rep := FormatLeaseReport(); !strings.Contains(rep, "lease_debug_test.go") {
+		t.Fatalf("FormatLeaseReport does not name the minting site:\n%s", rep)
+	}
+
+	PutVector(v)
+	PutVector(w)
+	for _, s := range OutstandingLeases() {
+		if strings.Contains(s.Site, "lease_debug_test.go") {
+			t.Fatalf("leases from this test still outstanding after PutVector: %+v", s)
+		}
+	}
+}
+
+// TestLeaseDebugUntrackOnDiscard verifies that oversized buffers passing
+// through PutVector do not linger in the lease map. 2*maxPoolCap exceeds
+// every size class, so the Put is a true discard and the pool's size-class
+// contents are untouched.
+func TestLeaseDebugUntrackOnDiscard(t *testing.T) {
+	huge := GetVector(2 * maxPoolCap)
+	PutVector(huge)
+	for _, s := range OutstandingLeases() {
+		if strings.Contains(s.Site, "lease_debug_test.go") {
+			t.Fatalf("discarded oversized lease still tracked: %+v", s)
+		}
+	}
+}

@@ -91,7 +91,9 @@ func GetVector(n int) Vector {
 		// oversized buffer's eventual PutVector lands in Discards.
 		poolGets.Add(1)
 		poolMisses.Add(1)
-		return make(Vector, n)
+		v := make(Vector, n)
+		leaseTrack(v)
+		return v
 	}
 	poolGets.Add(1)
 	if x := vecPools[c].Get(); x != nil {
@@ -99,10 +101,13 @@ func GetVector(n int) Vector {
 		v := Vector((*bp)[:n])
 		*bp = nil
 		boxPool.Put(bp)
+		leaseTrack(v)
 		return v
 	}
 	poolMisses.Add(1)
-	return make(Vector, n, classCap(c))
+	v := make(Vector, n, classCap(c))
+	leaseTrack(v)
+	return v
 }
 
 // GetVectorZero leases a zero-initialized vector of length n from the pool.
@@ -137,6 +142,7 @@ func PutVector(v Vector) {
 		poolDiscards.Add(1)
 		return
 	}
+	leaseUntrack(v)
 	cls := classForCap(c)
 	if cls >= poolClasses {
 		poolDiscards.Add(1)

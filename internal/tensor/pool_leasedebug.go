@@ -1,0 +1,137 @@
+//go:build leasedebug
+
+package tensor
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Build with -tags leasedebug to record the call site of every outstanding
+// pool lease. The chaos and shutdown suites assert
+// PoolStats.OutstandingSince == 0; when that fails, the counter alone says a
+// lease leaked but not where it was minted. Under this tag every GetVector
+// remembers its caller, every PutVector forgets it, and FormatLeaseReport
+// prints the live leases aggregated by minting site — so re-running the
+// failing test with -tags leasedebug names the leak directly.
+//
+// The instrumented pool is not the production pool: the map and stack
+// capture cost real time per lease, so the tag must never be part of a
+// benchmark or release build.
+
+// LeaseDebugEnabled reports whether the build carries lease-site tracking.
+const LeaseDebugEnabled = true
+
+type leaseRecord struct {
+	site string
+	n    int
+	at   time.Time
+}
+
+var (
+	leaseMu  sync.Mutex
+	leaseMap = make(map[uintptr]leaseRecord)
+)
+
+// leaseSite returns the nearest caller outside the pool implementation —
+// skipping this file, pool.go's Get/Put wrappers, and the public facade in
+// eagersgd/tensor, so the reported site is the code that minted the lease.
+func leaseSite() string {
+	var pcs [16]uintptr
+	n := runtime.Callers(3, pcs[:]) // skip Callers, leaseSite, leaseTrack
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		f, more := frames.Next()
+		if f.Function != "" &&
+			!strings.Contains(f.File, "/internal/tensor/pool") &&
+			!strings.HasSuffix(f.File, "/tensor/tensor.go") {
+			return fmt.Sprintf("%s (%s:%d)", f.Function, f.File, f.Line)
+		}
+		if !more {
+			return "unknown"
+		}
+	}
+}
+
+// leaseTrack records a freshly minted lease. v is never empty: GetVector
+// returns the zero-length Vector without touching the pool.
+func leaseTrack(v Vector) {
+	rec := leaseRecord{site: leaseSite(), n: len(v), at: time.Now()}
+	key := reflect.ValueOf(v).Pointer()
+	leaseMu.Lock()
+	leaseMap[key] = rec
+	leaseMu.Unlock()
+}
+
+// leaseUntrack forgets a lease on release. Unknown pointers (vectors that
+// never came from the pool, or sub-slices not starting at the lease's first
+// element) are ignored.
+func leaseUntrack(v Vector) {
+	if cap(v) == 0 {
+		return
+	}
+	key := reflect.ValueOf(v).Pointer()
+	leaseMu.Lock()
+	delete(leaseMap, key)
+	leaseMu.Unlock()
+}
+
+// LeaseSite aggregates the outstanding leases minted at one call site.
+type LeaseSite struct {
+	Site   string
+	Count  int
+	Elems  int           // total leased elements
+	Oldest time.Duration // age of the oldest live lease from this site
+}
+
+// OutstandingLeases returns the live leases aggregated by minting site,
+// largest count first.
+func OutstandingLeases() []LeaseSite {
+	now := time.Now()
+	agg := make(map[string]*LeaseSite)
+	leaseMu.Lock()
+	for _, rec := range leaseMap {
+		s := agg[rec.site]
+		if s == nil {
+			s = &LeaseSite{Site: rec.site}
+			agg[rec.site] = s
+		}
+		s.Count++
+		s.Elems += rec.n
+		if age := now.Sub(rec.at); age > s.Oldest {
+			s.Oldest = age
+		}
+	}
+	leaseMu.Unlock()
+	out := make([]LeaseSite, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// FormatLeaseReport renders the outstanding leases for appending to a test
+// failure message. It returns "" when nothing is outstanding.
+func FormatLeaseReport() string {
+	sites := OutstandingLeases()
+	if len(sites) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\noutstanding pool leases by minting site (-tags leasedebug):\n")
+	for _, s := range sites {
+		fmt.Fprintf(&b, "  %4d lease(s), %8d elems, oldest %8s  %s\n", s.Count, s.Elems, s.Oldest.Round(time.Millisecond), s.Site)
+	}
+	return b.String()
+}

@@ -1,0 +1,18 @@
+//go:build !leasedebug
+
+package tensor
+
+// LeaseDebugEnabled reports whether the build carries lease-site tracking;
+// see pool_leasedebug.go (-tags leasedebug) for the instrumented pool.
+const LeaseDebugEnabled = false
+
+// leaseTrack is a no-op in production builds; the compiler erases the call.
+func leaseTrack(Vector) {}
+
+// leaseUntrack is a no-op in production builds.
+func leaseUntrack(Vector) {}
+
+// FormatLeaseReport returns "" in production builds: the diagnostic exists
+// only under -tags leasedebug, and callers can unconditionally append it to
+// lease-balance failure messages.
+func FormatLeaseReport() string { return "" }

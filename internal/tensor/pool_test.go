@@ -126,6 +126,9 @@ func TestGetPutCycleAllocFree(t *testing.T) {
 	if race.Enabled {
 		t.Skip("AllocsPerRun is unreliable under the race detector")
 	}
+	if LeaseDebugEnabled {
+		t.Skip("-tags leasedebug trades the alloc-free guarantee for lease-site tracking")
+	}
 	// Warm the class and box pools.
 	for i := 0; i < 16; i++ {
 		PutVector(GetVector(1024))

@@ -60,7 +60,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		after := tensor.ReadPoolStats()
 		if n := after.OutstandingSince(before); n != 0 {
-			t.Fatalf("decode leaked %d pool leases on input %x", n, data)
+			t.Fatalf("decode leaked %d pool leases on input %x%s", n, data, tensor.FormatLeaseReport())
 		}
 	})
 }
