@@ -10,10 +10,21 @@
 //	go run ./cmd/benchjson -bench Allreduce -out /tmp
 //	go run ./cmd/benchjson -tag pipelined       # writes BENCH_<date>-pipelined.json
 //	go run ./cmd/benchjson -compare old.json new.json
+//	go run ./cmd/benchjson -compare -maxdrop 30 -minratio shm/tcp=2 old.json new.json
 //
 // The -compare mode runs nothing: it loads two snapshots and prints the
 // per-benchmark deltas (ns/op, B/op, MB/s), so a perf PR can show its wins
-// and regressions mechanically.
+// and regressions mechanically. Two optional gates turn the comparison into a
+// blocking CI check:
+//
+//   - -maxdrop P fails the run when any benchmark present in both snapshots
+//     lost more than P percent of its MB/s throughput — a throughput floor
+//     with tolerance, anchored to the committed snapshot.
+//   - -minratio NUM/DEN=R fails the run when, within the new snapshot, a
+//     benchmark whose name contains "/NUM/" does not reach R times the MB/s
+//     of its "/DEN/" sibling (the same name with the axis swapped). This
+//     pins relative claims ("shm beats tcp by ≥2x") without depending on
+//     the absolute speed of the CI machine.
 package main
 
 import (
@@ -62,6 +73,8 @@ func main() {
 		outDir    = flag.String("out", ".", "directory to write BENCH_<date>.json into")
 		tag       = flag.String("tag", "", "optional suffix for the snapshot name: BENCH_<date>-<tag>.json")
 		compare   = flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
+		maxDrop   = flag.Float64("maxdrop", 0, "with -compare: fail when any shared benchmark's MB/s drops by more than this percentage (0 disables the gate)")
+		minRatio  = flag.String("minratio", "", `with -compare: throughput ratio gate on the new snapshot, "NUM/DEN=R" (e.g. shm/tcp=2): each "/NUM/" benchmark must reach R times the MB/s of its "/DEN/" sibling`)
 	)
 	flag.Parse()
 
@@ -70,7 +83,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare requires exactly two snapshot paths (old.json new.json)")
 			os.Exit(2)
 		}
-		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *maxDrop, *minRatio); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -121,7 +134,9 @@ func main() {
 // runCompare loads two snapshots and prints per-benchmark deltas for the
 // benchmarks present in both, followed by the names only one side has.
 // Positive ns/op deltas are regressions, positive MB/s deltas are wins.
-func runCompare(oldPath, newPath string) error {
+// When maxDrop > 0 or minRatio is set, the corresponding gate failures make
+// the comparison return an error after the full report has printed.
+func runCompare(oldPath, newPath string, maxDrop float64, minRatio string) error {
 	oldSnap, err := loadSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -164,7 +179,98 @@ func runCompare(oldPath, newPath string) error {
 			fmt.Printf("%-55s (only in %s)\n", or.Name, oldPath)
 		}
 	}
+
+	var failures []string
+	if maxDrop > 0 {
+		failures = append(failures, checkMaxDrop(oldBy, newSnap.Benchmarks, maxDrop)...)
+	}
+	if minRatio != "" {
+		f, err := checkMinRatio(newSnap.Benchmarks, minRatio)
+		if err != nil {
+			return err
+		}
+		failures = append(failures, f...)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL: %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark gate failure(s)", len(failures))
+	}
 	return nil
+}
+
+// checkMaxDrop flags every benchmark whose MB/s fell by more than maxDrop
+// percent between the snapshots. Benchmarks without an MB/s metric on both
+// sides are outside the gate (the throughput floor is a throughput gate).
+func checkMaxDrop(oldBy map[string]Result, newBenchmarks []Result, maxDrop float64) []string {
+	var failures []string
+	for _, nr := range newBenchmarks {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			continue
+		}
+		oldMBs, okOld := or.Metrics["MB/s"]
+		newMBs, okNew := nr.Metrics["MB/s"]
+		if !okOld || !okNew || oldMBs <= 0 {
+			continue
+		}
+		if drop := -pctDelta(oldMBs, newMBs); drop > maxDrop {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f MB/s fell to %.0f MB/s (-%.1f%%, tolerance %.1f%%)",
+					nr.Name, oldMBs, newMBs, drop, maxDrop))
+		}
+	}
+	return failures
+}
+
+// checkMinRatio enforces a "NUM/DEN=R" spec on one snapshot: every benchmark
+// whose name contains the "/NUM/" axis value must reach at least R times the
+// MB/s of the sibling benchmark named with "/DEN/" instead. Siblings missing
+// from the snapshot are failures too — a gate that silently stops matching
+// anything protects nothing.
+func checkMinRatio(benchmarks []Result, spec string) ([]string, error) {
+	axes, ratioStr, ok := strings.Cut(spec, "=")
+	num, den, ok2 := strings.Cut(axes, "/")
+	if !ok || !ok2 || num == "" || den == "" {
+		return nil, fmt.Errorf("bad -minratio %q: want NUM/DEN=R (e.g. shm/tcp=2)", spec)
+	}
+	ratio, err := strconv.ParseFloat(ratioStr, 64)
+	if err != nil || ratio <= 0 {
+		return nil, fmt.Errorf("bad -minratio ratio %q: want a positive number", ratioStr)
+	}
+	byName := make(map[string]Result, len(benchmarks))
+	for _, r := range benchmarks {
+		byName[r.Name] = r
+	}
+	var failures []string
+	matched := false
+	for _, nr := range benchmarks {
+		if !strings.Contains(nr.Name, "/"+num+"/") {
+			continue
+		}
+		sibName := strings.Replace(nr.Name, "/"+num+"/", "/"+den+"/", 1)
+		sib, ok := byName[sibName]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no %s sibling %s in the snapshot", nr.Name, den, sibName))
+			continue
+		}
+		numMBs, okNum := nr.Metrics["MB/s"]
+		denMBs, okDen := sib.Metrics["MB/s"]
+		if !okNum || !okDen || denMBs <= 0 {
+			continue
+		}
+		matched = true
+		if numMBs < ratio*denMBs {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f MB/s is %.2fx its %s sibling's %.0f MB/s, want >= %.2fx",
+					nr.Name, numMBs, numMBs/denMBs, den, denMBs, ratio))
+		}
+	}
+	if !matched && len(failures) == 0 {
+		failures = append(failures, fmt.Sprintf("-minratio %s matched no benchmark pair with MB/s metrics", spec))
+	}
+	return failures, nil
 }
 
 func pctDelta(before, after float64) float64 {

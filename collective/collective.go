@@ -5,9 +5,10 @@
 //
 // The two entry points are:
 //
-//   - World: builds a fixed-size job over the in-process or TCP transport and
-//     hands out one Node per rank. Options select the transport, the reduction
-//     mode, the allreduce algorithm, and the periodic full synchronization.
+//   - World: builds a fixed-size job over the in-process, TCP, or shared-ring
+//     transport and hands out one Node per rank. Options select the transport,
+//     the reduction mode, the allreduce algorithm, and the periodic full
+//     synchronization.
 //   - Reducer: the per-rank object a training loop calls once per step. Every
 //     mode — Sync, Solo, Majority, Quorum(k) — implements the same interface,
 //     so swapping eager-SGD for synch-SGD is one option, not a rewrite.
@@ -196,6 +197,11 @@ const (
 	// TCP runs the same collectives over loopback TCP sockets, one listener
 	// per rank on consecutive ports starting at the configured base port.
 	TCP
+	// Shm connects the ranks through per-pair SPSC shared rings: frames are
+	// encoded in place into a ring span and decoded straight into pooled
+	// vectors — zero syscalls per exchange. Combine with WithHosts to run a
+	// mixed world where colocated rank pairs use rings and remote pairs TCP.
+	Shm
 )
 
 // String returns the transport name.
@@ -205,6 +211,8 @@ func (t Transport) String() string {
 		return "inproc"
 	case TCP:
 		return "tcp"
+	case Shm:
+		return "shm"
 	default:
 		return fmt.Sprintf("transport(%d)", int(t))
 	}

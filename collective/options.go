@@ -28,6 +28,7 @@ type config struct {
 	layout       []int
 	peerDeadline time.Duration
 	faults       *faults.Scenario
+	hosts        []int
 }
 
 func defaultConfig() config {
@@ -51,8 +52,8 @@ func (c config) with(opts []Option) config {
 // options override earlier ones.
 type Option func(*config)
 
-// WithTransport selects the wire layer (Inproc or TCP) the world runs on.
-// Default Inproc.
+// WithTransport selects the wire layer (Inproc, TCP, or Shm) the world runs
+// on. Default Inproc.
 func WithTransport(t Transport) Option {
 	return func(c *config) { c.transport = t }
 }
@@ -171,6 +172,16 @@ func WithFaults(sc FaultScenario) Option {
 		copied := sc
 		c.faults = &copied
 	}
+}
+
+// WithHosts declares the host placement of the ranks: hosts[r] is an opaque
+// host id and ranks sharing an id are colocated. A TCP world with a placement
+// becomes a mixed-transport world — colocated rank pairs exchange over
+// syscall-free shared rings (the Shm transport) while cross-host pairs keep
+// their TCP sockets. One entry per rank is required. Inproc and Shm worlds,
+// which are entirely same-host by construction, ignore the placement.
+func WithHosts(hosts ...int) Option {
+	return func(c *config) { c.hosts = append([]int(nil), hosts...) }
 }
 
 // WithBucketLayout fixes the reducer's bucket layout at construction: lens

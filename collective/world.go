@@ -66,6 +66,19 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 		for r := 0; r < size; r++ {
 			eps[r] = teps[r]
 		}
+		if len(cfg.hosts) > 0 {
+			if err := mixWithSharedRings(eps, cfg.hosts); err != nil {
+				for _, ep := range eps {
+					ep.Close()
+				}
+				return nil, err
+			}
+		}
+	case Shm:
+		hub := transport.NewShmHub(size)
+		for r := 0; r < size; r++ {
+			eps[r] = hub.Endpoint(r)
+		}
 	default:
 		return nil, fmt.Errorf("collective: unknown transport %v", cfg.transport)
 	}
@@ -83,6 +96,36 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 		w.nodes[r] = &Node{world: w, comm: comm.NewCommunicator(eps[r]), rank: r}
 	}
 	return w, nil
+}
+
+// mixWithSharedRings upgrades a TCP world to a mixed-transport world per the
+// WithHosts placement: every host group of two or more ranks gets a shared-
+// ring hub carrying its intra-host traffic, and each member rank's endpoint
+// becomes a hybrid that routes colocated sends through its ring and remote
+// sends through the original TCP endpoint. Singleton ranks keep plain TCP.
+func mixWithSharedRings(eps []comm.Endpoint, hosts []int) error {
+	size := len(eps)
+	if len(hosts) != size {
+		return fmt.Errorf("collective: WithHosts gave %d host ids for %d ranks", len(hosts), size)
+	}
+	groups := make(map[int][]int)
+	for r, h := range hosts {
+		groups[h] = append(groups[h], r)
+	}
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		hub := transport.NewShmHubFor(size, members, transport.DefaultRingBytes)
+		colocated := make([]bool, size)
+		for _, r := range members {
+			colocated[r] = true
+		}
+		for _, r := range members {
+			eps[r] = transport.NewHybridEndpoint(hub.Endpoint(r), eps[r], colocated)
+		}
+	}
+	return nil
 }
 
 // Size returns the number of ranks in the world.

@@ -45,6 +45,8 @@ const (
 	Inproc = collective.Inproc
 	// TCP runs the collectives over loopback TCP sockets.
 	TCP = collective.TCP
+	// Shm connects same-host ranks through syscall-free SPSC shared rings.
+	Shm = collective.Shm
 )
 
 // NewWorld builds a world of size ranks; see collective.NewWorld.
@@ -58,8 +60,13 @@ func Quorum(k int) Mode { return collective.Quorum(k) }
 // NewVector returns a zero-initialized vector of length n.
 func NewVector(n int) Vector { return tensor.NewVector(n) }
 
-// WithTransport selects the wire layer (Inproc or TCP). Default Inproc.
+// WithTransport selects the wire layer (Inproc, TCP, or Shm). Default Inproc.
 func WithTransport(t Transport) Option { return collective.WithTransport(t) }
+
+// WithHosts declares rank placement for a mixed world: ranks sharing a host
+// id exchange over shared rings, cross-host pairs keep TCP. See
+// collective.WithHosts.
+func WithHosts(hosts ...int) Option { return collective.WithHosts(hosts...) }
 
 // WithMode selects the reduction behaviour. Default Sync.
 func WithMode(m Mode) Option { return collective.WithMode(m) }

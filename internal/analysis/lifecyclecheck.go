@@ -6,8 +6,9 @@ import (
 
 // LifecycleCheck enforces the leak-free-shutdown rule the chaos suite pins at
 // runtime (PoolStats.OutstandingSince, goroutine-count assertions): in the
-// concurrency-bearing packages — collective, internal/partial, internal/comm —
-// every goroutine must be joinable. A `go` statement passes if any of:
+// concurrency-bearing packages — collective, internal/partial, internal/comm,
+// internal/transport — every goroutine must be joinable. A `go` statement
+// passes if any of:
 //
 //   - a sync.WaitGroup Add call precedes it in the same function (the
 //     Add-before-go / defer-Done idiom used throughout the stack);
@@ -22,12 +23,12 @@ import (
 // or reaper, or document why they terminate with //eagervet:ignore.
 var LifecycleCheck = &Analyzer{
 	Name: "lifecyclecheck",
-	Doc:  "require goroutines in collective/partial/comm to be joinable (WaitGroup, done channel, or reaper)",
+	Doc:  "require goroutines in collective/partial/comm/transport to be joinable (WaitGroup, done channel, or reaper)",
 	Run:  runLifecycleCheck,
 }
 
 func runLifecycleCheck(pass *Pass) error {
-	if !pkgNameIs(pass.Pkg, "collective", "partial", "comm") {
+	if !pkgNameIs(pass.Pkg, "collective", "partial", "comm", "transport") {
 		return nil
 	}
 	for _, file := range pass.Files {

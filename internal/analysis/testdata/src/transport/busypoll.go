@@ -1,0 +1,94 @@
+// Package transport exercises lifecyclecheck and ctxcheck on the busy-poll
+// idioms of the shared-ring transport: an endpoint's poll loop must be
+// joinable (Add-before-go, defer Done) and every spin loop must be gated by a
+// done channel or stop flag so Close can always reclaim it.
+package transport
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ungatedPoller spins forever with no join plumbing: Close can neither stop
+// nor wait for it, so it outlives the endpoint — exactly the leak the shm
+// poll loop's wg.Add/defer wg.Done wiring exists to prevent.
+func ungatedPoller(poll func() bool) {
+	go func() { // want "goroutine is not joinable"
+		for {
+			if !poll() {
+				runtime.Gosched()
+			}
+		}
+	}()
+}
+
+// detachedNamedPoller launches a named spin loop whose body shows no join
+// evidence either; the facts registry proves nothing, so it is flagged.
+func spinForever(poll func() bool) {
+	for {
+		poll()
+	}
+}
+
+func detachedNamedPoller(poll func() bool) {
+	go spinForever(poll) // want "goroutine is not joinable"
+}
+
+// endpointPoller is the shm endpoint shape: Add before go, defer Done in the
+// loop, and a done channel bounding every spin — joinable, no diagnostic.
+type endpointPoller struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (e *endpointPoller) start(poll func() bool) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			if !poll() {
+				runtime.Gosched()
+			}
+		}
+	}()
+}
+
+func (e *endpointPoller) close() {
+	close(e.done)
+	e.wg.Wait()
+}
+
+// parkedReader bounds its lifetime with a select on done while parked — the
+// adaptive spin-then-park shape; the select is the join evidence.
+func parkedReader(wake, done chan struct{}, poll func() bool) {
+	go func() {
+		for {
+			if poll() {
+				continue
+			}
+			select {
+			case <-wake:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// mintedRoot shows ctxcheck holds in this package too: library transport code
+// must not fabricate its own root context for its poll loops.
+func mintedRoot(run func(ctx context.Context)) {
+	run(context.Background()) // want "context.Background"
+}
+
+// suppressedDetached documents a deliberately detached goroutine.
+func suppressedDetached(work func()) {
+	//eagervet:ignore lifecyclecheck -- close-path escape hatch: the endpoint tears itself down and the call is idempotent.
+	go work()
+}

@@ -102,6 +102,55 @@ func TestAllreduceInprocAllocFree(t *testing.T) {
 	}
 }
 
+// TestAllreduceShmAllocFree is the same gate for the shared-ring transport: a
+// steady-state allreduce round over per-pair SPSC rings — frames encoded in
+// place into a reserved ring span on send, decoded into pooled vectors on
+// receive — must allocate zero heap objects per round, like inproc.
+func TestAllreduceShmAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	if tensor.LeaseDebugEnabled {
+		t.Skip("-tags leasedebug trades the alloc-free guarantee for lease-site tracking")
+	}
+	const n = 2048
+	for _, ac := range allreduceAlgos {
+		for _, size := range []int{4, 3} { // power-of-two and folded sizes
+			t.Run(fmt.Sprintf("%s/p=%d", ac.name, size), func(t *testing.T) {
+				w := transport.NewShmWorld(size)
+				defer func() {
+					for _, c := range w {
+						c.Close()
+					}
+				}()
+				data := make([]tensor.Vector, size)
+				for r := range data {
+					data[r] = tensor.NewVector(n)
+					data[r].Fill(1)
+				}
+				d := newRoundDriver(size, func(rank int) error {
+					return collectives.Allreduce(w[rank], data[rank], collectives.OpSum, ac.algo)
+				})
+				defer d.stop()
+				for i := 0; i < 32; i++ {
+					if err := d.round(); err != nil {
+						t.Fatalf("warmup round: %v", err)
+					}
+				}
+				avg := testing.AllocsPerRun(100, func() {
+					if err := d.round(); err != nil {
+						t.Fatalf("round: %v", err)
+					}
+				})
+				if avg > 0 {
+					t.Errorf("steady-state shm allreduce (%s, %d ranks) allocates %.2f objects per round, want 0",
+						ac.name, size, avg)
+				}
+			})
+		}
+	}
+}
+
 // TestAllreducePipelinedInprocAllocFree is the same gate for the pipelined
 // paths: at 256Ki elements the ring moves 4 segments per chunk exchange and
 // Rabenseifner 8 per first halving (default 16Ki-element segments), so this

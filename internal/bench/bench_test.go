@@ -60,6 +60,14 @@ func transports() []worldFactory {
 				}
 			}
 		}},
+		{name: "shm", make: func(b *testing.B, size int) ([]*comm.Communicator, func()) {
+			w := transport.NewShmWorld(size)
+			return w, func() {
+				for _, c := range w {
+					c.Close()
+				}
+			}
+		}},
 	}
 }
 

@@ -87,6 +87,23 @@ func (op ReduceOp) Apply(local, incoming tensor.Vector) {
 	}
 }
 
+// ApplyInto combines local and incoming element-wise into dst, which may be
+// transport memory (a reserved ring span) rather than either operand. Same
+// kernels, ordering, and NaN convention as Apply, so fused and in-place
+// reductions are bit-for-bit identical.
+func (op ReduceOp) ApplyInto(dst, local, incoming tensor.Vector) {
+	switch op {
+	case OpSum:
+		tensor.AddInto(dst, local, incoming)
+	case OpMax:
+		tensor.MaxInto(dst, local, incoming)
+	case OpMin:
+		tensor.MinInto(dst, local, incoming)
+	default:
+		panic(fmt.Sprintf("collectives: unknown reduce op %d", int(op)))
+	}
+}
+
 // String returns the operator name.
 func (op ReduceOp) String() string {
 	switch op {
@@ -251,6 +268,13 @@ func (e env) sendCopy(dest, tag int, data tensor.Vector) error {
 }
 
 func (e env) release(v tensor.Vector) { comm.Release(v) }
+
+// sendFrom sends a frame produced in place by fill(dst, a, b) (comm.SendFrom:
+// straight into the ring span on a fill-capable transport, staged through one
+// pool lease elsewhere), surfacing a dead destination as ErrRankUnreachable.
+func (e env) sendFrom(dest, tag int, a, b tensor.Vector, fill func(dst, a, b tensor.Vector)) error {
+	return wrapUnreachable(e.c.SendFrom(dest, tag, a, b, fill))
+}
 
 // exchangeSegmented performs one pipelined exchange: it streams send to dest
 // in segments of at most e.seg elements while receiving the peer's same-tag
@@ -459,6 +483,11 @@ func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
 		return nil
 	}
 	n := len(data)
+	if e.cancel == nil && n >= size {
+		if lo, hi := tensor.ChunkBounds(n, size, 0); hi-lo <= e.seg {
+			return allreduceRingFused(e, data, op)
+		}
+	}
 	next := (rank + 1) % size
 	prev := (rank - 1 + size) % size
 
@@ -481,6 +510,104 @@ func allreduceRing(e env, data tensor.Vector, op ReduceOp) error {
 		sendLo, sendHi := tensor.ChunkBounds(n, size, sendIdx)
 		recvLo, recvHi := tensor.ChunkBounds(n, size, recvIdx)
 		if err := e.exchangeSegmented(next, prev, e.tag(tagRingGather+step), data[sendLo:sendHi], data[recvLo:recvHi], op, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// intoFill returns the three-address kernel matching op, as a static
+// function value (no closure, no allocation) for the fill-send path.
+func (op ReduceOp) intoFill() func(dst, a, b tensor.Vector) {
+	switch op {
+	case OpSum:
+		return tensor.AddInto
+	case OpMax:
+		return tensor.MaxInto
+	case OpMin:
+		return tensor.MinInto
+	default:
+		panic(fmt.Sprintf("collectives: unknown reduce op %d", int(op)))
+	}
+}
+
+// allreduceRingFused is allreduceRing with the per-hop staging copies fused
+// into the transport encode. In the reduce-scatter, each forwarded partial
+// sum is computed by op's three-address kernel directly inside the outgoing
+// frame (comm.SendFrom — the reserved ring span on the shared-ring transport,
+// one pool stage elsewhere) instead of accumulating in data and copying out
+// afterwards; the local accumulation is skipped entirely for chunks whose
+// partials this rank only relays. In the allgather, each forwarded chunk is
+// written into the result buffer and the outgoing frame in one pass (Copy2).
+// The wire stream — tags, chunk order, payload values — is identical to
+// allreduceRing's single-segment path, so fused and unfused ranks
+// interoperate, and the sum order matches Apply bit for bit.
+//
+// Chosen only for cancel-free calls whose chunks fit one segment; the
+// cancelable and multi-segment regimes keep exchangeSegmented's overlapped
+// sends and pipelining.
+func allreduceRingFused(e env, data tensor.Vector, op ReduceOp) error {
+	rank, size := e.c.Rank(), e.c.Size()
+	n := len(data)
+	next := (rank + 1) % size
+	prev := (rank - 1 + size) % size
+	fill := op.intoFill()
+
+	// Reduce-scatter: each hop forwards local-chunk + incoming straight into
+	// the ring; only the last incoming chunk — the one this rank owns fully
+	// reduced — is folded into data.
+	sendLo, sendHi := tensor.ChunkBounds(n, size, rank)
+	if err := e.sendCopy(next, e.tag(tagRingReduce), data[sendLo:sendHi]); err != nil {
+		return err
+	}
+	for step := 0; step < size-1; step++ {
+		idx := (rank - step - 1 + size) % size
+		lo, hi := tensor.ChunkBounds(n, size, idx)
+		incoming, _, err := e.recv(prev, e.tag(tagRingReduce+step))
+		if err != nil {
+			return err
+		}
+		if len(incoming) != hi-lo {
+			e.release(incoming)
+			return fmt.Errorf("collectives: ring chunk %d from rank %d carries %d elements, want %d; mismatched segment configuration?",
+				idx, prev, len(incoming), hi-lo)
+		}
+		if step < size-2 {
+			err = e.sendFrom(next, e.tag(tagRingReduce+step+1), data[lo:hi], incoming, fill)
+		} else {
+			op.Apply(data[lo:hi], incoming)
+		}
+		e.release(incoming)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Allgather: circulate the fully reduced chunks, mirroring each forwarded
+	// one into the result buffer and the outgoing frame in a single pass.
+	sendLo, sendHi = tensor.ChunkBounds(n, size, next)
+	if err := e.sendCopy(next, e.tag(tagRingGather), data[sendLo:sendHi]); err != nil {
+		return err
+	}
+	for step := 0; step < size-1; step++ {
+		idx := (rank - step + size) % size
+		lo, hi := tensor.ChunkBounds(n, size, idx)
+		incoming, _, err := e.recv(prev, e.tag(tagRingGather+step))
+		if err != nil {
+			return err
+		}
+		if len(incoming) != hi-lo {
+			e.release(incoming)
+			return fmt.Errorf("collectives: ring chunk %d from rank %d carries %d elements, want %d; mismatched segment configuration?",
+				idx, prev, len(incoming), hi-lo)
+		}
+		if step < size-2 {
+			err = e.sendFrom(next, e.tag(tagRingGather+step+1), data[lo:hi], incoming, tensor.Copy2)
+		} else {
+			data[lo:hi].CopyFrom(incoming)
+		}
+		e.release(incoming)
+		if err != nil {
 			return err
 		}
 	}

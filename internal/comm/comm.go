@@ -101,6 +101,32 @@ type PeerFailureNotifier interface {
 	NotifyPeerFailure(fn func(rank int, cause error))
 }
 
+// BorrowingSender is an optional Endpoint fast path used by SendCopy:
+// SendBorrowed delivers a message whose payload the transport only borrows
+// for the duration of the call. The transport must finish reading m.Data
+// before returning and must neither retain nor release it — ownership stays
+// with the caller on every path, success and error alike. Only transports
+// that consume payloads synchronously may implement it (the shared-ring
+// transport encodes in place); transports that hand the slice onward or
+// defer the encode (in-process channels, vectored TCP writes) must not.
+type BorrowingSender interface {
+	SendBorrowed(dest int, m Message) error
+}
+
+// FillSender is an optional Endpoint fast path used by SendFrom: the
+// transport reserves the outgoing frame's payload span in its own memory (a
+// shared-ring span) and invokes fill exactly once to produce the payload
+// there — dst is the reserved span, a and b are the caller's operands, and
+// len(dst) == len(a). The caller's combine pass and the encode copy collapse
+// into one write. fill may also write a (the allgather hop mirrors the
+// incoming chunk into the result buffer in the same pass); a and b stay
+// caller-owned throughout. SendFill returns handled=false — with nothing
+// reserved and fill not called — when this destination or payload cannot
+// take the in-place path, and the caller falls back to a staged send.
+type FillSender interface {
+	SendFill(dest, tag int, a, b tensor.Vector, fill func(dst, a, b tensor.Vector)) (handled bool, err error)
+}
+
 // Message is the unit of communication: a payload of float64 values labelled
 // with the sending rank and a user tag. The Data vector is owned by whoever
 // currently holds the message (sender until Send, transport in flight,
@@ -358,10 +384,64 @@ func (c *Communicator) Send(dest, tag int, data tensor.Vector) error {
 // first, so the caller keeps ownership of data and may reuse it immediately.
 // This is the right call when the payload aliases a live working buffer (a
 // caller-owned gradient, a collective's accumulation buffer).
+//
+// On a transport that implements BorrowingSender the snapshot is elided: the
+// transport encodes the caller's buffer in place before returning, which is
+// one whole payload copy saved per send on the shared-ring hot path.
 func (c *Communicator) SendCopy(dest, tag int, data tensor.Vector) error {
-	// Send performs the peer validation and releases the copy on every error
-	// path, so one snapshot and one delegation suffice.
-	return c.Send(dest, tag, tensor.GetVectorCopy(data))
+	bs, ok := c.ep.(BorrowingSender)
+	if !ok {
+		// Send performs the peer validation and releases the copy on every
+		// error path, so one snapshot and one delegation suffice.
+		return c.Send(dest, tag, tensor.GetVectorCopy(data))
+	}
+	if err := c.checkPeer(dest); err != nil {
+		return err
+	}
+	if err := c.checkPeerUp(dest); err != nil {
+		return err
+	}
+	err := bs.SendBorrowed(dest, Message{Source: c.Rank(), Tag: tag, Data: data})
+	if err != nil && !errors.Is(err, ErrPeerDown) {
+		// Mirror Send: a transport failure caused by the peer dying mid-send
+		// surfaces as the typed peer failure.
+		if downErr := c.checkPeerUp(dest); downErr != nil {
+			return downErr
+		}
+	}
+	return err
+}
+
+// SendFrom sends a len(a)-element frame whose payload is produced by
+// fill(dst, a, b) — dst[i] computed from the operands — directly into
+// transport memory when the transport supports it (FillSender), eliding the
+// staging buffer entirely on the shared-ring hot path. Elsewhere the payload
+// is staged through a pool lease: exactly one combine pass and at most one
+// copy on every transport, never more than the Apply-then-SendCopy sequence
+// it replaces. fill is invoked exactly once; a and b remain caller-owned.
+func (c *Communicator) SendFrom(dest, tag int, a, b tensor.Vector, fill func(dst, a, b tensor.Vector)) error {
+	if fs, ok := c.ep.(FillSender); ok {
+		if err := c.checkPeer(dest); err != nil {
+			return err
+		}
+		if err := c.checkPeerUp(dest); err != nil {
+			return err
+		}
+		handled, err := fs.SendFill(dest, tag, a, b, fill)
+		if handled {
+			if err != nil && !errors.Is(err, ErrPeerDown) {
+				// Mirror Send: a transport failure caused by the peer dying
+				// mid-send surfaces as the typed peer failure.
+				if downErr := c.checkPeerUp(dest); downErr != nil {
+					return downErr
+				}
+			}
+			return err
+		}
+	}
+	tmp := tensor.GetVector(len(a))
+	fill(tmp, a, b)
+	return c.Send(dest, tag, tmp)
 }
 
 // SendCopyCancel behaves like SendCopy but gives up with ErrCanceled when

@@ -1,0 +1,64 @@
+package comm_test
+
+import (
+	"testing"
+
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/transport"
+)
+
+// TestSendFromFallbackInproc: over an endpoint with no FillSender, SendFrom
+// stages fill(a, b) into a pool lease and sends it owned — the receiver sees
+// the combined values and the caller keeps both operands untouched.
+func TestSendFromFallbackInproc(t *testing.T) {
+	w := world(t, 2)
+	a := tensor.Vector{1, 2, 3}
+	b := tensor.Vector{10, 20, 30}
+	if err := w[0].SendFrom(1, 4, a, b, tensor.AddInto); err != nil {
+		t.Fatalf("SendFrom: %v", err)
+	}
+	data, st, err := w[1].Recv(0, 4)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !data.Equal(tensor.Vector{11, 22, 33}) {
+		t.Fatalf("data = %v, want the element-wise sum", data)
+	}
+	if st.Source != 0 || st.Tag != 4 {
+		t.Fatalf("status = %+v", st)
+	}
+	tensor.PutVector(data)
+	if !a.Equal(tensor.Vector{1, 2, 3}) || !b.Equal(tensor.Vector{10, 20, 30}) {
+		t.Fatalf("SendFrom mutated its operands: a=%v b=%v", a, b)
+	}
+}
+
+// TestSendFromShmRing: over the shared-ring transport, SendFrom takes the
+// in-place fill path; the contract at the receiver is identical.
+func TestSendFromShmRing(t *testing.T) {
+	w := transport.NewShmWorld(2)
+	defer func() {
+		for _, c := range w {
+			c.Close()
+		}
+	}()
+	a := tensor.Vector{1, 2, 3}
+	b := tensor.Vector{10, 20, 30}
+	if err := w[0].SendFrom(1, 4, a, b, tensor.AddInto); err != nil {
+		t.Fatalf("SendFrom: %v", err)
+	}
+	data, st, err := w[1].Recv(0, 4)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !data.Equal(tensor.Vector{11, 22, 33}) {
+		t.Fatalf("data = %v, want the element-wise sum", data)
+	}
+	if st.Source != 0 || st.Tag != 4 {
+		t.Fatalf("status = %+v", st)
+	}
+	tensor.PutVector(data)
+	if !a.Equal(tensor.Vector{1, 2, 3}) || !b.Equal(tensor.Vector{10, 20, 30}) {
+		t.Fatalf("SendFrom mutated its operands: a=%v b=%v", a, b)
+	}
+}

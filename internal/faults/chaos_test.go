@@ -440,3 +440,71 @@ func TestChaosSyncModeCrashSurfacesRankUnreachable(t *testing.T) {
 		}
 	})
 }
+
+// TestChaosShmCrashWithLoss runs the acceptance crash scenario over the
+// shared-ring transport, with a lossy network layered on top: the injector
+// wraps shm endpoints exactly as it wraps channel or socket endpoints, so a
+// scripted crash at step k plus seeded message loss must leave solo training
+// live on the survivors and the pool balanced — in-place ring encoding does
+// not change who owns a dropped message's lease.
+func TestChaosShmCrashWithLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios take seconds")
+	}
+	const (
+		size      = 4
+		dim       = 96
+		steps     = 6
+		crashRank = 2
+		crashStep = 2
+	)
+	sc := collective.FaultScenario{
+		Name:          "shm-crash-lossy",
+		Seed:          7,
+		Default:       collective.FaultLinkRule{Drop: 0.05},
+		CrashAtStep:   map[int]int{crashRank: crashStep},
+		SignalCrashes: true,
+	}
+	leaseBalanced(t, func() {
+		w, err := collective.NewWorld(size,
+			collective.WithTransport(collective.Shm),
+			collective.WithMode(collective.Solo),
+			collective.WithSeed(7),
+			collective.WithPeerDeadline(5*time.Second),
+			collective.WithFaults(sc),
+		)
+		if err != nil {
+			t.Fatalf("world: %v", err)
+		}
+		out := runChaosTraining(t, w, dim, steps)
+		for r, o := range out {
+			if r == crashRank {
+				if o.steps < crashStep {
+					t.Errorf("crashed rank completed %d steps, scripted to reach %d", o.steps, crashStep)
+				}
+				if o.steps < steps && o.err == nil {
+					t.Errorf("crashed rank stopped at step %d with no error", o.steps)
+				}
+				continue
+			}
+			if o.steps != steps {
+				t.Errorf("survivor %d completed %d of %d steps (err=%v)", r, o.steps, steps, o.err)
+				continue
+			}
+			for s, a := range o.activeStats {
+				if a < 0 || a > size {
+					t.Errorf("survivor %d step %d: ActiveRanks=%d outside [0,%d]", r, s, a, size)
+				}
+			}
+			if o.lastActive > size-1 {
+				t.Errorf("survivor %d final step: ActiveRanks=%d includes the dead rank", r, o.lastActive)
+			}
+		}
+		if st := w.Peers()[crashRank]; st.Up {
+			t.Errorf("World.Peers reports crashed rank %d up", crashRank)
+		}
+		if err := w.Close(); err != nil {
+			t.Errorf("world close: %v", err)
+		}
+	})
+}

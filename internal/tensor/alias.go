@@ -1,0 +1,44 @@
+package tensor
+
+import "sync/atomic"
+
+// AliasReleaser is implemented by subsystems that hand out vectors aliasing
+// memory they own rather than pool leases — the shared-ring transport delivers
+// large frames as views straight into ring memory instead of decode copies.
+// PutVector consults the installed releaser first: a vector the releaser
+// recognizes is reclaimed by it (the ring span is freed for the producer) and
+// never enters the pool, which would otherwise recycle transport-owned memory
+// as an ordinary lease.
+//
+// Aliased vectors tighten the release contract: where forgetting to release a
+// pool lease merely costs a garbage collection, an unreleased alias pins the
+// memory it views (a ring span stays unavailable to its producer). The
+// transport only aliases traffic whose receivers release promptly, and the
+// eagervet leasecheck analyzer enforces the release on every receive path.
+type AliasReleaser interface {
+	// ReleaseAlias reports whether v aliases memory owned by the releaser,
+	// reclaiming the alias if so. Vectors it does not own are left untouched.
+	// v may be a sub-slice of the vector originally handed out; releasers
+	// match by backing-array address.
+	ReleaseAlias(v Vector) bool
+}
+
+// aliasReleaser holds the installed releaser. A single atomic load is the only
+// cost PutVector pays while no aliasing transport is active (the common case:
+// in-process and TCP worlds never install one).
+var aliasReleaser atomic.Pointer[aliasReleaserBox]
+
+// aliasReleaserBox wraps the interface value so it fits an atomic.Pointer.
+type aliasReleaserBox struct{ r AliasReleaser }
+
+// SetAliasReleaser installs the process-wide alias releaser consulted by
+// PutVector. Transports install one shared registry once (the first ring that
+// hands out an alias); nil uninstalls, which is only safe when no aliased
+// vectors are outstanding.
+func SetAliasReleaser(r AliasReleaser) {
+	if r == nil {
+		aliasReleaser.Store(nil)
+		return
+	}
+	aliasReleaser.Store(&aliasReleaserBox{r: r})
+}

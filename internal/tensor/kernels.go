@@ -53,13 +53,20 @@ const (
 	kernelMax
 	kernelMin
 	kernelAxpy
+	kernelAddInto
+	kernelMaxInto
+	kernelMinInto
+	kernelCopy2
 )
 
 // kernelTask is one chunk of a parallel kernel call. It is sent by value, so
-// enqueueing a task performs no allocation.
+// enqueueing a task performs no allocation. aux carries the second operand of
+// the three-address kernels (kernels_into.go) and is nil for the in-place
+// two-address ones.
 type kernelTask struct {
 	op       kernelOp
 	dst, src []float64
+	aux      []float64
 	alpha    float64
 	wg       *sync.WaitGroup
 }
@@ -87,7 +94,7 @@ func startKernelPool() {
 		for i := 0; i < workers; i++ {
 			go func() {
 				for t := range kernelCh {
-					runKernel(t.op, t.dst, t.src, t.alpha)
+					runKernel(t.op, t.dst, t.src, t.aux, t.alpha)
 					t.wg.Done()
 				}
 			}()
@@ -96,8 +103,9 @@ func startKernelPool() {
 }
 
 // runKernel executes one kernel over a contiguous range on the calling
-// goroutine.
-func runKernel(op kernelOp, dst, src []float64, alpha float64) {
+// goroutine. aux is the second operand of the three-address kernels and nil
+// for the in-place ones.
+func runKernel(op kernelOp, dst, src, aux []float64, alpha float64) {
 	switch op {
 	case kernelAdd:
 		addKernel(dst, src)
@@ -107,44 +115,60 @@ func runKernel(op kernelOp, dst, src []float64, alpha float64) {
 		minKernel(dst, src)
 	case kernelAxpy:
 		axpyKernel(dst, alpha, src)
+	case kernelAddInto:
+		addIntoKernel(dst, src, aux)
+	case kernelMaxInto:
+		maxIntoKernel(dst, src, aux)
+	case kernelMinInto:
+		minIntoKernel(dst, src, aux)
+	case kernelCopy2:
+		copy2Kernel(dst, src, aux)
 	}
 }
 
 // applyKernel is the routing point: small inputs run the unrolled kernel
 // inline; large inputs are chunked across the worker pool, with the caller
 // taking chunk 0.
-func applyKernel(op kernelOp, dst, src []float64, alpha float64) {
+func applyKernel(op kernelOp, dst, src, aux []float64, alpha float64) {
 	n := len(dst)
 	if n >= ParallelThreshold {
 		startKernelPool()
 		if kernelWorkers >= 2 {
-			parallelApply(op, dst, src, alpha, kernelWorkers)
+			parallelApply(op, dst, src, aux, alpha, kernelWorkers)
 			return
 		}
 	}
-	runKernel(op, dst, src, alpha)
+	runKernel(op, dst, src, aux, alpha)
 }
 
 // parallelApply splits [0, len(dst)) into parts contiguous chunks, hands
 // chunks 1..parts-1 to the pool, reduces chunk 0 on the calling goroutine,
 // and waits for the pool chunks to finish.
-func parallelApply(op kernelOp, dst, src []float64, alpha float64, parts int) {
+func parallelApply(op kernelOp, dst, src, aux []float64, alpha float64, parts int) {
 	n := len(dst)
 	if byChunk := n / minParallelChunk; parts > byChunk {
 		parts = byChunk
 	}
 	if parts < 2 {
-		runKernel(op, dst, src, alpha)
+		runKernel(op, dst, src, aux, alpha)
 		return
 	}
 	wg := kernelWGPool.Get().(*sync.WaitGroup)
 	wg.Add(parts - 1)
 	for i := 1; i < parts; i++ {
 		lo, hi := ChunkBounds(n, parts, i)
-		kernelCh <- kernelTask{op: op, dst: dst[lo:hi], src: src[lo:hi], alpha: alpha, wg: wg}
+		t := kernelTask{op: op, dst: dst[lo:hi], src: src[lo:hi], alpha: alpha, wg: wg}
+		if aux != nil {
+			t.aux = aux[lo:hi]
+		}
+		kernelCh <- t
 	}
 	_, hi0 := ChunkBounds(n, parts, 0)
-	runKernel(op, dst[:hi0], src[:hi0], alpha)
+	var aux0 []float64
+	if aux != nil {
+		aux0 = aux[:hi0]
+	}
+	runKernel(op, dst[:hi0], src[:hi0], aux0, alpha)
 	wg.Wait()
 	kernelWGPool.Put(wg)
 }
@@ -152,7 +176,7 @@ func parallelApply(op kernelOp, dst, src []float64, alpha float64, parts int) {
 // AddVec computes dst[i] += src[i]. It panics if the lengths differ.
 func AddVec(dst, src Vector) {
 	checkKernelLen("AddVec", len(dst), len(src))
-	applyKernel(kernelAdd, dst, src, 0)
+	applyKernel(kernelAdd, dst, src, nil, 0)
 }
 
 // MaxVec keeps the element-wise maximum: dst[i] = max(dst[i], src[i]).
@@ -160,20 +184,20 @@ func AddVec(dst, src Vector) {
 // NaN in src never replaces dst (NaN comparisons are false).
 func MaxVec(dst, src Vector) {
 	checkKernelLen("MaxVec", len(dst), len(src))
-	applyKernel(kernelMax, dst, src, 0)
+	applyKernel(kernelMax, dst, src, nil, 0)
 }
 
 // MinVec keeps the element-wise minimum: dst[i] = min(dst[i], src[i]), with
 // the same NaN convention as MaxVec.
 func MinVec(dst, src Vector) {
 	checkKernelLen("MinVec", len(dst), len(src))
-	applyKernel(kernelMin, dst, src, 0)
+	applyKernel(kernelMin, dst, src, nil, 0)
 }
 
 // AxpyVec computes dst[i] += alpha * src[i]. It panics if the lengths differ.
 func AxpyVec(dst Vector, alpha float64, src Vector) {
 	checkKernelLen("AxpyVec", len(dst), len(src))
-	applyKernel(kernelAxpy, dst, src, alpha)
+	applyKernel(kernelAxpy, dst, src, nil, alpha)
 }
 
 func checkKernelLen(name string, nd, ns int) {

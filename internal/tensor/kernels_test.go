@@ -143,7 +143,7 @@ func TestKernelsMatchNaiveBitForBit(t *testing.T) {
 					for _, parts := range []int{2, 3} {
 						p := parts
 						check("parallel", func(d []float64, a float64, s []float64) {
-							parallelApply(kc.op, d, s, a, p)
+							parallelApply(kc.op, d, s, nil, a, p)
 						})
 					}
 				}

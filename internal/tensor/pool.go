@@ -138,6 +138,12 @@ func PutVector(v Vector) {
 		// accounting stays exact.
 		return
 	}
+	if b := aliasReleaser.Load(); b != nil && b.r.ReleaseAlias(v) {
+		// An aliased span (see alias.go): reclaimed by its owner, never
+		// pooled, and invisible to the lease accounting — no GetVector
+		// issued it, so counting neither side keeps the balance exact.
+		return
+	}
 	if c < minPoolCap {
 		poolDiscards.Add(1)
 		return

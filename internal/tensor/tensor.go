@@ -66,7 +66,7 @@ func (v Vector) Add(w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("tensor: Add length mismatch %d != %d", len(v), len(w)))
 	}
-	applyKernel(kernelAdd, v, w, 0)
+	applyKernel(kernelAdd, v, w, nil, 0)
 }
 
 // Sub subtracts w element-wise from v (v -= w).
@@ -91,7 +91,7 @@ func (v Vector) Axpy(alpha float64, w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(v), len(w)))
 	}
-	applyKernel(kernelAxpy, v, w, alpha)
+	applyKernel(kernelAxpy, v, w, nil, alpha)
 }
 
 // Dot returns the inner product of v and w.

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// HybridEndpoint composes a shared-ring endpoint with a TCP endpoint into one
+// comm.Endpoint: sends to colocated ranks take the syscall-free ring path,
+// sends to remote ranks take TCP, and the two inbound streams merge into a
+// single inbox. This is the per-rank building block of a mixed world where
+// each host group exchanges over rings while cross-host pairs keep sockets.
+type HybridEndpoint struct {
+	local     comm.Endpoint // carries traffic to colocated ranks (shared rings)
+	remote    comm.Endpoint // carries traffic to everyone else (TCP)
+	colocated []bool        // indexed by rank; colocated[own rank] is true
+
+	inbox chan comm.Message
+	wg    sync.WaitGroup // the two inbox forwarders
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewHybridEndpoint wires local and remote under one endpoint. colocated[d]
+// selects the path for destination d: true routes through local, false
+// through remote. The two sub-endpoints must agree on rank and size, and
+// colocated[rank] must be true (self-sends stay local). HybridEndpoint owns
+// both sub-endpoints; Close closes them.
+func NewHybridEndpoint(local, remote comm.Endpoint, colocated []bool) *HybridEndpoint {
+	if local.Rank() != remote.Rank() || local.Size() != remote.Size() {
+		panic(fmt.Sprintf("transport: hybrid sub-endpoints disagree: local rank %d/%d, remote rank %d/%d",
+			local.Rank(), local.Size(), remote.Rank(), remote.Size()))
+	}
+	if len(colocated) != local.Size() {
+		panic(fmt.Sprintf("transport: hybrid colocation map has %d entries for a %d-rank world", len(colocated), local.Size()))
+	}
+	if !colocated[local.Rank()] {
+		panic(fmt.Sprintf("transport: rank %d is not colocated with itself", local.Rank()))
+	}
+	e := &HybridEndpoint{
+		local:     local,
+		remote:    remote,
+		colocated: append([]bool(nil), colocated...),
+		inbox:     make(chan comm.Message, DefaultInboxDepth),
+	}
+	e.wg.Add(2)
+	go e.forward(local.Inbox())
+	go e.forward(remote.Inbox())
+	return e
+}
+
+// forward drains one sub-endpoint's inbox into the merged inbox. Ownership of
+// each message's payload passes straight through; nothing is copied.
+func (e *HybridEndpoint) forward(in <-chan comm.Message) {
+	defer e.wg.Done()
+	for m := range in {
+		e.inbox <- m
+	}
+}
+
+// Rank returns this endpoint's rank.
+func (e *HybridEndpoint) Rank() int { return e.remote.Rank() }
+
+// Size returns the number of ranks in the job.
+func (e *HybridEndpoint) Size() int { return e.remote.Size() }
+
+// Send routes m by the destination's colocation: shared ring for colocated
+// ranks, TCP otherwise. Ownership of m.Data passes to the chosen sub-endpoint
+// unconditionally, matching the comm.Endpoint contract.
+func (e *HybridEndpoint) Send(dest int, m comm.Message) error {
+	if dest < 0 || dest >= len(e.colocated) {
+		tensor.PutVector(m.Data)
+		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", dest, len(e.colocated))
+	}
+	if e.colocated[dest] {
+		return e.local.Send(dest, m)
+	}
+	return e.remote.Send(dest, m)
+}
+
+// SendBorrowed keeps the comm.BorrowingSender fast path alive in a mixed
+// world: colocated destinations borrow straight through the ring path, while
+// remote destinations get the pool snapshot the retaining TCP path requires.
+func (e *HybridEndpoint) SendBorrowed(dest int, m comm.Message) error {
+	if dest >= 0 && dest < len(e.colocated) && e.colocated[dest] {
+		if bs, ok := e.local.(comm.BorrowingSender); ok {
+			return bs.SendBorrowed(dest, m)
+		}
+	}
+	m.Data = tensor.GetVectorCopy(m.Data)
+	return e.Send(dest, m)
+}
+
+// SendFill routes the comm.FillSender in-place path to the ring side for
+// colocated destinations; remote destinations report handled=false so the
+// caller stages the payload for the retaining TCP path.
+func (e *HybridEndpoint) SendFill(dest, tag int, a, b tensor.Vector, fill func(dst, a, b tensor.Vector)) (bool, error) {
+	if dest >= 0 && dest < len(e.colocated) && e.colocated[dest] {
+		if fs, ok := e.local.(comm.FillSender); ok {
+			return fs.SendFill(dest, tag, a, b, fill)
+		}
+	}
+	return false, nil
+}
+
+// Inbox returns the merged stream of messages from both paths. The channel is
+// closed after Close, once both sub-inboxes have drained.
+func (e *HybridEndpoint) Inbox() <-chan comm.Message { return e.inbox }
+
+// NotifyPeerFailure registers fn with both sub-endpoints, so a peer failure
+// observed on either path (ring torn down, TCP read loop died) surfaces. A
+// colocated peer closing may report through both paths; consumers of the
+// notification (comm.MarkPeerDown) are idempotent per rank.
+func (e *HybridEndpoint) NotifyPeerFailure(fn func(rank int, cause error)) {
+	if n, ok := e.local.(comm.PeerFailureNotifier); ok {
+		n.NotifyPeerFailure(fn)
+	}
+	if n, ok := e.remote.(comm.PeerFailureNotifier); ok {
+		n.NotifyPeerFailure(fn)
+	}
+}
+
+// Close closes both sub-endpoints, waits for the inbox forwarders to drain
+// their closed sub-inboxes, and closes the merged inbox. Undelivered payloads
+// remaining in the merged inbox are released.
+func (e *HybridEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		lerr := e.local.Close()
+		rerr := e.remote.Close()
+		e.wg.Wait()
+		close(e.inbox)
+		for m := range e.inbox {
+			tensor.PutVector(m.Data)
+		}
+		if rerr != nil {
+			e.closeErr = rerr
+		} else {
+			e.closeErr = lerr
+		}
+	})
+	return e.closeErr
+}

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// recvFrom pulls one message from an inbox with a deadline.
+func recvFrom(t *testing.T, in <-chan comm.Message) comm.Message {
+	t.Helper()
+	select {
+	case m, ok := <-in:
+		if !ok {
+			t.Fatal("inbox closed while a message was expected")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a message")
+	}
+	panic("unreachable")
+}
+
+// TestHybridRoutesByColocation proves the hybrid sends colocated traffic
+// through the local (ring) path and remote traffic through the remote path,
+// by watching the messages arrive at the distinct underlying hubs, and that
+// the merged inbox carries arrivals from both paths.
+func TestHybridRoutesByColocation(t *testing.T) {
+	before := tensor.ReadPoolStats()
+	const size = 4
+	local := NewShmHubFor(size, []int{0, 1}, 1<<16) // ranks 0,1 share a host
+	remote := NewHub(size)                          // stands in for the TCP mesh
+	colocated := []bool{true, true, false, false}
+	hy := NewHybridEndpoint(local.Endpoint(0), remote.Endpoint(0), colocated)
+
+	// Colocated send lands on the ring hub's endpoint for rank 1.
+	if err := hy.Send(1, comm.Message{Source: 0, Tag: 7, Data: leasedVector(4, 1)}); err != nil {
+		t.Fatalf("colocated send: %v", err)
+	}
+	m := recvFrom(t, local.Endpoint(1).Inbox())
+	if m.Source != 0 || m.Tag != 7 || m.Data[0] != 1 {
+		t.Fatalf("ring path delivered %+v", m)
+	}
+	tensor.PutVector(m.Data)
+
+	// Remote send lands on the fallback hub's endpoint for rank 2.
+	if err := hy.Send(2, comm.Message{Source: 0, Tag: 8, Data: leasedVector(4, 2)}); err != nil {
+		t.Fatalf("remote send: %v", err)
+	}
+	m = recvFrom(t, remote.Endpoint(2).Inbox())
+	if m.Source != 0 || m.Tag != 8 || m.Data[0] != 2 {
+		t.Fatalf("remote path delivered %+v", m)
+	}
+	tensor.PutVector(m.Data)
+
+	// Arrivals from both paths surface in the one merged inbox.
+	if err := local.Endpoint(1).Send(0, comm.Message{Source: 1, Tag: 9, Data: leasedVector(4, 3)}); err != nil {
+		t.Fatalf("ring send toward hybrid: %v", err)
+	}
+	if err := remote.Endpoint(2).Send(0, comm.Message{Source: 2, Tag: 10, Data: leasedVector(4, 4)}); err != nil {
+		t.Fatalf("remote send toward hybrid: %v", err)
+	}
+	got := map[int]float64{}
+	for i := 0; i < 2; i++ {
+		m := recvFrom(t, hy.Inbox())
+		got[m.Source] = m.Data[0]
+		tensor.PutVector(m.Data)
+	}
+	if got[1] != 3 || got[2] != 4 {
+		t.Fatalf("merged inbox saw %v, want sources 1->3 and 2->4", got)
+	}
+
+	// An out-of-range destination releases the payload and errors.
+	if err := hy.Send(size, comm.Message{Source: 0, Tag: 0, Data: leasedVector(4, 0)}); err == nil {
+		t.Fatal("send to out-of-range rank succeeded")
+	}
+
+	if err := hy.Close(); err != nil {
+		t.Fatalf("hybrid close: %v", err)
+	}
+	// Sends after close fail on both paths and still consume the payload.
+	if err := hy.Send(1, comm.Message{Source: 0, Tag: 0, Data: leasedVector(4, 0)}); !errors.Is(err, ErrRingClosed) && err == nil {
+		t.Fatal("colocated send after close succeeded")
+	}
+	local.Endpoint(1).Close()
+	if n := tensor.ReadPoolStats().OutstandingSince(before); n != 0 {
+		t.Fatalf("hybrid routing leaked %d pool leases%s", n, tensor.FormatLeaseReport())
+	}
+}
+
+// TestHybridPeerFailureFromRingPath: a notifier registered on the hybrid
+// observes a colocated peer vanishing on the ring path.
+func TestHybridPeerFailureFromRingPath(t *testing.T) {
+	const size = 3
+	local := NewShmHubFor(size, []int{0, 1}, 1<<16)
+	remote := NewHub(size)
+	colocated := []bool{true, true, false}
+	hy := NewHybridEndpoint(local.Endpoint(0), remote.Endpoint(0), colocated)
+	defer hy.Close()
+
+	failed := make(chan int, 4)
+	hy.NotifyPeerFailure(func(rank int, cause error) { failed <- rank })
+
+	local.Endpoint(1).Close() // the colocated peer exits
+	select {
+	case r := <-failed:
+		if r != 1 {
+			t.Fatalf("failure reported for rank %d, want 1", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ring-path peer failure never reached the hybrid notifier")
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package transport
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// mmapFile is unavailable without mmap: the cross-process shared-memory
+// transport is unix-only. The in-process shm hub (NewShmHub / NewShmWorld)
+// works everywhere.
+func mmapFile(_ *os.File, _ int) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("transport: cross-process shared-memory rings require mmap, unavailable on %s", runtime.GOOS)
+}

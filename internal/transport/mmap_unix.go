@@ -1,0 +1,18 @@
+//go:build unix
+
+package transport
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f shared and read-write. The returned cleanup
+// unmaps the region; the caller owns unlinking the file.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

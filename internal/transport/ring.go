@@ -1,0 +1,656 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// This file implements the SPSC byte ring beneath the shared-memory transport
+// (see shm.go): one directed ring per (producer rank, consumer rank) pair,
+// laid out in a flat byte region so the same code runs over an in-process
+// slice and an mmap-backed file shared between OS processes. The producer
+// reserves a span, encodes the PR 2 frame format in place with the wire_le.go
+// bulk codec, and publishes it with one atomic store; the consumer decodes
+// straight into a pool-leased vector. A same-host frame exchange therefore
+// performs zero syscalls and exactly one copy on each side (encode into the
+// ring, decode out of it).
+//
+// Region layout (little endian, offsets cache-line separated so the two ends
+// never false-share):
+//
+//	  0  magic    uint64  — ringMagic once the producer has initialized the region
+//	 64  head     uint64  — consumer position, bytes consumed (monotonic)
+//	128  tail     uint64  — producer position, bytes published (monotonic)
+//	192  prodClosed uint32 — producer closed its end (EOF after drain)
+//	256  consClosed uint32 — consumer closed its end (producer aborts)
+//	320  consParked uint32 — consumer is parked; a committing producer must wake it
+//	384  prodParked uint32 — producer is parked on a full ring; consumer wakes it
+//	448  capacity uint64  — data-area size in bytes (power of two)
+//	512  data[capacity]
+//
+// Record framing inside the data area (all records 8-byte aligned, so a
+// complete frame's float payload — at offset 16 into the record — can be
+// handed to the receiver as a zero-copy view of the ring, see ringalias.go):
+//
+//	uint32 recWord | payload
+//
+// The top two bits of recWord carry the record type, the rest the payload
+// byte length. Complete frames carry the PR 2 wire format (12-byte header +
+// little-endian float64s). Frames larger than the fragment threshold stream
+// as a fragment-start record (full frame header + first chunk) followed by
+// continuation records (raw payload bytes), so a ring a few hundred KiB large
+// carries arbitrarily big gradients while the consumer drains concurrently —
+// the ring itself pipelines the copy. A pad record skips the tail of the data
+// area when a record would wrap.
+const (
+	ringOffMagic      = 0
+	ringOffHead       = 64
+	ringOffTail       = 128
+	ringOffProdClosed = 192
+	ringOffConsClosed = 256
+	ringOffConsParked = 320
+	ringOffProdParked = 384
+	ringOffCapacity   = 448
+	ringHdrSize       = 512
+
+	ringMagic = 0xEA6E55D0_51C0FF33 // "eager-sgd ring v1"
+
+	// Record types (top two bits of the record word).
+	recFrame = 0 // complete frame: 12-byte header + payload
+	recStart = 1 // fragment start: 12-byte header (count = total) + first chunk
+	recCont  = 2 // fragment continuation: raw payload bytes
+	recPad   = 3 // skip to the top of the data area (length bits ignored)
+
+	recTypeShift = 30
+	recLenMask   = 1<<recTypeShift - 1
+
+	// ringFragmentBytes is the payload size above which a frame streams as
+	// fragments. 128 KiB (16Ki float64s) keeps even the default 16Ki-element
+	// pipeline segments in single records while letting an unsegmented
+	// multi-MiB recursive-doubling frame flow through a modest ring.
+	ringFragmentBytes = 128 << 10
+
+	// DefaultRingBytes is the default data-area capacity of one directed
+	// ring. Must comfortably exceed ringFragmentBytes so a fragment and its
+	// bookkeeping always fit with room for the consumer to stay ahead.
+	DefaultRingBytes = 1 << 19 // 512 KiB
+)
+
+// ErrRingClosed is returned when enqueueing into a ring whose consumer end
+// has been closed.
+var ErrRingClosed = errors.New("transport: ring closed")
+
+// errRingCorrupt wraps consumer-side framing violations: a record word or
+// frame header that cannot have been produced by this transport. It is the
+// shared-memory analogue of a TCP decode failure and tears the peer down the
+// same way.
+var errRingCorrupt = errors.New("transport: ring framing corrupt")
+
+// ringParker is how a ring end waits when it runs out of work or space after
+// exhausting its spin budget. In-process rings park on a channel the opposite
+// end signals; cross-process (mmap) rings fall back to escalating sleeps, so
+// the hot path stays syscall-free and only an idle ring pays the timer.
+type ringParker struct {
+	wake chan struct{} // buffered(1); nil => sleep parking (cross-process)
+}
+
+func (p *ringParker) signal() {
+	if p.wake == nil {
+		return
+	}
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// ringBuffer is one directed SPSC ring over a byte region. The producer side
+// is internally serialized (prodMu): the comm layer may issue concurrent
+// sends to one destination, and they are appended to the ring in admission
+// order, preserving per-(source, tag) FIFO.
+type ringBuffer struct {
+	data   []byte
+	mask   uint64
+	maxRec int // payload-byte budget of one record (scaled down for tiny rings)
+
+	head       *atomic.Uint64
+	tail       *atomic.Uint64
+	prodClosed *atomic.Uint32
+	consClosed *atomic.Uint32
+	consParked *atomic.Uint32
+	prodParked *atomic.Uint32
+
+	prodMu   sync.Mutex
+	consWake ringParker // signaled by the producer after a commit
+	prodWake ringParker // signaled by the consumer after freeing space
+
+	// consPos is the consumer's private read cursor. It runs ahead of the
+	// shared head whenever aliased spans (ringalias.go) are outstanding: head
+	// only advances — freeing ring space for the producer — once the receiver
+	// releases the aliased vectors, while consPos tracks what has been read.
+	// With no aliases outstanding the two are equal. Owned by the consumer.
+	consPos uint64
+
+	// Consumer-side reassembly state for fragmented frames: the vector being
+	// filled and the byte offset reached. Owned by the single consumer.
+	pending     tensor.Vector
+	pendingMsg  comm.Message
+	pendingFill int
+
+	// Alias-delivery state (ringalias.go): spans handed out as zero-copy
+	// vectors and the deferred head advances queued behind them.
+	aliasMu     sync.Mutex
+	aliasActive atomic.Bool // any span entries pending (consumer fast-path check)
+	aliasSpans  []aliasSpan // FIFO of consumed spans not yet freed to the producer
+	aliasHeld   int         // unreleased alias entries among aliasSpans
+	aliasReg    bool        // consumer-owned: ring is in the process alias table
+	aliasRetire func()      // teardown deferred until the last alias is released
+
+	region []byte       // full region (header + data), kept for cross-process unmap
+	unmap  func() error // non-nil for mmap-backed regions the consumer attached
+}
+
+// ringAtomics binds the typed atomic views into a region. The region must be
+// 8-byte aligned (heap allocations and mmap pages both are).
+func (r *ringBuffer) bind(region []byte) {
+	if uintptr(unsafe.Pointer(&region[0]))%8 != 0 {
+		panic("transport: ring region is not 8-byte aligned")
+	}
+	r.region = region
+	r.head = (*atomic.Uint64)(unsafe.Pointer(&region[ringOffHead]))
+	r.tail = (*atomic.Uint64)(unsafe.Pointer(&region[ringOffTail]))
+	r.prodClosed = (*atomic.Uint32)(unsafe.Pointer(&region[ringOffProdClosed]))
+	r.consClosed = (*atomic.Uint32)(unsafe.Pointer(&region[ringOffConsClosed]))
+	r.consParked = (*atomic.Uint32)(unsafe.Pointer(&region[ringOffConsParked]))
+	r.prodParked = (*atomic.Uint32)(unsafe.Pointer(&region[ringOffProdParked]))
+	r.consPos = r.head.Load()
+}
+
+// newRing creates an in-process ring with the given data capacity (rounded up
+// to a power of two, minimum 4 KiB). Both ends park on channels.
+func newRing(capacity int) *ringBuffer {
+	capacity = ringCapacity(capacity)
+	r := &ringBuffer{}
+	r.bind(make([]byte, ringHdrSize+capacity))
+	r.data = r.region[ringHdrSize:]
+	r.mask = uint64(capacity - 1)
+	r.maxRec = ringMaxRec(capacity)
+	binary.LittleEndian.PutUint64(r.region[ringOffCapacity:], uint64(capacity))
+	binary.LittleEndian.PutUint64(r.region[ringOffMagic:], ringMagic)
+	r.consWake.wake = make(chan struct{}, 1)
+	r.prodWake.wake = make(chan struct{}, 1)
+	return r
+}
+
+// ringCapacity normalizes a requested capacity: power of two, at least 4 KiB.
+func ringCapacity(capacity int) int {
+	if capacity < 1<<12 {
+		capacity = DefaultRingBytes
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return c
+}
+
+// ringMaxRec bounds one record's payload so a record never exceeds a quarter
+// of the data area — the producer must always be able to make progress while
+// the consumer holds the rest of the ring, whatever capacity was configured.
+func ringMaxRec(capacity int) int {
+	m := ringFragmentBytes
+	if q := capacity / 4; q < m {
+		m = q
+	}
+	return m
+}
+
+// enqueue appends m to the ring, blocking (with adaptive parking) while the
+// ring is full. The encode is synchronous — m.Data is fully copied into the
+// ring before the call returns — so the payload can be either owned (released
+// here on every path, the Endpoint.Send ownership contract) or merely
+// borrowed from the caller (the SendCopy fast path: never released). done
+// aborts a blocked enqueue when the producing endpoint shuts down; a consumer
+// that closed its end aborts it with ErrRingClosed.
+func (r *ringBuffer) enqueue(m comm.Message, done <-chan struct{}, owned bool) error {
+	if owned {
+		defer tensor.PutVector(m.Data)
+	}
+	if len(m.Data) > maxFrameElements {
+		return fmt.Errorf("%w: ring frame with %d elements exceeds the %d-element limit",
+			ErrFrameTooLarge, len(m.Data), maxFrameElements)
+	}
+	r.prodMu.Lock()
+	defer r.prodMu.Unlock()
+
+	if 8*len(m.Data) <= r.maxRec {
+		return r.writeRecord(recFrame, 12+8*len(m.Data), done, func(span []byte) {
+			putFrameHeader(span, m)
+			putFloats(span[12:], m.Data)
+		})
+	}
+
+	// Fragment path: header + first chunk, then continuations. The consumer
+	// reassembles into one pooled vector; the producer blocks on ring space
+	// between chunks, which is exactly the pipelining that lets a small ring
+	// carry a frame much larger than itself.
+	elems := len(m.Data)
+	chunk := r.maxRec / 8 // elements per fragment
+	first := chunk
+	if first > elems {
+		first = elems
+	}
+	err := r.writeRecord(recStart, 12+8*first, done, func(span []byte) {
+		putFrameHeader(span, m)
+		putFloats(span[12:], m.Data[:first])
+	})
+	for off := first; err == nil && off < elems; off += chunk {
+		end := off + chunk
+		if end > elems {
+			end = elems
+		}
+		part := m.Data[off:end]
+		err = r.writeRecord(recCont, 8*len(part), done, func(span []byte) {
+			putFloats(span, part)
+		})
+	}
+	return err
+}
+
+// enqueueFill appends one complete frame whose float payload is produced by
+// fill directly inside the reserved ring span: fill(dst, a, b) computes the
+// payload into dst — a view of the span — from the caller's operands, fusing
+// what would otherwise be a separate combine pass plus the encode copy into
+// one write. Only frames that fit a single record qualify (fragments stream
+// through the staged path), and only where the wire format doubles as memory
+// representation (wireViewable); ok=false means the caller must fall back to
+// a plain enqueue, with no reservation made. a and b remain caller-owned.
+func (r *ringBuffer) enqueueFill(source, tag int, a, b tensor.Vector, fill func(dst, a, b tensor.Vector), done <-chan struct{}) (ok bool, err error) {
+	count := len(a)
+	if !wireViewable || count == 0 || count > maxFrameElements || 8*count > r.maxRec {
+		return false, nil
+	}
+	r.prodMu.Lock()
+	defer r.prodMu.Unlock()
+	err = r.writeRecord(recFrame, 12+8*count, done, func(span []byte) {
+		binary.LittleEndian.PutUint32(span[0:4], uint32(int32(source)))
+		binary.LittleEndian.PutUint32(span[4:8], uint32(int32(tag)))
+		binary.LittleEndian.PutUint32(span[8:12], uint32(count))
+		if dst, viewed := floatsView(span[12:12+8*count], count); viewed {
+			fill(dst, a, b)
+			return
+		}
+		// Unreachable when wireViewable (record starts are 8-aligned, so the
+		// payload at record offset 16 is too), but stay correct regardless.
+		tmp := tensor.GetVector(count)
+		fill(tmp, a, b)
+		putFloats(span[12:12+8*count], tmp)
+		tensor.PutVector(tmp)
+	})
+	return true, err
+}
+
+// putFrameHeader encodes the 12-byte PR 2 frame header into span. The count
+// field always carries the frame's TOTAL element count, also for fragment
+// starts — the consumer sizes its reassembly lease from it.
+func putFrameHeader(span []byte, m comm.Message) {
+	binary.LittleEndian.PutUint32(span[0:4], uint32(int32(m.Source)))
+	binary.LittleEndian.PutUint32(span[4:8], uint32(int32(m.Tag)))
+	binary.LittleEndian.PutUint32(span[8:12], uint32(len(m.Data)))
+}
+
+// writeRecord reserves a span of payloadLen bytes (plus the record word and
+// any pad record), lets encode fill it in place, and publishes it with one
+// atomic tail store, waking a parked consumer. It blocks while the ring lacks
+// space: spinning, then yielding, then parking until the consumer frees room.
+func (r *ringBuffer) writeRecord(recType int, payloadLen int, done <-chan struct{}, encode func(span []byte)) error {
+	capacity := r.mask + 1
+	need := uint64(recordSpan(payloadLen))
+	tail := r.tail.Load()
+	contig := capacity - (tail & r.mask)
+	advance := need
+	pad := false
+	if need > contig {
+		// The record will not fit before the wrap point: pad the tail of the
+		// data area and start at the top.
+		pad = true
+		advance = contig + need
+	}
+
+	spins := 0
+	for {
+		if r.consClosed.Load() != 0 {
+			return ErrRingClosed
+		}
+		free := capacity - (tail - r.head.Load())
+		if advance <= free {
+			break
+		}
+		select {
+		case <-done:
+			return ErrClosed
+		default:
+		}
+		if !r.parkStep(&spins, &r.prodWake, r.prodParked, func() bool {
+			return capacity-(tail-r.head.Load()) >= advance || r.consClosed.Load() != 0
+		}, done) {
+			return ErrClosed
+		}
+	}
+
+	idx := tail & r.mask
+	if pad {
+		binary.LittleEndian.PutUint32(r.data[idx:], uint32(recPad)<<recTypeShift)
+		idx = 0
+	}
+	binary.LittleEndian.PutUint32(r.data[idx:], uint32(recType)<<recTypeShift|uint32(payloadLen))
+	encode(r.data[idx+4 : idx+4+uint64(payloadLen)])
+	r.tail.Store(tail + advance)
+	if r.consParked.Swap(0) != 0 {
+		r.consWake.signal()
+	}
+	return nil
+}
+
+// recordSpan is the ring-space footprint of a record with the given payload
+// length: the 4-byte record word plus the payload, rounded up to 8 bytes so
+// every record — and hence every complete frame's float payload, 16 bytes in —
+// stays 8-aligned. The alignment is what makes alias delivery (ringalias.go)
+// possible: a float64 view of the payload needs a naturally aligned base.
+func recordSpan(payloadLen int) int { return (4 + payloadLen + 7) &^ 7 }
+
+// Adaptive parking budgets: a busy ring never leaves the spin phase, a
+// bursty one burns a few Goscheds, and only a genuinely idle ring pays the
+// park (channel wait in-process, escalating sleep cross-process). Spinning
+// only pays when the opposite end can run in parallel: on a single-CPU
+// schedule (GOMAXPROCS=1) every spin iteration is stolen from the very
+// producer being waited on, so the budgets collapse to yield-then-park.
+var (
+	ringSpinBudget  = 2048
+	ringYieldBudget = 64
+)
+
+func init() {
+	if runtime.GOMAXPROCS(0) == 1 {
+		ringSpinBudget = 0
+		ringYieldBudget = 2
+	}
+}
+
+// parkStep advances one step of the spin → yield → park escalation. ready is
+// re-checked after the parked flag is raised (the lost-wakeup guard: the
+// opposite end reads the flag only after its own publish, so either it sees
+// the flag and signals, or this end's re-check sees the publish). Returns
+// false when done fired while parked.
+func (r *ringBuffer) parkStep(spins *int, parker *ringParker, parked *atomic.Uint32, ready func() bool, done <-chan struct{}) bool {
+	*spins++
+	if *spins <= ringSpinBudget {
+		return true
+	}
+	if *spins <= ringSpinBudget+ringYieldBudget {
+		runtime.Gosched()
+		return true
+	}
+	parked.Store(1)
+	if ready() {
+		parked.Store(0)
+		return true
+	}
+	if parker.wake != nil {
+		select {
+		case <-parker.wake:
+		case <-done:
+			parked.Store(0)
+			return false
+		}
+	} else {
+		// Cross-process fallback: no shared wake channel exists, so sleep a
+		// bounded, escalating amount. The opposite end clears the parked flag
+		// on publish purely as a hint; correctness comes from re-checking.
+		d := time.Duration(*spins-ringSpinBudget-ringYieldBudget) * 20 * time.Microsecond
+		if d > time.Millisecond {
+			d = time.Millisecond
+		}
+		select {
+		case <-done:
+			parked.Store(0)
+			return false
+		case <-time.After(d):
+		}
+	}
+	parked.Store(0)
+	return true
+}
+
+// closeProducer marks the producer end closed (EOF once drained) and wakes a
+// parked consumer so it observes the close.
+func (r *ringBuffer) closeProducer() {
+	r.prodClosed.Store(1)
+	if r.consParked.Swap(0) != 0 {
+		r.consWake.signal()
+	}
+	r.consWake.signal()
+}
+
+// abortProducer marks the consumer end closed and wakes a parked producer so
+// its blocked enqueue aborts with ErrRingClosed. It touches only the shared
+// flags, so either end may call it — the consuming endpoint during its own
+// Close, or on its outgoing ring toward a peer it has declared dead (the
+// shared-memory analogue of closing a TCP connection to fail pending writes).
+func (r *ringBuffer) abortProducer() {
+	r.consClosed.Store(1)
+	if r.prodParked.Swap(0) != 0 {
+		r.prodWake.signal()
+	}
+	r.prodWake.signal()
+}
+
+// releasePending drops a half-reassembled frame back into the pool. Only the
+// consumer may call it (the reassembly state is consumer-owned): the poller
+// when it declares the producing peer dead, or Close after the poller has
+// been joined.
+func (r *ringBuffer) releasePending() {
+	if r.pending != nil {
+		tensor.PutVector(r.pending)
+		r.pending = nil
+		r.pendingFill = 0
+	}
+}
+
+// ringResult classifies one tryDequeue outcome.
+type ringResult int
+
+const (
+	ringEmpty ringResult = iota // nothing published (check closed for EOF)
+	ringMsg                     // a complete message was decoded
+	ringMore                    // progress was made (fragment consumed), poll again
+	ringDead                    // producer closed and the ring is drained
+)
+
+// tryDequeue consumes at most one record without blocking. On ringMsg the
+// returned message owns either a pool-leased vector or, for large complete
+// frames, a zero-copy view of the ring span itself (ringalias.go) — the
+// receiver releases both the same way, with tensor.PutVector. Framing
+// violations return a descriptive error wrapping errRingCorrupt and poison
+// the ring (the caller tears the peer down, mirroring a TCP decode failure).
+func (r *ringBuffer) tryDequeue() (comm.Message, ringResult, error) {
+	pos := r.consPos
+	tail := r.tail.Load()
+	if pos == tail {
+		if r.prodClosed.Load() != 0 && pos == r.tail.Load() {
+			return comm.Message{}, ringDead, nil
+		}
+		return comm.Message{}, ringEmpty, nil
+	}
+	capacity := r.mask + 1
+	idx := pos & r.mask
+	word := binary.LittleEndian.Uint32(r.data[idx:])
+	recType := int(word >> recTypeShift)
+	payloadLen := int(word & recLenMask)
+	if recType == recPad {
+		r.consumeRecord(pos, capacity-idx)
+		return comm.Message{}, ringMore, nil
+	}
+	need := uint64(recordSpan(payloadLen))
+	if need > capacity-idx || tail-pos < need {
+		return comm.Message{}, ringEmpty, fmt.Errorf("%w: record of %d bytes exceeds the published span (type %d)",
+			errRingCorrupt, payloadLen, recType)
+	}
+	span := r.data[idx+4 : idx+4+uint64(payloadLen)]
+
+	switch recType {
+	case recFrame:
+		if r.pending != nil {
+			return comm.Message{}, ringEmpty, fmt.Errorf("%w: complete frame interleaved with an unfinished fragment stream", errRingCorrupt)
+		}
+		if len(span) < 12 {
+			return comm.Message{}, ringEmpty, fmt.Errorf("%w: frame record of %d bytes is shorter than a frame header", errRingCorrupt, len(span))
+		}
+		source, tag, count, err := ringFrameHeader(span)
+		if err != nil {
+			return comm.Message{}, ringEmpty, err
+		}
+		if len(span) < 12+8*count {
+			return comm.Message{}, ringEmpty, fmt.Errorf("%w: truncated frame from rank %d (tag %d): record holds %d of the %d payload bytes announced",
+				errRingCorrupt, source, tag, len(span)-12, 8*count)
+		}
+		if 8*count >= aliasMinBytes {
+			if v, ok := floatsView(span[12:12+8*count], count); ok && r.consumeAliasRecord(pos, need, idx+16, uint64(8*count)) {
+				return comm.Message{Source: source, Tag: tag, Data: v}, ringMsg, nil
+			}
+		}
+		data := tensor.GetVector(count)
+		getFloats(data, span[12:])
+		r.consumeRecord(pos, need)
+		return comm.Message{Source: source, Tag: tag, Data: data}, ringMsg, nil
+
+	case recStart:
+		if r.pending != nil {
+			return comm.Message{}, ringEmpty, fmt.Errorf("%w: fragment start interleaved with an unfinished fragment stream", errRingCorrupt)
+		}
+		if payloadLen < 12 {
+			return comm.Message{}, ringEmpty, fmt.Errorf("%w: fragment start of %d bytes is shorter than a frame header", errRingCorrupt, payloadLen)
+		}
+		source, tag, count, err := ringFrameHeader(span)
+		if err != nil {
+			return comm.Message{}, ringEmpty, err
+		}
+		chunk := (payloadLen - 12) / 8
+		if chunk > count {
+			return comm.Message{}, ringEmpty, fmt.Errorf("%w: fragment start carries %d elements of a %d-element frame", errRingCorrupt, chunk, count)
+		}
+		r.pending = tensor.GetVector(count)
+		r.pendingMsg = comm.Message{Source: source, Tag: tag}
+		getFloats(r.pending[:chunk], span[12:])
+		r.pendingFill = chunk
+		r.consumeRecord(pos, need)
+		if r.pendingFill == count { // a degenerate single-fragment frame
+			return r.finishPending(), ringMsg, nil
+		}
+		return comm.Message{}, ringMore, nil
+
+	case recCont:
+		if r.pending == nil {
+			return comm.Message{}, ringEmpty, fmt.Errorf("%w: fragment continuation with no fragment stream open", errRingCorrupt)
+		}
+		chunk := payloadLen / 8
+		if payloadLen%8 != 0 || r.pendingFill+chunk > len(r.pending) {
+			return comm.Message{}, ringEmpty, fmt.Errorf("%w: fragment continuation of %d bytes overflows the %d-element frame (have %d)",
+				errRingCorrupt, payloadLen, len(r.pending), r.pendingFill)
+		}
+		getFloats(r.pending[r.pendingFill:r.pendingFill+chunk], span)
+		r.pendingFill += chunk
+		r.consumeRecord(pos, need)
+		if r.pendingFill == len(r.pending) {
+			return r.finishPending(), ringMsg, nil
+		}
+		return comm.Message{}, ringMore, nil
+
+	default:
+		return comm.Message{}, ringEmpty, fmt.Errorf("%w: unknown record type %d", errRingCorrupt, recType)
+	}
+}
+
+// finishPending hands the reassembled frame to the caller.
+func (r *ringBuffer) finishPending() comm.Message {
+	m := r.pendingMsg
+	m.Data = r.pending
+	r.pending = nil
+	r.pendingFill = 0
+	return m
+}
+
+// advance publishes the consumer's progress and wakes a parked producer. In
+// alias mode the head advance is deferred instead — see consumeRecord.
+func (r *ringBuffer) advance(head, n uint64) {
+	r.head.Store(head + n)
+	if r.prodParked.Swap(0) != 0 {
+		r.prodWake.signal()
+	}
+}
+
+// initRingRegion initializes a zeroed shared region (freshly truncated backing
+// file) as a ring of the given data capacity and returns a ringBuffer bound to
+// it. The magic word is published last, with an atomic store: a consumer
+// process polling the region attaches only after it observes the magic, by
+// which point the capacity and zeroed positions are visible.
+func initRingRegion(region []byte, capacity int) (*ringBuffer, error) {
+	if len(region) != ringHdrSize+capacity {
+		return nil, fmt.Errorf("transport: ring region of %d bytes does not match header + %d-byte capacity", len(region), capacity)
+	}
+	r := &ringBuffer{}
+	r.bind(region)
+	r.data = region[ringHdrSize:]
+	r.mask = uint64(capacity - 1)
+	r.maxRec = ringMaxRec(capacity)
+	binary.LittleEndian.PutUint64(region[ringOffCapacity:], uint64(capacity))
+	(*atomic.Uint64)(unsafe.Pointer(&region[ringOffMagic])).Store(ringMagic)
+	return r, nil
+}
+
+// attachRingRegion binds a ringBuffer to a region another process initialized.
+// It validates the magic word and the header's capacity against the mapped
+// size before trusting either.
+func attachRingRegion(region []byte) (*ringBuffer, error) {
+	if len(region) < ringHdrSize {
+		return nil, fmt.Errorf("transport: ring region of %d bytes is shorter than the %d-byte header", len(region), ringHdrSize)
+	}
+	if (*atomic.Uint64)(unsafe.Pointer(&region[0])).Load() != ringMagic {
+		return nil, fmt.Errorf("transport: ring region lacks the magic word (producer not initialized yet?)")
+	}
+	capacity := binary.LittleEndian.Uint64(region[ringOffCapacity:])
+	if capacity == 0 || capacity&(capacity-1) != 0 || uint64(len(region)) != ringHdrSize+capacity {
+		return nil, fmt.Errorf("transport: ring header announces %d-byte capacity, region holds %d bytes (corrupt or mismatched mapping)",
+			capacity, len(region))
+	}
+	r := &ringBuffer{}
+	r.bind(region)
+	r.data = region[ringHdrSize:]
+	r.mask = capacity - 1
+	r.maxRec = ringMaxRec(int(capacity))
+	return r, nil
+}
+
+// ringFrameHeader decodes and validates the 12-byte frame header at the start
+// of span. The element count is validated in the unsigned domain against the
+// transport-wide limit, mirroring decodeFrame: a corrupt header must never
+// size an allocation.
+func ringFrameHeader(span []byte) (source, tag, count int, err error) {
+	source = int(int32(binary.LittleEndian.Uint32(span[0:4])))
+	tag = int(int32(binary.LittleEndian.Uint32(span[4:8])))
+	count64 := uint64(binary.LittleEndian.Uint32(span[8:12]))
+	if count64 > maxFrameElements {
+		return 0, 0, 0, fmt.Errorf("%w: header from rank %d (tag %d) announces %d elements, limit %d (corrupt or hostile length header)",
+			ErrFrameTooLarge, source, tag, count64, maxFrameElements)
+	}
+	return source, tag, int(count64), nil
+}

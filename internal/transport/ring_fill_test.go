@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// TestRingEnqueueFillRoundTrip: the fill-send path reserves the outgoing
+// frame's span and computes the payload in place; the consumer must see the
+// filled values under the given source and tag.
+func TestRingEnqueueFillRoundTrip(t *testing.T) {
+	if !wireViewable {
+		t.Skip("fill-send requires the little-endian view codec")
+	}
+	r := newRing(1 << 14)
+	a, b := leasedVector(100, 1), leasedVector(100, 1000)
+	defer tensor.PutVector(a)
+	defer tensor.PutVector(b)
+
+	ok, err := r.enqueueFill(3, 17, a, b, tensor.AddInto, nil)
+	if err != nil || !ok {
+		t.Fatalf("enqueueFill: ok=%v err=%v", ok, err)
+	}
+	m := drainOne(t, r)
+	if m.Source != 3 || m.Tag != 17 || len(m.Data) != 100 {
+		t.Fatalf("message header = %d/%d/%d, want 3/17/100", m.Source, m.Tag, len(m.Data))
+	}
+	for i := range m.Data {
+		if want := a[i] + b[i]; m.Data[i] != want {
+			t.Fatalf("data[%d] = %v, want %v", i, m.Data[i], want)
+		}
+	}
+	tensor.PutVector(m.Data)
+}
+
+// TestRingEnqueueFillOversizeDeclines: a frame too large for a single
+// complete record must report handled=false without touching the ring — the
+// caller then stages through the ordinary fragmenting send.
+func TestRingEnqueueFillOversizeDeclines(t *testing.T) {
+	r := newRing(1 << 14) // maxRec = cap/4 = 4 KiB => 512 floats
+	n := r.maxRec/8 + 1
+	a, b := leasedVector(n, 0), leasedVector(n, 0)
+	defer tensor.PutVector(a)
+	defer tensor.PutVector(b)
+
+	ok, err := r.enqueueFill(0, 1, a, b, tensor.AddInto, nil)
+	if err != nil || ok {
+		t.Fatalf("oversize enqueueFill: ok=%v err=%v, want false nil", ok, err)
+	}
+	if _, res, err := r.tryDequeue(); err != nil || res != ringEmpty {
+		t.Fatalf("declined fill left the ring non-empty: res=%v err=%v", res, err)
+	}
+}
+
+// TestShmSendFillRoundTrip: the endpoint-level FillSender contract over a
+// shared ring — handled sends deliver fill(a, b), self- and out-of-range
+// destinations decline so the caller can fall back.
+func TestShmSendFillRoundTrip(t *testing.T) {
+	if !wireViewable {
+		t.Skip("fill-send requires the little-endian view codec")
+	}
+	hub := NewShmHub(2)
+	e0, e1 := hub.Endpoint(0), hub.Endpoint(1)
+	defer hub.Close()
+
+	a, b := leasedVector(64, 5), leasedVector(64, 500)
+	defer tensor.PutVector(a)
+	defer tensor.PutVector(b)
+
+	handled, err := e0.SendFill(1, 9, a, b, tensor.AddInto)
+	if err != nil || !handled {
+		t.Fatalf("SendFill: handled=%v err=%v", handled, err)
+	}
+	var m comm.Message
+	select {
+	case m = <-e1.Inbox():
+	case <-time.After(5 * time.Second):
+		t.Fatal("filled frame never surfaced on the consumer inbox")
+	}
+	if m.Source != 0 || m.Tag != 9 {
+		t.Fatalf("message header = %d/%d, want 0/9", m.Source, m.Tag)
+	}
+	for i := range m.Data {
+		if want := a[i] + b[i]; m.Data[i] != want {
+			t.Fatalf("data[%d] = %v, want %v", i, m.Data[i], want)
+		}
+	}
+	tensor.PutVector(m.Data)
+
+	for _, dest := range []int{0, -1, 2} {
+		if handled, err := e0.SendFill(dest, 1, a, b, tensor.AddInto); handled || err != nil {
+			t.Fatalf("SendFill(dest=%d): handled=%v err=%v, want decline", dest, handled, err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// seedRingRecord encodes one record into buf at off and returns the next
+// offset, for building fuzz seed corpora that look like real ring contents.
+func seedRingRecord(buf []byte, off int, recType int, payload []byte) int {
+	binary.LittleEndian.PutUint32(buf[off:], uint32(recType)<<recTypeShift|uint32(len(payload)))
+	copy(buf[off+4:], payload)
+	return off + recordSpan(len(payload))
+}
+
+// FuzzRingRecords feeds arbitrary byte streams to the ring consumer as if a
+// producer had published them. The contract under hostile contents mirrors
+// FuzzDecodeFrame: tryDequeue either yields a well-formed message (whose
+// announced length it honoured) or a descriptive error — it must never panic,
+// never size an allocation from a corrupt header, and never leak a pooled
+// vector, including a half-reassembled fragment stream that is abandoned.
+func FuzzRingRecords(f *testing.F) {
+	frame := make([]byte, 12+3*8)
+	binary.LittleEndian.PutUint32(frame[0:], 1) // source
+	binary.LittleEndian.PutUint32(frame[4:], 7) // tag
+	binary.LittleEndian.PutUint32(frame[8:], 3) // count
+	for i := 0; i < 3; i++ {
+		binary.LittleEndian.PutUint64(frame[12+8*i:], math.Float64bits(float64(i)+0.5))
+	}
+
+	valid := make([]byte, 64)
+	seedRingRecord(valid, 0, recFrame, frame)
+	f.Add(valid) // one well-formed complete frame
+
+	twoFrames := make([]byte, 128)
+	seedRingRecord(twoFrames, seedRingRecord(twoFrames, 0, recFrame, frame), recFrame, frame)
+	f.Add(twoFrames) // two frames back to back
+
+	frag := make([]byte, 128)
+	start := make([]byte, 12+8) // header announcing 3 elements, carrying 1
+	copy(start, frame[:12+8])
+	cont := frame[12+8:] // the remaining 2 elements as a continuation
+	seedRingRecord(frag, seedRingRecord(frag, 0, recStart, start), recCont, cont)
+	f.Add(frag) // fragmented frame, start + continuation
+
+	abandoned := make([]byte, 64)
+	seedRingRecord(abandoned, 0, recStart, start)
+	f.Add(abandoned) // fragment stream with no continuation: must not leak
+
+	orphan := make([]byte, 32)
+	seedRingRecord(orphan, 0, recCont, cont)
+	f.Add(orphan) // continuation with no open stream
+
+	oversized := make([]byte, 32)
+	badHdr := append([]byte{}, frame[:12]...)
+	binary.LittleEndian.PutUint32(badHdr[8:], uint32(maxFrameElements)+1)
+	seedRingRecord(oversized, 0, recFrame, badHdr)
+	f.Add(oversized) // element count one past the limit
+
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // pad marker alone
+	f.Add([]byte{})                       // empty ring
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		before := tensor.ReadPoolStats()
+		r := newRing(4096)
+		n := len(data)
+		if n > len(r.data) {
+			n = len(r.data)
+		}
+		n &^= 7 // tail is always 8-byte aligned in a real ring
+		copy(r.data, data[:n])
+		r.tail.Store(uint64(n))
+
+		for i := 0; i < 4096; i++ {
+			m, res, err := r.tryDequeue()
+			if err != nil {
+				if err.Error() == "" {
+					t.Fatal("ring error with empty message")
+				}
+				if !strings.Contains(err.Error(), "transport") {
+					t.Fatalf("ring error %q is not descriptive (no package context)", err)
+				}
+				break
+			}
+			if res == ringMsg {
+				if len(m.Data) > maxFrameElements {
+					t.Fatalf("decoded frame with %d elements past the %d limit", len(m.Data), maxFrameElements)
+				}
+				tensor.PutVector(m.Data)
+				continue
+			}
+			if res == ringEmpty || res == ringDead {
+				break
+			}
+		}
+		// An abandoned fragment stream leaves a consumer-owned lease behind;
+		// the endpoint releases it when it declares the peer dead or closes.
+		r.releasePending()
+		if n := tensor.ReadPoolStats().OutstandingSince(before); n != 0 {
+			t.Fatalf("ring consumption leaked %d pool leases on input %x%s", n, data, tensor.FormatLeaseReport())
+		}
+	})
+}
+
+// FuzzRingRoundTrip fuzzes the producer/consumer pair end to end: any
+// (source, tag, payload) message must survive enqueue + dequeue bit for bit
+// across an adversarially small ring — exercising wrap-around pads, the
+// fragment path, and producer blocking (a concurrent consumer drains while
+// the producer streams).
+func FuzzRingRoundTrip(f *testing.F) {
+	f.Add(int32(0), int32(0), []byte{}, uint8(0))
+	f.Add(int32(3), int32(-1), []byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
+	f.Add(int32(-2), int32(1<<20), make([]byte, 8*300), uint8(0)) // forces fragmentation in a 4 KiB ring
+	f.Add(int32(9), int32(2), make([]byte, 8*2000), uint8(2))
+
+	f.Fuzz(func(t *testing.T, source, tag int32, raw []byte, capSel uint8) {
+		before := tensor.ReadPoolStats()
+		n := len(raw) / 8
+		payload := tensor.GetVector(n)
+		for i := 0; i < n; i++ {
+			payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8 : i*8+8]))
+		}
+		r := newRing(1 << (12 + int(capSel)%3)) // 4–16 KiB
+		done := make(chan struct{})
+		defer close(done)
+
+		type result struct {
+			m   comm.Message
+			err error
+		}
+		got := make(chan result, 1)
+		go func() {
+			for {
+				m, res, err := r.tryDequeue()
+				if err != nil {
+					got <- result{err: err}
+					return
+				}
+				if res == ringMsg {
+					got <- result{m: m}
+					return
+				}
+				if res == ringEmpty {
+					runtime.Gosched()
+				}
+			}
+		}()
+		if err := r.enqueue(comm.Message{Source: int(source), Tag: int(tag), Data: payload}, done, true); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+		res := <-got
+		if res.err != nil {
+			t.Fatalf("round trip failed: %v", res.err)
+		}
+		m := res.m
+		if m.Source != int(source) || m.Tag != int(tag) || len(m.Data) != n {
+			t.Fatalf("round trip mangled header: got (%d, %d, %d)", m.Source, m.Tag, len(m.Data))
+		}
+		for i := 0; i < n; i++ {
+			if math.Float64bits(m.Data[i]) != binary.LittleEndian.Uint64(raw[i*8:i*8+8]) {
+				t.Fatalf("payload bit pattern changed at element %d", i)
+			}
+		}
+		tensor.PutVector(m.Data)
+		if n := tensor.ReadPoolStats().OutstandingSince(before); n != 0 {
+			t.Fatalf("round trip leaked %d pool leases%s", n, tensor.FormatLeaseReport())
+		}
+	})
+}

@@ -1,0 +1,699 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// The shared-memory transport: one directed SPSC ring (ring.go) per peer
+// pair, a single poller goroutine per endpoint sweeping its incoming rings,
+// and adaptive parking so idle ranks burn no cores. In-process the rings live
+// on the heap and the poller parks on a channel; cross-process they are
+// mmap-backed files and parking falls back to escalating sleeps. Either way
+// the data path is identical — and performs zero syscalls per frame.
+
+// ShmHub connects size in-process endpoints through heap-backed rings. It is
+// the shared-memory analogue of Hub, but endpoints have independent
+// lifetimes like TCP endpoints: closing one rank's endpoint looks to its
+// peers like that rank exiting (ring EOF), not a whole-world shutdown.
+type ShmHub struct {
+	size int
+	eps  []*ShmEndpoint
+}
+
+// NewShmHub creates an in-process shared-ring hub for size ranks with the
+// default per-ring capacity.
+func NewShmHub(size int) *ShmHub { return NewShmHubRing(size, DefaultRingBytes) }
+
+// NewShmHubRing creates an in-process shared-ring hub with an explicit
+// per-ring data capacity (rounded up to a power of two).
+func NewShmHubRing(size, ringBytes int) *ShmHub {
+	members := make([]int, size)
+	for r := range members {
+		members[r] = r
+	}
+	return NewShmHubFor(size, members, ringBytes)
+}
+
+// NewShmHubFor creates a hub connecting only the given member ranks of a
+// size-rank world: rings and endpoints exist solely for member pairs. This is
+// the building block of mixed-transport worlds, where each host group gets a
+// hub carrying its colocated traffic while remote pairs stay on TCP.
+// Endpoint panics for non-member ranks.
+func NewShmHubFor(size int, members []int, ringBytes int) *ShmHub {
+	if size <= 0 {
+		panic(fmt.Sprintf("transport: shm hub size %d must be positive", size))
+	}
+	member := make([]bool, size)
+	for _, r := range members {
+		if r < 0 || r >= size {
+			panic(fmt.Sprintf("transport: shm hub member %d out of range [0,%d)", r, size))
+		}
+		member[r] = true
+	}
+	h := &ShmHub{size: size, eps: make([]*ShmEndpoint, size)}
+	wakes := make([]chan struct{}, size)
+	for _, r := range members {
+		wakes[r] = make(chan struct{}, 1)
+	}
+	rings := make([][]*ringBuffer, size) // [producer][consumer]
+	for p := 0; p < size; p++ {
+		rings[p] = make([]*ringBuffer, size)
+		if !member[p] {
+			continue
+		}
+		for c := 0; c < size; c++ {
+			if p == c || !member[c] {
+				continue
+			}
+			rb := newRing(ringBytes)
+			// All of a consumer's rings share its endpoint's wake channel, so
+			// the poller parks in one place however many peers it has.
+			rb.consWake.wake = wakes[c]
+			rings[p][c] = rb
+		}
+	}
+	for _, r := range members {
+		in := make([]*ringBuffer, size)
+		out := make([]*ringBuffer, size)
+		for p := 0; p < size; p++ {
+			in[p] = rings[p][r]
+			out[p] = rings[r][p]
+		}
+		h.eps[r] = newShmEndpoint(r, size, in, out, wakes[r])
+	}
+	return h
+}
+
+// Size returns the number of ranks connected by the hub.
+func (h *ShmHub) Size() int { return h.size }
+
+// Endpoint returns the endpoint for the given rank.
+func (h *ShmHub) Endpoint(rank int) *ShmEndpoint {
+	if rank < 0 || rank >= h.size {
+		panic(fmt.Sprintf("transport: rank %d out of range [0,%d)", rank, h.size))
+	}
+	if h.eps[rank] == nil {
+		panic(fmt.Sprintf("transport: rank %d is not a member of this shm hub", rank))
+	}
+	return h.eps[rank]
+}
+
+// Close closes every endpoint of the hub.
+func (h *ShmHub) Close() error {
+	for _, ep := range h.eps {
+		if ep != nil {
+			ep.Close()
+		}
+	}
+	return nil
+}
+
+// ShmEndpoint implements comm.Endpoint over per-peer SPSC rings. One poller
+// goroutine sweeps the incoming rings, decoding frames straight into
+// pool-leased vectors; sends reserve a span in the outgoing ring and encode
+// in place. It also implements comm.PeerFailureNotifier with the same
+// semantics as TCPEndpoint: a peer closing its rings (EOF) or corrupting one
+// fails that peer, not the endpoint.
+type ShmEndpoint struct {
+	rank  int
+	size  int
+	in    []*ringBuffer // indexed by producing peer; nil at own rank
+	out   []*ringBuffer // indexed by consuming peer; nil at own rank
+	wake  chan struct{} // poller park channel; nil => sleep parking (cross-process)
+	inbox chan comm.Message
+	done  chan struct{} // closed by Close; unblocks enqueues, deliveries, the poller
+
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup // the poller
+	senders sync.WaitGroup // in-flight deliverLocal calls; drained before closing the inbox
+
+	readMu   sync.Mutex
+	readErr  error              // first ring corruption observed, kept for diagnostics
+	onFail   []func(int, error) // peer-failure handlers (NotifyPeerFailure)
+	failures map[int]error      // per-peer failures observed so far, for replay
+
+	dead []bool // poller-owned: rings no longer swept (peer EOF or corrupt)
+
+	cleanups []func() // cross-process only: munmap + unlink, run at the end of Close
+}
+
+func newShmEndpoint(rank, size int, in, out []*ringBuffer, wake chan struct{}) *ShmEndpoint {
+	e := &ShmEndpoint{
+		rank:  rank,
+		size:  size,
+		in:    in,
+		out:   out,
+		wake:  wake,
+		inbox: make(chan comm.Message, DefaultInboxDepth),
+		done:  make(chan struct{}),
+		dead:  make([]bool, size),
+	}
+	e.wg.Add(1)
+	go e.pollLoop()
+	return e
+}
+
+// Rank returns this endpoint's rank.
+func (e *ShmEndpoint) Rank() int { return e.rank }
+
+// Size returns the number of ranks in the job.
+func (e *ShmEndpoint) Size() int { return e.size }
+
+// Inbox returns the stream of messages addressed to this rank.
+func (e *ShmEndpoint) Inbox() <-chan comm.Message { return e.inbox }
+
+// NotifyPeerFailure registers the handler invoked when a peer's ring dies
+// mid-job (ring EOF or framing corruption). Failures observed before
+// registration are replayed immediately. Semantics mirror
+// TCPEndpoint.NotifyPeerFailure.
+func (e *ShmEndpoint) NotifyPeerFailure(fn func(rank int, cause error)) {
+	e.readMu.Lock()
+	e.onFail = append(e.onFail, fn)
+	replay := make(map[int]error, len(e.failures))
+	for r, err := range e.failures {
+		replay[r] = err
+	}
+	e.readMu.Unlock()
+	for r, err := range replay {
+		fn(r, err)
+	}
+}
+
+// recordPeerFailure stores the failure for replay and returns the registered
+// handlers (nil if none).
+func (e *ShmEndpoint) recordPeerFailure(peer int, cause error) []func(int, error) {
+	e.readMu.Lock()
+	defer e.readMu.Unlock()
+	if e.failures == nil {
+		e.failures = make(map[int]error)
+	}
+	if e.failures[peer] == nil {
+		e.failures[peer] = cause
+	}
+	return e.onFail
+}
+
+// ReadError returns the first ring corruption observed by the poller (nil if
+// none), the shared-memory analogue of TCPEndpoint.ReadError.
+func (e *ShmEndpoint) ReadError() error {
+	e.readMu.Lock()
+	defer e.readMu.Unlock()
+	return e.readErr
+}
+
+// Send enqueues m into the destination's ring: a span is reserved, the frame
+// encoded in place, and the commit published with one atomic store — no
+// syscall anywhere. Sending to self forwards the payload to the local inbox
+// without encoding. Send consumes m.Data on every path, upholding the
+// Endpoint.Send ownership contract; while the destination ring is full it
+// blocks (adaptive parking), the flow control the contract advertises.
+func (e *ShmEndpoint) Send(dest int, m comm.Message) error {
+	return e.send(dest, m, true)
+}
+
+// SendBorrowed is the comm.BorrowingSender fast path: the ring encode is
+// synchronous, so the payload can be copied straight out of the caller's
+// buffer — no pool snapshot — and ownership stays with the caller on every
+// path. Sending to self still snapshots (the local inbox hand-off retains
+// the slice).
+func (e *ShmEndpoint) SendBorrowed(dest int, m comm.Message) error {
+	return e.send(dest, m, false)
+}
+
+// SendFill is the comm.FillSender in-place path: the outgoing frame's payload
+// span is reserved in the ring and fill computes it there, fusing the
+// caller's combine pass with the encode. handled=false (self-sends, missing
+// ring, frames past the single-record budget) tells the caller to fall back
+// to a staged send; nothing was reserved.
+func (e *ShmEndpoint) SendFill(dest, tag int, a, b tensor.Vector, fill func(dst, a, b tensor.Vector)) (bool, error) {
+	if dest < 0 || dest >= e.size || dest == e.rank {
+		return false, nil
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return true, ErrClosed
+	}
+	r := e.out[dest]
+	if r == nil {
+		return false, nil
+	}
+	ok, err := r.enqueueFill(e.rank, tag, a, b, fill, e.done)
+	if !ok {
+		return false, nil
+	}
+	if err != nil && errors.Is(err, ErrRingClosed) {
+		return true, fmt.Errorf("transport: ring to rank %d: %w", dest, err)
+	}
+	return true, err
+}
+
+func (e *ShmEndpoint) send(dest int, m comm.Message, owned bool) error {
+	if dest < 0 || dest >= e.size {
+		if owned {
+			tensor.PutVector(m.Data)
+		}
+		return fmt.Errorf("transport: destination %d out of range [0,%d)", dest, e.size)
+	}
+	if dest == e.rank {
+		if !owned {
+			m.Data = tensor.GetVectorCopy(m.Data)
+		}
+		return e.deliverLocal(m)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		if owned {
+			tensor.PutVector(m.Data)
+		}
+		return ErrClosed
+	}
+	e.mu.Unlock()
+	r := e.out[dest]
+	if r == nil {
+		if owned {
+			tensor.PutVector(m.Data)
+		}
+		return fmt.Errorf("transport: no ring to rank %d", dest)
+	}
+	if err := r.enqueue(m, e.done, owned); err != nil {
+		if errors.Is(err, ErrRingClosed) {
+			return fmt.Errorf("transport: ring to rank %d: %w", dest, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// deliverLocal forwards m (ownership included) to the local inbox, releasing
+// the payload if the endpoint is closing.
+func (e *ShmEndpoint) deliverLocal(m comm.Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		tensor.PutVector(m.Data)
+		return ErrClosed
+	}
+	// Registering under the lock while closed is still false guarantees Close
+	// cannot start draining senders before this delivery is visible to it.
+	e.senders.Add(1)
+	e.mu.Unlock()
+	defer e.senders.Done()
+	select {
+	case e.inbox <- m:
+		return nil
+	case <-e.done:
+		tensor.PutVector(m.Data)
+		return ErrClosed
+	}
+}
+
+// Close tears down the endpoint: outgoing rings are marked producer-closed
+// (peers observe EOF after draining), the poller is woken and joined, any
+// half-reassembled frames are released, peers blocked enqueueing toward this
+// rank are aborted, and the inbox is closed once in-flight local deliveries
+// have drained. Safe to call more than once.
+func (e *ShmEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	e.mu.Unlock()
+
+	for _, r := range e.out {
+		if r != nil {
+			r.closeProducer()
+		}
+	}
+	e.wg.Wait() // the poller exits via done; after this the consumer state is ours
+	for _, r := range e.in {
+		if r != nil {
+			r.releasePending()
+			r.abortProducer()
+			// Detach from alias delivery; an attached region's unmap waits
+			// for the receiver to release any still-outstanding alias.
+			r.retireAliases(unmapTeardown(r.unmap))
+		}
+	}
+	e.senders.Wait()
+	close(e.inbox)
+	for _, fn := range e.cleanups {
+		fn()
+	}
+	return nil
+}
+
+// pollLoop is the endpoint's single consumer: it sweeps the incoming rings
+// round-robin (one record per ring per sweep, so a firehose peer cannot
+// starve the others), decoding complete frames into the inbox. When every
+// ring is empty it escalates — spin, then runtime.Gosched, then park: the
+// parked flag is raised on each ring, the rings are re-checked (the
+// lost-wakeup guard), and only then does it block on the wake channel (or an
+// escalating sleep cross-process) until a producer commits. It exits when
+// Close fires done.
+func (e *ShmEndpoint) pollLoop() {
+	defer e.wg.Done()
+	spins := 0
+	for {
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		progress := false
+		for peer := 0; peer < e.size; peer++ {
+			r := e.in[peer]
+			if r == nil || e.dead[peer] {
+				continue
+			}
+			m, res, err := r.tryDequeue()
+			switch {
+			case err != nil:
+				e.dead[peer] = true
+				r.releasePending()
+				e.handleRingFailure(peer, err)
+			case res == ringMsg:
+				progress = true
+				if !e.deliver(m) {
+					return
+				}
+			case res == ringMore:
+				progress = true
+			case res == ringDead:
+				e.dead[peer] = true
+				e.handleRingFailure(peer, fmt.Errorf("transport: rank %d closed its ring (process exited?): %w", peer, io.EOF))
+			}
+		}
+		if progress {
+			spins = 0
+			continue
+		}
+		spins++
+		if spins <= ringSpinBudget {
+			continue
+		}
+		if spins <= ringSpinBudget+ringYieldBudget {
+			runtime.Gosched()
+			continue
+		}
+		if !e.parkPoller(spins) {
+			return
+		}
+		spins = 0
+	}
+}
+
+// parkPoller blocks the poller until a producer commits or Close fires.
+// Returns false when the endpoint is closing.
+func (e *ShmEndpoint) parkPoller(spins int) bool {
+	for peer, r := range e.in {
+		if r != nil && !e.dead[peer] {
+			r.consParked.Store(1)
+		}
+	}
+	defer func() {
+		for peer, r := range e.in {
+			if r != nil && !e.dead[peer] {
+				r.consParked.Store(0)
+			}
+		}
+	}()
+	// Lost-wakeup guard: a producer reads the parked flag only after its
+	// commit is published, so either it sees the flag and signals, or this
+	// re-check sees the commit. The consumer's own cursor is compared, not
+	// the shared head — head lags consPos while aliased spans are out, and
+	// a fully-read ring must still park.
+	for peer, r := range e.in {
+		if r == nil || e.dead[peer] {
+			continue
+		}
+		if r.consPos != r.tail.Load() || r.prodClosed.Load() != 0 {
+			return true
+		}
+	}
+	if e.wake != nil {
+		select {
+		case <-e.wake:
+			return true
+		case <-e.done:
+			return false
+		}
+	}
+	// Cross-process: no shared wake channel exists, so sleep a bounded,
+	// escalating amount; producers still clear the parked flags as a hint.
+	d := time.Duration(spins-ringSpinBudget-ringYieldBudget) * 20 * time.Microsecond
+	if d > time.Millisecond {
+		d = time.Millisecond
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-e.done:
+		return false
+	}
+}
+
+// deliver forwards a decoded message (ownership included) to the inbox.
+// Returns false when the endpoint is closing, releasing the payload.
+func (e *ShmEndpoint) deliver(m comm.Message) bool {
+	select {
+	case e.inbox <- m:
+		return true
+	case <-e.done:
+		tensor.PutVector(m.Data)
+		return false
+	}
+}
+
+// handleRingFailure reacts to an incoming ring dying: nothing during our own
+// shutdown; otherwise the producing peer is unreachable (closed its ring —
+// EOF — or corrupted it). Corruption is recorded for ReadError diagnostics.
+// With a peer-failure handler the failure is scoped to the peer: our
+// outgoing ring toward it is aborted (failing pending sends, like closing a
+// TCP connection) and the handler invoked so the comm layer marks the rank
+// down. Without a handler, corruption closes the whole endpoint so blocked
+// receivers observe ErrClosed promptly instead of hanging; a clean EOF does
+// not.
+func (e *ShmEndpoint) handleRingFailure(peer int, cause error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	if !errors.Is(cause, io.EOF) {
+		e.readMu.Lock()
+		if e.readErr == nil {
+			e.readErr = cause
+		}
+		e.readMu.Unlock()
+	}
+	if fns := e.recordPeerFailure(peer, cause); len(fns) > 0 {
+		if r := e.out[peer]; r != nil {
+			r.abortProducer() // fail pending sends toward the dead peer too
+		}
+		for _, fn := range fns {
+			fn(peer, cause)
+		}
+		return
+	}
+	if !errors.Is(cause, io.EOF) {
+		// Close must run off this goroutine: it joins the poller.
+		go e.Close()
+	}
+}
+
+// NewShmWorld builds an in-process shared-ring hub for size ranks and returns
+// one ready-to-use Communicator per rank. Unlike NewInprocWorld, each
+// communicator owns its endpoint's lifetime (closing one looks like that rank
+// exiting, as with TCP); close all of them.
+func NewShmWorld(size int) []*comm.Communicator {
+	hub := NewShmHub(size)
+	world := make([]*comm.Communicator, size)
+	for r := 0; r < size; r++ {
+		world[r] = comm.NewCommunicator(hub.Endpoint(r))
+	}
+	return world
+}
+
+// ShmConfig describes one rank of a cross-process shared-memory job: a
+// directory every rank can reach (ideally tmpfs, e.g. /dev/shm), this
+// process's rank, and the job size.
+type ShmConfig struct {
+	Dir         string
+	Rank        int
+	Size        int
+	RingBytes   int           // per-ring data capacity (default DefaultRingBytes)
+	AttachRetry time.Duration // total time to keep waiting for peers' rings (default 5s)
+}
+
+// unmapTeardown adapts a ring's consumer-side unmap (nil for in-process
+// rings) into the teardown retireAliases defers behind outstanding aliases.
+func unmapTeardown(unmap func() error) func() {
+	if unmap == nil {
+		return nil
+	}
+	return func() { unmap() }
+}
+
+// shmRingPath names the backing file of the (producer → consumer) ring.
+func shmRingPath(dir string, producer, consumer int) string {
+	return filepath.Join(dir, fmt.Sprintf("eagersgd-ring-%d-%d.shm", producer, consumer))
+}
+
+// NewShmEndpoint joins a cross-process shared-memory job: it creates and
+// initializes the mmap-backed rings this rank produces (unlinked again on
+// Close), attaches to the rings its peers produce (retrying until each
+// appears or the retry budget is exhausted), and starts the poller. Requires
+// a platform with mmap; elsewhere it fails with a descriptive error.
+func NewShmEndpoint(cfg ShmConfig) (*ShmEndpoint, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("transport: shm job size %d must be positive", cfg.Size)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("transport: rank %d out of range for job size %d", cfg.Rank, cfg.Size)
+	}
+	capacity := ringCapacity(cfg.RingBytes)
+	retry := cfg.AttachRetry
+	if retry <= 0 {
+		retry = 5 * time.Second
+	}
+
+	in := make([]*ringBuffer, cfg.Size)
+	out := make([]*ringBuffer, cfg.Size)
+	var cleanups []func() // endpoint-owned teardown, run at the end of Close
+	var undo []func()     // constructor-failure teardown: everything mapped so far
+	fail := func(err error) (*ShmEndpoint, error) {
+		for _, fn := range undo {
+			fn()
+		}
+		return nil, err
+	}
+
+	// Create the rings this rank produces first, so peers polling for them
+	// see every rank's rings appear regardless of startup order.
+	for peer := 0; peer < cfg.Size; peer++ {
+		if peer == cfg.Rank {
+			continue
+		}
+		path := shmRingPath(cfg.Dir, cfg.Rank, peer)
+		region, unmap, err := createRingFile(path, ringHdrSize+capacity)
+		if err != nil {
+			return fail(fmt.Errorf("transport: create ring %s: %w", path, err))
+		}
+		remove := func() {
+			unmap()
+			os.Remove(path)
+		}
+		cleanups = append(cleanups, remove)
+		undo = append(undo, remove)
+		r, err := initRingRegion(region, capacity)
+		if err != nil {
+			return fail(err)
+		}
+		out[peer] = r
+	}
+
+	// Attach to the rings our peers produce.
+	deadline := time.Now().Add(retry)
+	for peer := 0; peer < cfg.Size; peer++ {
+		if peer == cfg.Rank {
+			continue
+		}
+		path := shmRingPath(cfg.Dir, peer, cfg.Rank)
+		r, unmap, err := attachRingFile(path, deadline)
+		if err != nil {
+			return fail(fmt.Errorf("transport: attach ring %s: %w", path, err))
+		}
+		// The consumer-side unmap is owned by the ring, not the endpoint
+		// cleanup list: Close routes it through retireAliases so the region
+		// outlives any zero-copy views still held by the receiver.
+		r.unmap = unmap
+		undo = append(undo, func() { unmap() })
+		in[peer] = r
+	}
+
+	e := newShmEndpoint(cfg.Rank, cfg.Size, in, out, nil)
+	e.cleanups = cleanups
+	return e, nil
+}
+
+// createRingFile creates (or re-truncates) a ring backing file of the given
+// size and maps it shared.
+func createRingFile(path string, size int) ([]byte, func() error, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	// Truncating to zero first wipes any leftover from a crashed run, so a
+	// stale magic word can never let a peer attach to garbage.
+	if err := f.Truncate(0); err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		return nil, nil, err
+	}
+	return mmapFile(f, size)
+}
+
+// attachRingFile opens a peer's ring backing file, waiting until the file
+// exists, has its full size, and carries the magic word (the producer
+// publishes it last), then binds a ringBuffer to the mapping.
+func attachRingFile(path string, deadline time.Time) (*ringBuffer, func() error, error) {
+	var lastErr error
+	for {
+		r, unmap, err := tryAttachRingFile(path)
+		if err == nil {
+			return r, unmap, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, nil, fmt.Errorf("peer ring never became ready: %w", lastErr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func tryAttachRingFile(path string) (*ringBuffer, func() error, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() < ringHdrSize {
+		return nil, nil, fmt.Errorf("ring file %s holds %d bytes, producer still initializing", path, st.Size())
+	}
+	region, unmap, err := mmapFile(f, int(st.Size()))
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := attachRingRegion(region)
+	if err != nil {
+		unmap()
+		return nil, nil, err
+	}
+	return r, unmap, nil
+}

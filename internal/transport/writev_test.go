@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// gatedBuffersConn is a net.Conn stub whose vectored-write hook blocks until
+// the test releases it, so the test controls exactly when each batch flushes
+// and can count how many flushes a workload produced.
+type gatedBuffersConn struct {
+	gate    chan struct{} // one token admits one WriteBuffers call
+	entered chan struct{} // signaled when a WriteBuffers call begins waiting
+
+	mu    sync.Mutex
+	calls int
+	got   bytes.Buffer
+	fail  error // returned (with a partial count) instead of writing
+}
+
+func newGatedBuffersConn() *gatedBuffersConn {
+	return &gatedBuffersConn{gate: make(chan struct{}), entered: make(chan struct{}, 16)}
+}
+
+func (c *gatedBuffersConn) WriteBuffers(bufs *net.Buffers) (int64, error) {
+	c.entered <- struct{}{}
+	<-c.gate
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.fail != nil {
+		return 0, c.fail
+	}
+	return bufs.WriteTo(&c.got)
+}
+
+func (c *gatedBuffersConn) snapshot() (int, []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls, append([]byte(nil), c.got.Bytes()...)
+}
+
+func (c *gatedBuffersConn) Write(b []byte) (int, error) {
+	panic("transport: vectored writer fell back to Write")
+}
+func (c *gatedBuffersConn) Read(b []byte) (int, error)         { select {} }
+func (c *gatedBuffersConn) Close() error                       { return nil }
+func (c *gatedBuffersConn) LocalAddr() net.Addr                { return nil }
+func (c *gatedBuffersConn) RemoteAddr() net.Addr               { return nil }
+func (c *gatedBuffersConn) SetDeadline(t time.Time) error      { return nil }
+func (c *gatedBuffersConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *gatedBuffersConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestWriterCoalescesBatchIntoSingleVectoredWrite is the writev regression
+// test: while one flush is in flight, every concurrently staged frame must
+// leave in ONE vectored write when the flusher loops — not one write per
+// frame — and every sender must still observe group-commit success.
+func TestWriterCoalescesBatchIntoSingleVectoredWrite(t *testing.T) {
+	conn := newGatedBuffersConn()
+	w := newTCPWriter(conn)
+
+	first := make(chan error, 1)
+	go func() {
+		first <- w.send(comm.Message{Source: 0, Tag: 0, Data: leasedVector(8, 0)})
+	}()
+	<-conn.entered // the first sender is now the flusher, blocked in writev
+
+	// Stage a burst behind the in-flight flush.
+	const burst = 8
+	rest := make(chan error, burst)
+	for i := 1; i <= burst; i++ {
+		go func(i int) {
+			rest <- w.send(comm.Message{Source: 0, Tag: i, Data: leasedVector(8, float64(100*i))})
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w.mu.Lock()
+		staged := w.pendBytes
+		w.mu.Unlock()
+		if staged == burst*(12+8*8) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("burst never fully staged: %d bytes pending", staged)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	conn.gate <- struct{}{} // release the first flush (the lone first frame)
+	<-conn.entered          // the flusher picked up the batch and is in writev again
+	conn.gate <- struct{}{} // release the batch flush
+
+	if err := <-first; err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	for i := 0; i < burst; i++ {
+		if err := <-rest; err != nil {
+			t.Fatalf("coalesced send: %v", err)
+		}
+	}
+
+	calls, raw := conn.snapshot()
+	if calls != 2 {
+		t.Fatalf("batch of %d frames took %d vectored writes, want 2 (lone first frame + one coalesced batch)", burst+1, calls)
+	}
+	// The stream must decode to all 9 frames, intact.
+	var scratch []byte
+	r := bytes.NewReader(raw)
+	seen := make(map[int]bool)
+	for {
+		m, err := decodeFrame(r, &scratch)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decode flushed stream: %v", err)
+		}
+		if len(m.Data) != 8 || m.Data[0] != float64(100*m.Tag) {
+			t.Fatalf("frame tag %d carries payload %v", m.Tag, m.Data[0])
+		}
+		if seen[m.Tag] {
+			t.Fatalf("frame tag %d flushed twice", m.Tag)
+		}
+		seen[m.Tag] = true
+		tensor.PutVector(m.Data)
+	}
+	if len(seen) != burst+1 {
+		t.Fatalf("flushed stream holds %d frames, want %d", len(seen), burst+1)
+	}
+}
+
+// TestWriterVectoredWriteFailureAttribution: a failed vectored write must
+// error every sender whose frame the kernel did not accept, release all
+// staged payload leases, and stay sticky for later sends.
+func TestWriterVectoredWriteFailureAttribution(t *testing.T) {
+	before := tensor.ReadPoolStats()
+	conn := newGatedBuffersConn()
+	w := newTCPWriter(conn)
+
+	first := make(chan error, 1)
+	go func() {
+		first <- w.send(comm.Message{Source: 0, Tag: 0, Data: leasedVector(8, 0)})
+	}()
+	<-conn.entered
+	second := make(chan error, 1)
+	go func() {
+		second <- w.send(comm.Message{Source: 0, Tag: 1, Data: leasedVector(8, 0)})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w.mu.Lock()
+		staged := w.pendBytes
+		w.mu.Unlock()
+		if staged > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second frame never staged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	conn.mu.Lock()
+	conn.fail = errors.New("connection reset by peer")
+	conn.mu.Unlock()
+	conn.gate <- struct{}{} // the first flush fails with zero bytes accepted
+
+	if err := <-first; err == nil {
+		t.Fatal("first send succeeded although its frame was never written")
+	}
+	if err := <-second; err == nil {
+		t.Fatal("coalesced send succeeded although its frame was never written")
+	}
+	// The error is sticky: later sends fail fast without staging.
+	if err := w.send(comm.Message{Source: 0, Tag: 2, Data: leasedVector(8, 0)}); err == nil {
+		t.Fatal("send after write failure succeeded")
+	}
+	if n := tensor.ReadPoolStats().OutstandingSince(before); n != 0 {
+		t.Fatalf("failed writes leaked %d pool leases%s", n, tensor.FormatLeaseReport())
+	}
+}
