@@ -292,7 +292,7 @@ func (s *syncReducer) ensureStreams() *bucketStreams {
 		st.wg.Add(1)
 		go func(i int) {
 			defer st.wg.Done()
-			cfg := collectives.Config{SegmentElems: s.segElems, TagOffset: collectives.BucketStreamTagOffset(i), PeerDeadline: s.peerDeadline}
+			cfg := collectives.Config{SegmentElems: s.segElems, TagOffset: s.tagShift + collectives.BucketStreamTagOffset(i), PeerDeadline: s.peerDeadline}
 			for {
 				st.mu.Lock()
 				for len(st.qs[i]) == 0 && !st.closed {
@@ -376,7 +376,7 @@ func (s *syncReducer) BeginStep(ctx context.Context, lens []int) error {
 	if s.negotiate {
 		ready := tensor.GetVector(1)
 		ready[0] = 1
-		err := collectives.AllreduceWith(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, collectives.Config{PeerDeadline: s.peerDeadline}, ctx.Done())
+		err := collectives.AllreduceWith(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, collectives.Config{TagOffset: s.tagShift, PeerDeadline: s.peerDeadline}, ctx.Done())
 		tensor.PutVector(ready)
 		if err != nil {
 			return ctxError(ctx, err)
@@ -454,7 +454,7 @@ func (s *syncReducer) WaitStep(ctx context.Context) (Result, error) {
 					}
 				}
 				lo, hi := collectives.BucketStreamTagRange()
-				s.comm.DiscardTagRange(lo, hi)
+				s.comm.DiscardTagRange(lo+s.tagShift, hi+s.tagShift)
 				return Result{}, ctxError(ctx, firstErr)
 			}
 		}
@@ -635,7 +635,7 @@ func (e *eagerReducer) launchSyncStep(ctx context.Context, st *eagerStep, lens, 
 		st.syncWG.Add(1)
 		go func(i int) {
 			defer st.syncWG.Done()
-			cfg := collectives.Config{SegmentElems: e.segElems, TagOffset: collectives.BucketStreamTagOffset(i), PeerDeadline: e.peerDeadline}
+			cfg := collectives.Config{SegmentElems: e.segElems, TagOffset: e.tagShift + collectives.BucketStreamTagOffset(i), PeerDeadline: e.peerDeadline}
 			for b := i; b < len(lens); b += streams {
 				h := st.handles[b]
 				seg := sum[offs[b] : offs[b]+lens[b]]

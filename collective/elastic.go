@@ -1,0 +1,363 @@
+package collective
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"eagersgd/internal/collectives"
+	"eagersgd/internal/comm"
+	"eagersgd/internal/membership"
+	"eagersgd/internal/partial"
+	"eagersgd/internal/tensor"
+)
+
+// ParamSyncer is implemented by the epoch-aware reducers Node.Reducer mints:
+// SyncParams averages the model replicas across the current epoch's members.
+// Trainers that synchronize replicas periodically (eager-SGD's bounded
+// divergence, the final model average) must do it through this method on
+// elastic worlds — it runs inside the same drain barrier as the gradient
+// exchange, so an epoch transition can never split or orphan the synchronous
+// collective it issues, and its tags follow the epoch's namespace.
+type ParamSyncer interface {
+	// SyncParams sums params across all members in place, scales by the member
+	// count, and returns that count. A zero deadline blocks indefinitely on a
+	// silent peer; pass the world's WithPeerDeadline value to fail typed.
+	SyncParams(params tensor.Vector, deadline time.Duration) (int, error)
+}
+
+// elasticReducer is the Reducer every Node.Reducer call returns: a thin
+// epoch-aware wrapper around the real (sync or eager) reducer of the current
+// epoch. It is the world's drain barrier — an epoch transition flips the
+// wrapper into draining, new steps park at the gate while in-flight ones run
+// to completion, and once every wrapper in the world is idle the old epoch's
+// inner reducers are retired and fresh ones minted over the new epoch's
+// communicators. Training loops never observe the swap: the same Reducer
+// value keeps working across epochs, with Result.Ranks and the participant
+// set following the membership.
+type elasticReducer struct {
+	node *Node
+	dim  int
+	cfg  config // merged option set at mint time; epoch is stamped per remint
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	inner       Reducer
+	epoch       uint64
+	active      int           // in-flight operations on inner (Reduce calls and whole bucketed steps)
+	rounds      uint64        // operations completed since mint — the drain allowance is measured in these
+	guarded     int           // open TrainStepper brackets; nested operations bypass the gate
+	stepInner   BucketReducer // inner bound by an open bucketed step, nil between steps
+	draining    bool
+	drainTarget uint64 // while draining: admit ops until rounds reaches this
+	closed      bool
+}
+
+// TrainStepper is implemented by the epoch-aware reducers Node.Reducer mints:
+// it brackets one whole training step — gradient compute, exchange, optimizer
+// update, periodic synchronization — as a single operation at the world's
+// drain barrier. With the bracket in place an epoch transition only ever
+// observes step boundaries, so state providers snapshot parameters and step
+// counters that are never mid-update, and every survivor hands off at the
+// same step in synchronous modes. The reducer operations issued between
+// BeginTrainStep and EndTrainStep (same goroutine) bypass the gate — they are
+// part of the bracketed operation, not new ones.
+type TrainStepper interface {
+	// BeginTrainStep passes the drain gate and opens the bracket; it returns
+	// ErrReducerClosed once the reducer (or its world) has closed.
+	BeginTrainStep() error
+	// EndTrainStep closes the bracket opened by the matching BeginTrainStep.
+	EndTrainStep()
+}
+
+// BeginTrainStep implements TrainStepper.
+func (r *elasticReducer) BeginTrainStep() error {
+	if _, err := r.beginOp(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.guarded++
+	r.mu.Unlock()
+	return nil
+}
+
+// EndTrainStep implements TrainStepper.
+func (r *elasticReducer) EndTrainStep() {
+	r.mu.Lock()
+	r.guarded--
+	r.mu.Unlock()
+	r.endOp()
+}
+
+func newElasticReducer(n *Node, dim int, cfg config, epoch uint64, c *comm.Communicator) (*elasticReducer, error) {
+	inner, err := NewReducer(c, dim, func(cc *config) { *cc = cfg; cc.epoch = epoch })
+	if err != nil {
+		return nil, err
+	}
+	r := &elasticReducer{node: n, dim: dim, cfg: cfg, inner: inner, epoch: epoch}
+	r.cond = sync.NewCond(&r.mu)
+	return r, nil
+}
+
+// beginOp gates one operation through the drain barrier: while a transition
+// is draining, new operations are admitted only up to the drain allowance
+// (see beginDrain), then park. Admitted operations pin the current inner
+// reducer until endOp.
+func (r *elasticReducer) beginOp() (Reducer, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.draining && r.rounds >= r.drainTarget && r.guarded == 0 && !r.closed {
+		r.cond.Wait()
+	}
+	if r.closed {
+		return nil, ErrReducerClosed
+	}
+	r.active++
+	return r.inner, nil
+}
+
+func (r *elasticReducer) endOp() {
+	r.mu.Lock()
+	r.active--
+	r.rounds++
+	r.cond.Broadcast() // wake a drain waiting for idle, or an op parked under the allowance
+	r.mu.Unlock()
+}
+
+// beginDrain flips the barrier: no further operations are admitted (the
+// allowance starts at the rounds already completed) but in-flight ones keep
+// running. It returns the number of operations started so far — completed
+// plus in-flight — which the transition folds into the matched group's
+// allowance (allowRounds): synchronous collectives are lockstep, so a member
+// mid-collective needs its peers' matching round, and a hard gate here would
+// deadlock the drain against the very steps it waits for.
+func (r *elasticReducer) beginDrain() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.draining = true
+	r.drainTarget = r.rounds
+	return r.rounds + uint64(r.active)
+}
+
+// allowRounds raises the drain allowance so members behind the group's
+// furthest round catch up instead of starving a lockstep peer.
+func (r *elasticReducer) allowRounds(target uint64) {
+	r.mu.Lock()
+	if target > r.drainTarget {
+		r.drainTarget = target
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// awaitIdle blocks until the reducer has no in-flight operation. Operations
+// wedged on a dead peer complete with an error once the failure detector
+// (WithPeerDeadline) fires or the epoch's transport closes; elastic worlds
+// should configure a peer deadline so a drain never outwaits a silent rank.
+// The gate may still admit catch-up rounds afterwards — quiesceReducers is
+// the atomic completion check.
+func (r *elasticReducer) awaitIdle() {
+	r.mu.Lock()
+	for r.active > 0 {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// quiesceReducers completes a drain: if every reducer is idle at one instant,
+// it revokes their remaining catch-up allowances under the same critical
+// section — no operation can slip in afterwards — and reports true. If any
+// reducer is still active it changes nothing and reports false; the caller
+// re-waits. Allowances are revoked rather than run dry because a member whose
+// operations errored (dead peer) stops pumping below the group target, and
+// the outgoing epoch's wire state is discarded wholesale anyway.
+func quiesceReducers(rs []*elasticReducer) bool {
+	for i, r := range rs {
+		r.mu.Lock()
+		if r.active > 0 {
+			for j := 0; j <= i; j++ {
+				rs[j].mu.Unlock()
+			}
+			return false
+		}
+	}
+	for _, r := range rs {
+		r.drainTarget = r.rounds
+		r.mu.Unlock()
+	}
+	return true
+}
+
+// undrain lifts the barrier and wakes parked operations, either onto the
+// freshly minted epoch (after remint) or back onto the old one (transition
+// aborted).
+func (r *elasticReducer) undrain() {
+	r.mu.Lock()
+	r.draining = false
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// remint builds the new epoch's inner reducer over the given communicator and
+// returns the retired one for the transition to close and join with the old
+// generation. Only called with the barrier down and the reducer idle.
+func (r *elasticReducer) remint(c *comm.Communicator, epoch uint64) (Reducer, error) {
+	inner, err := NewReducer(c, r.dim, func(cc *config) { *cc = r.cfg; cc.epoch = epoch })
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	old := r.inner
+	r.inner = inner
+	r.epoch = epoch
+	// Round counters restart with the epoch. Drain allowances compare these
+	// counters ACROSS members (the group target is a max over the matched
+	// reducers), which is only meaningful while everyone counts from the
+	// same origin: a joiner's fresh reducer starts at zero, so a survivor
+	// carrying its lifetime count would hand the next transition a target
+	// the joiner's gate check reads as "run freely" — it would keep starting
+	// steps its gated peers can never serve, wedging the drain.
+	r.rounds = 0
+	r.drainTarget = 0
+	r.mu.Unlock()
+	return old, nil
+}
+
+// markClosed closes the barrier permanently and closes the current inner
+// reducer, waking every parked operation with ErrReducerClosed. Idempotent.
+func (r *elasticReducer) markClosed() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	inner := r.inner
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return inner.Close()
+}
+
+// Reduce runs one reduction on the current epoch's reducer, waiting out any
+// in-flight membership transition first.
+func (r *elasticReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, error) {
+	inner, err := r.beginOp()
+	if err != nil {
+		return Result{}, err
+	}
+	defer r.endOp()
+	return inner.Reduce(ctx, grad)
+}
+
+// Close closes the reducer. The world's transition machinery stops touching
+// it once closed; inner engines are joined by World.Close.
+func (r *elasticReducer) Close() error { return r.markClosed() }
+
+// Name identifies the reducer in reports.
+func (r *elasticReducer) Name() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.inner.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return "elastic"
+}
+
+// Allreducer exposes the current epoch's partial allreducer for diagnostics
+// (NAP counters, designated initiators), or nil for Sync modes. The handle is
+// per-epoch: re-fetch it after a membership change.
+func (r *elasticReducer) Allreducer() *partial.Allreducer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.inner.(interface{ Allreducer() *partial.Allreducer }); ok {
+		return e.Allreducer()
+	}
+	return nil
+}
+
+// overlapSettings forwards the mint-time overlap configuration (OverlapSettings).
+func (r *elasticReducer) overlapSettings() (bool, int) { return r.cfg.overlap, r.cfg.bucketElems }
+
+// BeginStep opens a bucketed step. The whole step counts as one operation at
+// the drain barrier — a transition arriving mid-step waits for WaitStep, so an
+// epoch boundary never splits a step's buckets across two schedules.
+func (r *elasticReducer) BeginStep(ctx context.Context, lens []int) error {
+	inner, err := r.beginOp()
+	if err != nil {
+		return err
+	}
+	br, ok := inner.(BucketReducer)
+	if !ok {
+		r.endOp()
+		return ErrReducerClosed
+	}
+	if err := br.BeginStep(ctx, lens); err != nil {
+		r.endOp()
+		return err
+	}
+	r.mu.Lock()
+	r.stepInner = br
+	r.mu.Unlock()
+	return nil
+}
+
+// SubmitBucket forwards to the step's reducer.
+func (r *elasticReducer) SubmitBucket(ctx context.Context, offset int, data tensor.Vector) (*BucketHandle, error) {
+	r.mu.Lock()
+	br := r.stepInner
+	r.mu.Unlock()
+	if br == nil {
+		return nil, ErrReducerClosed // data is borrowed, so nothing to release
+	}
+	return br.SubmitBucket(ctx, offset, data)
+}
+
+// WaitStep completes the step and releases the reducer's slot at the drain
+// barrier.
+func (r *elasticReducer) WaitStep(ctx context.Context) (Result, error) {
+	r.mu.Lock()
+	br := r.stepInner
+	r.stepInner = nil
+	r.mu.Unlock()
+	if br == nil {
+		return Result{}, ErrReducerClosed
+	}
+	defer r.endOp()
+	return br.WaitStep(ctx)
+}
+
+// SyncParams implements ParamSyncer: one synchronous allreduce over the
+// current epoch's members, gated by the drain barrier exactly like a
+// reduction — every member issues the same SPMD sequence of reductions and
+// syncs, so the barrier's catch-up allowance keeps the collectives matched
+// across an epoch boundary.
+func (r *elasticReducer) SyncParams(params tensor.Vector, deadline time.Duration) (int, error) {
+	if _, err := r.beginOp(); err != nil {
+		return 0, err
+	}
+	defer r.endOp()
+	r.mu.Lock()
+	epoch := r.epoch
+	r.mu.Unlock()
+	// The node's communicator and this reducer's epoch move together: both are
+	// swapped while the barrier holds every operation out.
+	c := r.node.Communicator()
+	if err := collectives.AllreduceWith(c, params, collectives.OpSum, collectives.AlgoAuto,
+		collectives.Config{PeerDeadline: deadline, TagOffset: membership.CollectiveTagShift(epoch)}, nil); err != nil {
+		return 0, err
+	}
+	size := c.Size()
+	params.Scale(1 / float64(size))
+	return size, nil
+}
+
+// joinEngine joins the current inner engine's goroutines; retired epochs'
+// engines are joined when their generation is retired.
+func (r *elasticReducer) joinEngine() {
+	r.mu.Lock()
+	inner := r.inner
+	r.mu.Unlock()
+	if j, ok := inner.(engineJoiner); ok {
+		j.joinEngine()
+	}
+}

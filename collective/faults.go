@@ -26,48 +26,70 @@ type (
 var ErrRankCrashed = faults.ErrCrashed
 
 // FaultInjector returns the injector executing the world's WithFaults
-// scenario, or nil when the world was built without one. Training loops call
-// AdvanceStep on it at step boundaries so crash-at-step scripts fire
-// deterministically; chaos tests use it to crash ranks and cut links at
-// runtime.
-func (w *World) FaultInjector() *FaultInjector { return w.injector }
+// scenario over the current epoch's transports, or nil when the world was
+// built without one. Training loops call AdvanceStep on it at step boundaries
+// so crash-at-step scripts fire deterministically; chaos tests use it to
+// crash ranks and cut links at runtime. Each epoch runs its own injector —
+// re-fetch the handle after a membership change (OnMembershipChange), because
+// the previous epoch's injector retires with its transports.
+func (w *World) FaultInjector() *FaultInjector {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen.injector
+}
 
-// PeerStatus is one rank's health as observed by the world's failure
+// PeerStatus is one member's health as observed by the world's failure
 // detectors.
 type PeerStatus struct {
-	// Rank identifies the rank.
+	// Rank is the member's dense rank index within Epoch.
 	Rank int
-	// Up is false once any node's communicator has marked the rank down (or
-	// an injected fault scenario crashed it).
+	// ID is the member's stable identity, constant across epochs; health
+	// tracked across a reconfiguration must key on this, not on Rank, which
+	// is reassigned at every epoch boundary.
+	ID RankID
+	// Epoch is the membership epoch this status describes.
+	Epoch uint64
+	// Up is false once any node's communicator has marked the member down
+	// (or an injected fault scenario crashed it).
 	Up bool
 	// Err is the first cause recorded for the marking (nil while up): a
 	// transport read failure, comm.ErrPeerDeadline, or an injected crash.
 	Err error
 }
 
-// Peers returns the per-rank health view of the world: rank r is reported
-// down as soon as any node's failure detector marked it down, or the fault
-// injector crashed it. A world without failures (and without deadlines or
-// fault injection configured) reports every rank up.
+// Peers returns the per-member health view of the current epoch: the member
+// at dense rank r is reported down as soon as any node's failure detector
+// marked it down, or the fault injector crashed it. A world without failures
+// (and without deadlines or fault injection configured) reports every member
+// up. This is the health view the epoch-transition coordinator election
+// consumes.
 func (w *World) Peers() []PeerStatus {
-	out := make([]PeerStatus, len(w.nodes))
+	w.mu.Lock()
+	gen := w.gen
+	nodes := append([]*Node(nil), w.nodes...)
+	w.mu.Unlock()
+	view := w.tracker.View()
+	out := make([]PeerStatus, len(nodes))
 	for r := range out {
-		out[r] = PeerStatus{Rank: r, Up: true}
+		out[r] = PeerStatus{Rank: r, Up: true, Epoch: view.Epoch}
+		if r < len(view.Members) {
+			out[r].ID = view.Members[r].ID
+		}
 	}
-	for _, n := range w.nodes {
+	for _, c := range gen.comms {
 		for r := range out {
 			if !out[r].Up {
 				continue
 			}
-			if err := n.comm.PeerError(r); err != nil {
+			if err := c.PeerError(r); err != nil {
 				out[r].Up = false
 				out[r].Err = err
 			}
 		}
 	}
-	if w.injector != nil {
+	if gen.injector != nil {
 		for r := range out {
-			if out[r].Up && w.injector.Crashed(r) {
+			if out[r].Up && gen.injector.Crashed(r) {
 				out[r].Up = false
 				out[r].Err = faults.ErrCrashed
 			}

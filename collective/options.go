@@ -29,6 +29,14 @@ type config struct {
 	peerDeadline time.Duration
 	faults       *faults.Scenario
 	hosts        []int
+	dialRetry    time.Duration
+
+	// epoch and epochShift are internal: elastic worlds stamp them on the
+	// option set handed to reducer construction so every reducer of epoch e
+	// places its wire traffic in e's tag blocks (membership.CollectiveTagShift
+	// / membership.PartialBaseTag). Both are zero for fixed worlds and
+	// standalone NewReducer calls, which keeps the pre-elastic wire layout.
+	epoch uint64
 }
 
 func defaultConfig() config {
@@ -182,6 +190,24 @@ func WithFaults(sc FaultScenario) Option {
 // which are entirely same-host by construction, ignore the placement.
 func WithHosts(hosts ...int) Option {
 	return func(c *config) { c.hosts = append([]int(nil), hosts...) }
+}
+
+// WithDialRetry sets the total wall-clock budget a TCP world's dials keep
+// retrying before giving up, covering both world bootstrap (every rank dialing
+// its higher-ranked peers) and joiners dialing into an epoch transition. The
+// retry loop backs off exponentially with jitter inside this window, so a
+// large budget costs nothing once the peer is up. Zero (the default) keeps the
+// transport's default window. Ignored by Inproc and Shm worlds, whose
+// endpoints rendezvous in memory.
+func WithDialRetry(d time.Duration) Option {
+	return func(c *config) { c.dialRetry = d }
+}
+
+// withEpoch stamps the epoch whose tag blocks reducers built from this config
+// must use. Internal: applied by elastic worlds when re-minting reducers after
+// a transition.
+func withEpoch(e uint64) Option {
+	return func(c *config) { c.epoch = e }
 }
 
 // WithBucketLayout fixes the reducer's bucket layout at construction: lens

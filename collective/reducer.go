@@ -9,6 +9,7 @@ import (
 
 	"eagersgd/internal/collectives"
 	"eagersgd/internal/comm"
+	"eagersgd/internal/membership"
 	"eagersgd/internal/partial"
 	"eagersgd/internal/tensor"
 )
@@ -39,16 +40,25 @@ func NewReducer(c *comm.Communicator, dim int, opts ...Option) (Reducer, error) 
 			return nil, err
 		}
 	}
+	// Epoch tag namespacing (elastic worlds): every collective of epoch e is
+	// shifted into e's private tag block, so a straggler frame from a retired
+	// epoch can be recognized and discarded instead of matching a same-tag
+	// receive of the current one. Epoch 0 shifts by zero — fixed worlds and
+	// standalone reducers keep the pre-elastic wire layout.
+	tagShift := membership.CollectiveTagShift(cfg.epoch)
 	switch cfg.mode.kind {
 	case kindSync:
 		return &syncReducer{
 			comm: c, dim: dim, algo: algo,
 			chunks: cfg.chunks, negotiate: cfg.negotiate, segElems: cfg.segElems,
 			overlap: cfg.overlap, bucketElems: cfg.bucketElems,
-			peerDeadline: cfg.peerDeadline,
+			peerDeadline: cfg.peerDeadline, tagShift: tagShift,
 		}, nil
 	case kindSolo, kindMajority, kindQuorum:
-		popts := partial.Options{Seed: cfg.seed, Buckets: cfg.layout, PeerDeadline: cfg.peerDeadline}
+		popts := partial.Options{
+			Seed: cfg.seed, Buckets: cfg.layout, PeerDeadline: cfg.peerDeadline,
+			BaseTag: membership.PartialBaseTag(cfg.epoch),
+		}
 		switch cfg.mode.kind {
 		case kindSolo:
 			popts.Mode = partial.Solo
@@ -69,6 +79,7 @@ func NewReducer(c *comm.Communicator, dim int, opts ...Option) (Reducer, error) 
 			overlap:      cfg.overlap,
 			bucketElems:  cfg.bucketElems,
 			peerDeadline: cfg.peerDeadline,
+			tagShift:     tagShift,
 		}
 		e.lens, e.offs = e.layoutOf()
 		return e, nil
@@ -117,6 +128,7 @@ type syncReducer struct {
 	overlap      bool
 	bucketElems  int
 	peerDeadline time.Duration
+	tagShift     int // epoch tag-block shift (membership.CollectiveTagShift)
 
 	// mu guards the bucketed-step fields below: the step API itself is
 	// driven by one goroutine (the rank's training loop), but Close may be
@@ -156,14 +168,14 @@ func (s *syncReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, e
 		// allreduce over the whole gradient.
 		ready := tensor.GetVector(1)
 		ready[0] = 1
-		err := collectives.AllreduceWith(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, collectives.Config{PeerDeadline: s.peerDeadline}, cancel)
+		err := collectives.AllreduceWith(s.comm, ready, collectives.OpSum, collectives.AlgoRecursiveDoubling, collectives.Config{TagOffset: s.tagShift, PeerDeadline: s.peerDeadline}, cancel)
 		tensor.PutVector(ready)
 		if err != nil {
 			tensor.PutVector(sum)
 			return Result{}, ctxError(ctx, err)
 		}
 	}
-	wireCfg := collectives.Config{SegmentElems: s.segElems, PeerDeadline: s.peerDeadline}
+	wireCfg := collectives.Config{SegmentElems: s.segElems, TagOffset: s.tagShift, PeerDeadline: s.peerDeadline}
 	if s.chunks > 1 {
 		for i := 0; i < s.chunks; i++ {
 			lo, hi := tensor.ChunkBounds(len(sum), s.chunks, i)
@@ -201,6 +213,7 @@ type eagerReducer struct {
 	overlap      bool
 	bucketElems  int
 	peerDeadline time.Duration
+	tagShift     int            // epoch tag-block shift (membership.CollectiveTagShift)
 	reapers      sync.WaitGroup // detached periodic-sync reapers (bucket.go)
 	lens, offs   []int          // the engine's fixed bucket layout (layoutOf)
 	stepBuf      tensor.Vector  // staging buffer for the in-flight step's buckets
@@ -230,7 +243,7 @@ func (e *eagerReducer) Reduce(ctx context.Context, grad tensor.Vector) (Result, 
 		drained := e.ar.DrainPending()
 		sum := tensor.GetVectorCopy(grad)
 		sum.Add(drained)
-		if err := collectives.AllreduceWith(e.comm, sum, collectives.OpSum, e.algo, collectives.Config{SegmentElems: e.segElems, PeerDeadline: e.peerDeadline}, ctx.Done()); err != nil {
+		if err := collectives.AllreduceWith(e.comm, sum, collectives.OpSum, e.algo, collectives.Config{SegmentElems: e.segElems, TagOffset: e.tagShift, PeerDeadline: e.peerDeadline}, ctx.Done()); err != nil {
 			// Preserve the no-gradient-lost guarantee: the fresh gradient and
 			// the drained stale contributions return to the send buffer and
 			// are delivered in a later round.

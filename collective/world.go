@@ -6,41 +6,90 @@ import (
 
 	"eagersgd/internal/comm"
 	"eagersgd/internal/faults"
+	"eagersgd/internal/membership"
 	"eagersgd/internal/transport"
 )
 
-// World is a fixed-size collective job: one Node per rank over a shared
+// World is an elastic collective job: one Node per member over a shared
 // transport, built from a single NewWorld call. All ranks live in this
 // process (goroutines over channels for Inproc, loopback sockets for TCP),
 // which is the deployment every experiment and test in this repository uses;
 // multi-process TCP jobs construct their endpoints individually and use
 // NewReducer directly.
 //
-// Closing the world releases every rank's transport resources, whichever
+// Membership is versioned by epoch: the world starts at epoch 0 with the
+// NewWorld size, and Join, Leave, and Replace move it to the next epoch while
+// training runs (see membership.go). Each epoch owns a complete transport
+// generation — communicators, fault injector, tag blocks — retired wholesale
+// when the epoch ends, so traffic from different epochs can never mix.
+//
+// Closing the world releases every member's transport resources, whichever
 // transport is in use — callers must not rely on the in-process transport's
 // close-one-closes-all behaviour, which TCP does not share.
 type World struct {
-	cfg      config
-	nodes    []*Node
-	injector *faults.Injector // non-nil when built WithFaults
+	cfg config
 
-	mu       sync.Mutex
-	reducers []Reducer // every reducer minted via Node.Reducer, for Close
+	mu         sync.Mutex
+	nodes      []*Node // current epoch's members, dense rank order
+	gen        *generation
+	tracker    *membership.Tracker
+	subs       []func(Epoch)
+	portCursor int // next unused TCP base port (per-epoch port blocks)
+
+	// transMu serializes epoch transitions with each other and with Close.
+	// closing is closed by Close before it takes transMu, so an in-flight
+	// transition observes the shutdown at its next phase boundary and aborts.
+	transMu sync.Mutex
+	closing chan struct{}
 
 	closeOnce sync.Once
 	closeErr  error
 }
 
+// generation is one epoch's transport stack. A transition builds the next
+// generation, moves the nodes over, and retires this one.
+type generation struct {
+	epoch    uint64
+	comms    []*comm.Communicator // dense rank order of the generation's view
+	injector *faults.Injector     // non-nil when built WithFaults
+
+	commsOnce sync.Once // closeComms idempotence (Close can race a transition's retire)
+	commsErr  error
+}
+
+// closeComms closes the generation's communicators (and with them the
+// transport endpoints), idempotently.
+func (g *generation) closeComms() error {
+	g.commsOnce.Do(func() {
+		for _, c := range g.comms {
+			if err := c.Close(); err != nil && g.commsErr == nil {
+				g.commsErr = err
+			}
+		}
+	})
+	return g.commsErr
+}
+
 // engineJoiner is implemented by reducers with background goroutines that
-// only exit once the transport is closed; World.Close joins them after
-// closing the communicators.
+// only exit once the transport is closed; World.Close and generation
+// retirement join them after closing the communicators.
 type engineJoiner interface{ joinEngine() }
 
-// Node is one rank's view of a World: the handle reducers are minted from.
+// Node is one member's view of a World: the handle reducers are minted from.
+// The handle is stable across epochs — its ID never changes — while its dense
+// rank, communicator, and world size follow the membership.
 type Node struct {
 	world *World
-	comm  *comm.Communicator
-	rank  int
+	id    membership.RankID
+
+	mu            sync.Mutex
+	comm          *comm.Communicator
+	rank          int // dense rank in the current epoch
+	epoch         uint64
+	left          bool // no longer a member; operations fail
+	reducers      []*elasticReducer
+	stateProvider func() []float64
+	initState     []float64 // joiners: parameters fetched during admission
 }
 
 // NewWorld builds a world of size ranks over the configured transport.
@@ -51,6 +100,31 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 		return nil, fmt.Errorf("collective: world size %d must be positive", size)
 	}
 	cfg := defaultConfig().with(opts)
+	w := &World{
+		cfg:        cfg,
+		tracker:    membership.NewTracker(size),
+		portCursor: cfg.basePort,
+		closing:    make(chan struct{}),
+	}
+	gen, err := w.buildGeneration(0, size, true)
+	if err != nil {
+		return nil, err
+	}
+	w.gen = gen
+	w.nodes = make([]*Node, size)
+	for r := 0; r < size; r++ {
+		w.nodes[r] = &Node{world: w, id: membership.RankID(r), comm: gen.comms[r], rank: r}
+	}
+	return w, nil
+}
+
+// buildGeneration constructs the transport stack for one epoch's view.
+// firstEpoch permits the hybrid (WithHosts) upgrade, which only the founding
+// epoch supports. TCP generations consume a fresh block of consecutive ports
+// from the port cursor, so a retired epoch's lingering sockets can never
+// collide with the next epoch's listeners.
+func (w *World) buildGeneration(epoch uint64, size int, firstEpoch bool) (*generation, error) {
+	cfg := w.cfg
 	eps := make([]comm.Endpoint, size)
 	switch cfg.transport {
 	case Inproc:
@@ -59,14 +133,19 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 			eps[r] = hub.Endpoint(r)
 		}
 	case TCP:
-		teps, err := transport.NewTCPEndpoints(size, cfg.basePort)
+		basePort := w.portCursor
+		// The cursor advances past the block even on failure: a bind that
+		// lost a port race (ephemeral ports land anywhere) must make a
+		// retried transition probe fresh ports, not re-collide forever.
+		w.portCursor = basePort + size
+		teps, err := transport.NewTCPEndpointsRetry(size, basePort, cfg.dialRetry)
 		if err != nil {
 			return nil, fmt.Errorf("collective: tcp world: %w", err)
 		}
 		for r := 0; r < size; r++ {
 			eps[r] = teps[r]
 		}
-		if len(cfg.hosts) > 0 {
+		if firstEpoch && len(cfg.hosts) > 0 {
 			if err := mixWithSharedRings(eps, cfg.hosts); err != nil {
 				for _, ep := range eps {
 					ep.Close()
@@ -82,20 +161,23 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	default:
 		return nil, fmt.Errorf("collective: unknown transport %v", cfg.transport)
 	}
-	w := &World{cfg: cfg, nodes: make([]*Node, size)}
+	g := &generation{epoch: epoch}
 	if cfg.faults != nil {
 		// The injector interposes between every endpoint and its
 		// communicator, so all layers above experience the scenario's faults
-		// through their ordinary interfaces.
-		w.injector = faults.NewInjector(size, *cfg.faults)
+		// through their ordinary interfaces. Each generation runs its own
+		// injector: scripted per-rank state is per-epoch (a replaced rank's
+		// crash does not haunt its successor's dense slot).
+		g.injector = faults.NewInjector(size, *cfg.faults)
 		for r := range eps {
-			eps[r] = w.injector.Wrap(eps[r])
+			eps[r] = g.injector.Wrap(eps[r])
 		}
 	}
+	g.comms = make([]*comm.Communicator, size)
 	for r := 0; r < size; r++ {
-		w.nodes[r] = &Node{world: w, comm: comm.NewCommunicator(eps[r]), rank: r}
+		g.comms[r] = comm.NewCommunicator(eps[r])
 	}
-	return w, nil
+	return g, nil
 }
 
 // mixWithSharedRings upgrades a TCP world to a mixed-transport world per the
@@ -128,8 +210,12 @@ func mixWithSharedRings(eps []comm.Endpoint, hosts []int) error {
 	return nil
 }
 
-// Size returns the number of ranks in the world.
-func (w *World) Size() int { return len(w.nodes) }
+// Size returns the number of members in the current epoch.
+func (w *World) Size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.nodes)
+}
 
 // Transport returns the wire layer the world runs on.
 func (w *World) Transport() Transport { return w.cfg.transport }
@@ -137,45 +223,77 @@ func (w *World) Transport() Transport { return w.cfg.transport }
 // Mode returns the default reduction mode nodes mint reducers with.
 func (w *World) Mode() Mode { return w.cfg.mode }
 
-// Node returns the per-rank handle for rank r.
+// Node returns the per-member handle at dense rank r of the current epoch.
 func (w *World) Node(r int) *Node {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if r < 0 || r >= len(w.nodes) {
 		panic(fmt.Sprintf("collective: rank %d out of range [0,%d)", r, len(w.nodes)))
 	}
 	return w.nodes[r]
 }
 
-// Nodes returns all per-rank handles, indexed by rank.
+// Nodes returns the current epoch's member handles, indexed by dense rank.
 func (w *World) Nodes() []*Node {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	out := make([]*Node, len(w.nodes))
 	copy(out, w.nodes)
 	return out
 }
 
-// Close shuts down every rank's communicator and transport endpoint. It is
+// allReducers snapshots every live member's elastic reducers.
+func (w *World) allReducers() []*elasticReducer {
+	w.mu.Lock()
+	nodes := append([]*Node(nil), w.nodes...)
+	w.mu.Unlock()
+	var out []*elasticReducer
+	for _, n := range nodes {
+		n.mu.Lock()
+		out = append(out, n.reducers...)
+		n.mu.Unlock()
+	}
+	return out
+}
+
+// Close shuts down every member's communicator and transport endpoint. It is
 // the collective shutdown point of the job (call it after all ranks have
 // stopped reducing), is safe to call more than once, and returns the first
 // error encountered.
 //
-// Close first closes every reducer minted through Node.Reducer, so an
-// overlapped bucketed step caught in flight is released cleanly: queued
-// bucket submissions resolve with ErrReducerClosed and return their pooled
-// leases, pending handles and step waiters wake, and only then does the
-// transport go down — which in turn unblocks any bucket reduction already on
-// the wire with an error instead of a deadlock.
+// Close first signals any in-flight epoch transition to abort, closes every
+// reducer minted through Node.Reducer so an overlapped bucketed step caught
+// in flight is released cleanly (queued bucket submissions resolve with
+// ErrReducerClosed and return their pooled leases, pending handles and step
+// waiters wake), and closes the current generation's transports — which in
+// turn unblocks any bucket reduction already on the wire, and any drain a
+// transition is still waiting on. Only then does it wait for the transition
+// to finish aborting, join the reducer engines, and release the injector, so
+// shutdown leaks no pool leases no matter what phase it interrupted.
 func (w *World) Close() error {
 	w.closeOnce.Do(func() {
-		w.mu.Lock()
-		reducers := w.reducers
-		w.reducers = nil
-		w.mu.Unlock()
+		close(w.closing)
+		reducers := w.allReducers()
 		for _, r := range reducers {
-			if err := r.Close(); err != nil && w.closeErr == nil {
+			if err := r.markClosed(); err != nil && w.closeErr == nil {
 				w.closeErr = err
 			}
 		}
-		for _, n := range w.nodes {
-			if err := n.comm.Close(); err != nil && w.closeErr == nil {
+		w.mu.Lock()
+		gen := w.gen
+		w.mu.Unlock()
+		if err := gen.closeComms(); err != nil && w.closeErr == nil {
+			w.closeErr = err
+		}
+		// Wait for an in-flight transition to observe the shutdown and abort;
+		// it retires whatever half-built generation it was holding.
+		w.transMu.Lock()
+		defer w.transMu.Unlock()
+		w.mu.Lock()
+		final := w.gen
+		w.mu.Unlock()
+		if final != gen {
+			if err := final.closeComms(); err != nil && w.closeErr == nil {
 				w.closeErr = err
 			}
 		}
@@ -183,42 +301,107 @@ func (w *World) Close() error {
 		// finish: join them so all their pool leases are back before Close
 		// returns — the zero-leaked-leases shutdown guarantee.
 		for _, r := range reducers {
-			if j, ok := r.(engineJoiner); ok {
-				j.joinEngine()
-			}
+			r.joinEngine()
 		}
-		if w.injector != nil {
-			// After the transports: delivery workers holding delayed messages
-			// release their payloads back to the pool here.
-			w.injector.Close()
+		for _, g := range []*generation{gen, final} {
+			if g.injector != nil {
+				// After the transports: delivery workers holding delayed
+				// messages release their payloads back to the pool here.
+				g.injector.Close()
+			}
+			if g == final {
+				break
+			}
 		}
 	})
 	return w.closeErr
 }
 
-// Rank returns this node's rank in [0, Size).
-func (n *Node) Rank() int { return n.rank }
+// ID returns the member's stable identity: assigned once when the member
+// enters the world (founding members get IDs equal to their epoch-0 ranks)
+// and never reused, even across leave/rejoin of the same address.
+func (n *Node) ID() RankID { return n.id }
 
-// Size returns the number of ranks in the world.
-func (n *Node) Size() int { return len(n.world.nodes) }
+// Rank returns this member's dense rank in the current epoch, in [0, Size).
+// It can change at an epoch boundary when lower-ranked members leave; use ID
+// for a name that survives reconfiguration.
+func (n *Node) Rank() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rank
+}
 
-// Reducer builds this rank's Reducer for gradient vectors of length dim,
-// using the world's options overridden by any options given here. Every rank
-// must build its reducer with the same dim and options (the engines are
-// SPMD).
+// Epoch returns the membership epoch this node currently operates in.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// Size returns the number of members in the node's current epoch.
+func (n *Node) Size() int { return n.world.Size() }
+
+// Reducer builds this member's Reducer for gradient vectors of length dim,
+// using the world's options overridden by any options given here. Every
+// member must build its reducer with the same dim and options (the engines
+// are SPMD); a joiner admitted by Join or Replace mints its reducers with the
+// same arguments the founding members used, after Join returns.
+//
+// The returned reducer is epoch-aware: it keeps working across membership
+// transitions, draining at each epoch boundary and continuing over the new
+// rank set, with Result.Ranks following the current world size.
 func (n *Node) Reducer(dim int, opts ...Option) (Reducer, error) {
+	// Serialize against transitions: a reducer minted here is either drained
+	// by the next transition or built after it, never half-enrolled.
+	n.world.transMu.Lock()
+	defer n.world.transMu.Unlock()
+	n.mu.Lock()
+	if n.left {
+		n.mu.Unlock()
+		return nil, ErrNotMember
+	}
+	c, epoch := n.comm, n.epoch
+	n.mu.Unlock()
 	cfg := n.world.cfg.with(opts)
-	r, err := NewReducer(n.comm, dim, func(c *config) { *c = cfg })
+	r, err := newElasticReducer(n, dim, cfg, epoch, c)
 	if err != nil {
 		return nil, err
 	}
-	n.world.mu.Lock()
-	n.world.reducers = append(n.world.reducers, r)
-	n.world.mu.Unlock()
+	n.mu.Lock()
+	n.reducers = append(n.reducers, r)
+	n.mu.Unlock()
 	return r, nil
+}
+
+// SetStateProvider registers the function the world calls at an epoch
+// boundary to snapshot this member's model parameters for state transfer to
+// joiners. The snapshot runs after the drain barrier, so in synchronous modes
+// every provider returns identical parameters; in eager modes the joiner
+// receives one surviving member's view, which the next periodic
+// synchronization reconciles. A nil provider (the default) opts the member
+// out of serving state.
+func (n *Node) SetStateProvider(fn func() []float64) {
+	n.mu.Lock()
+	n.stateProvider = fn
+	n.mu.Unlock()
+}
+
+// InitialState returns the model parameters transferred to this member when
+// it joined mid-training, or nil for founding members and worlds without
+// state providers. The slice is owned by the caller.
+func (n *Node) InitialState() []float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.initState
 }
 
 // Communicator exposes the node's underlying point-to-point communicator for
 // advanced use (diagnostics, custom collectives, the internal training
-// engine). The returned value is of an internal type; treat it as opaque.
-func (n *Node) Communicator() *comm.Communicator { return n.comm }
+// engine). The returned value is of an internal type; treat it as opaque —
+// and re-fetch it after a membership change, because each epoch runs its own
+// communicator generation.
+func (n *Node) Communicator() *comm.Communicator {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.comm
+}

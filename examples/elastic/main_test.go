@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestElasticExampleSmoke runs the reconfiguration example end to end: the
+// world must grow under load, survive the runtime crash, commit the
+// replacement epoch, and shut down cleanly.
+func TestElasticExampleSmoke(t *testing.T) {
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -110,12 +110,13 @@ func collectWants(t *testing.T, files []*ast.File, l *Loader) map[string][]*want
 	return wants
 }
 
-func TestLeaseCheckGolden(t *testing.T)         { runGolden(t, "leasetest", All()) }
-func TestTagCheckGolden(t *testing.T)           { runGolden(t, "tagtest", All()) }
-func TestLifecycleCheckGolden(t *testing.T)     { runGolden(t, "collective", All()) }
-func TestTransportLifecycleGolden(t *testing.T) { runGolden(t, "transport", All()) }
-func TestCtxCheckGolden(t *testing.T)           { runGolden(t, "ctxtest", All()) }
-func TestIgnoreDirectives(t *testing.T)         { runGolden(t, "ignoretest", All()) }
+func TestLeaseCheckGolden(t *testing.T)          { runGolden(t, "leasetest", All()) }
+func TestTagCheckGolden(t *testing.T)            { runGolden(t, "tagtest", All()) }
+func TestLifecycleCheckGolden(t *testing.T)      { runGolden(t, "collective", All()) }
+func TestTransportLifecycleGolden(t *testing.T)  { runGolden(t, "transport", All()) }
+func TestMembershipLifecycleGolden(t *testing.T) { runGolden(t, "membership", All()) }
+func TestCtxCheckGolden(t *testing.T)            { runGolden(t, "ctxtest", All()) }
+func TestIgnoreDirectives(t *testing.T)          { runGolden(t, "ignoretest", All()) }
 
 // TestSelfCheck runs the full suite over the real module and requires zero
 // diagnostics: the repository must stay eagervet-clean (the CI staticcheck

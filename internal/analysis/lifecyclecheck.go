@@ -7,8 +7,8 @@ import (
 // LifecycleCheck enforces the leak-free-shutdown rule the chaos suite pins at
 // runtime (PoolStats.OutstandingSince, goroutine-count assertions): in the
 // concurrency-bearing packages — collective, internal/partial, internal/comm,
-// internal/transport — every goroutine must be joinable. A `go` statement
-// passes if any of:
+// internal/transport, internal/membership — every goroutine must be joinable.
+// A `go` statement passes if any of:
 //
 //   - a sync.WaitGroup Add call precedes it in the same function (the
 //     Add-before-go / defer-Done idiom used throughout the stack);
@@ -23,12 +23,12 @@ import (
 // or reaper, or document why they terminate with //eagervet:ignore.
 var LifecycleCheck = &Analyzer{
 	Name: "lifecyclecheck",
-	Doc:  "require goroutines in collective/partial/comm/transport to be joinable (WaitGroup, done channel, or reaper)",
+	Doc:  "require goroutines in collective/partial/comm/transport/membership to be joinable (WaitGroup, done channel, or reaper)",
 	Run:  runLifecycleCheck,
 }
 
 func runLifecycleCheck(pass *Pass) error {
-	if !pkgNameIs(pass.Pkg, "collective", "partial", "comm", "transport") {
+	if !pkgNameIs(pass.Pkg, "collective", "partial", "comm", "transport", "membership") {
 		return nil
 	}
 	for _, file := range pass.Files {

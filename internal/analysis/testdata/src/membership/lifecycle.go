@@ -1,0 +1,68 @@
+// Package membership exercises lifecyclecheck over the epoch-transition
+// package path: transition watchers and transfer pumps must be joinable so a
+// failed or close-raced reconfiguration cannot strand goroutines past
+// World.Close.
+package membership
+
+import "sync"
+
+// detachedWatcher launches an unjoinable health watcher: nothing can wait for
+// it, so it outlives the transition that spawned it.
+func detachedWatcher(poll func()) {
+	go poll() // want "goroutine is not joinable"
+}
+
+// bareTransferPump streams state chunks with no join plumbing.
+func bareTransferPump(chunks chan []byte) {
+	go func() { // want "goroutine is not joinable"
+		for range chunks {
+		}
+	}()
+}
+
+// drainWorkers is the stack's standard pattern: Add before go, defer Done, so
+// the commit path can wait for every in-flight allowance to retire.
+func drainWorkers(n int, drainOne func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drainOne()
+		}()
+	}
+	wg.Wait()
+}
+
+// epochWatcher bounds the watcher's lifetime with a select on stop: the
+// transition's retire path closes stop and the goroutine exits.
+func epochWatcher(stop chan struct{}, epochs chan uint64) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case e := <-epochs:
+				_ = e
+			}
+		}
+	}()
+}
+
+// coordinatorLoop is a long-lived re-election loop that exits when stop
+// closes; go coordinatorLoop(...) is joinable because the body shows the
+// receive (facts registry).
+func coordinatorLoop(stop chan struct{}) {
+	<-stop
+}
+
+func electCoordinator(stop chan struct{}) {
+	go coordinatorLoop(stop)
+}
+
+// suppressedProbe launches a deliberately detached liveness probe; the ignore
+// directive documents why that is safe here.
+func suppressedProbe(probe func()) {
+	//eagervet:ignore lifecyclecheck -- one-shot best-effort probe; the deadline detector owns liveness, this only warms a connection.
+	go probe()
+}

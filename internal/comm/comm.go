@@ -189,7 +189,12 @@ type Communicator struct {
 
 	down      []error          // per-rank down cause; nil = peer believed up
 	downHooks []func(rank int) // observers notified (outside mu) on each marking
+
+	discard []tagRange // sticky arrival-time discard ranges (see DiscardTagsOnArrival)
 }
+
+// tagRange is a half-open [lo, hi) interval of tags.
+type tagRange struct{ lo, hi int }
 
 // NewCommunicator wraps a transport endpoint. The communicator starts a demux
 // goroutine that drains the endpoint's inbox; Close (or closing the endpoint)
@@ -210,6 +215,11 @@ func (c *Communicator) demux() {
 	defer c.demuxWG.Done()
 	for m := range c.ep.Inbox() {
 		c.mu.Lock()
+		if c.discardedLocked(m.Tag) {
+			c.mu.Unlock()
+			tensor.PutVector(m.Data) // demux was the last owner
+			continue
+		}
 		c.queue = append(c.queue, m)
 		c.cond.Broadcast()
 		c.mu.Unlock()
@@ -597,6 +607,39 @@ func (c *Communicator) DiscardTagRange(lo, hi int) int {
 	}
 	c.queue = kept
 	return removed
+}
+
+// DiscardTagsOnArrival registers a sticky discard range: from now on, every
+// arriving message whose tag t satisfies lo <= t < hi is released back to the
+// vector pool at the demux instead of entering the unexpected queue, and any
+// matching messages already queued are purged (the count purged is returned).
+// Unlike DiscardTagRange — a one-shot sweep of what has already arrived — this
+// also covers frames still in flight. Epoch transitions use it to blocklist
+// the outgoing epoch's tag blocks on the surviving communicators, so a
+// straggler frame from epoch N can never match a receive posted in epoch N+1
+// or sit in the queue as a leaked lease. Ranges accumulate; there is no
+// unregister, because a retired epoch's tag block stays retired until the
+// namespace wraps, at which point the communicator generation that held the
+// blocklist has itself been retired.
+func (c *Communicator) DiscardTagsOnArrival(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	c.mu.Lock()
+	c.discard = append(c.discard, tagRange{lo, hi})
+	c.mu.Unlock()
+	return c.DiscardTagRange(lo, hi)
+}
+
+// discardedLocked reports whether a tag falls in a registered arrival-time
+// discard range. Caller holds c.mu.
+func (c *Communicator) discardedLocked(tag int) bool {
+	for _, r := range c.discard {
+		if tag >= r.lo && tag < r.hi {
+			return true
+		}
+	}
+	return false
 }
 
 // TryRecv returns a matching message if one is already available, without

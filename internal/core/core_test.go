@@ -375,10 +375,11 @@ func TestRunnerEndToEnd(t *testing.T) {
 		Steps:          10,
 		EvalEverySteps: 5,
 		FinalSync:      true,
-		Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
+		Build: func(rank int, n *collective.Node) (*core.Trainer, error) {
 			task := buildRegressionTask(rank, 2, 5, 4)
+			c := n.Communicator()
 			return core.NewTrainer(core.Config{
-				Comm:      c,
+				Node:      n,
 				Task:      task,
 				Exchanger: mustReducer(c, task.NumParams(), collective.WithChunks(2)),
 				Optimizer: optimizer.NewSGD(0.05),
@@ -409,7 +410,7 @@ func TestRunnerValidation(t *testing.T) {
 	if _, err := core.Run(core.RunConfig{}); err == nil {
 		t.Fatal("expected error for empty run config")
 	}
-	if _, err := core.Run(core.RunConfig{Size: 1, Steps: 1, Build: func(int, *comm.Communicator) (*core.Trainer, error) {
+	if _, err := core.Run(core.RunConfig{Size: 1, Steps: 1, Build: func(int, *collective.Node) (*core.Trainer, error) {
 		return nil, comm.ErrClosed
 	}}); err == nil {
 		t.Fatal("expected build error to propagate")

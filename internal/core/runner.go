@@ -2,14 +2,53 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eagersgd/collective"
-	"eagersgd/internal/comm"
 	"eagersgd/internal/trace"
 )
+
+// ChurnKind selects the membership verb a ChurnEvent executes.
+type ChurnKind int
+
+const (
+	// ChurnJoin admits a fresh rank (collective.World.Join).
+	ChurnJoin ChurnKind = iota
+	// ChurnLeave removes the member with stable ID Victim (World.Leave).
+	ChurnLeave
+	// ChurnReplace excises the (typically crashed) member Victim and admits a
+	// replacement in the same epoch transition (World.Replace). The controller
+	// waits for the world's health view to confirm the victim down first, so
+	// the event composes with a scripted crash (collective.WithFaults).
+	ChurnReplace
+)
+
+// ChurnEvent scripts one membership change executed while the run trains.
+// Events fire in order, each once rank 0 has completed AfterStep steps.
+// Joiners admitted by ChurnJoin and ChurnReplace are built with the run's
+// Build function at their dense rank, adopt the state-transferred parameters,
+// and train the remaining steps starting from the survivors' handoff step, so
+// their collective sequence stays matched with the survivors'.
+type ChurnEvent struct {
+	// AfterStep fires the event once rank 0 has completed that many steps.
+	AfterStep int
+	// Kind is the membership verb.
+	Kind ChurnKind
+	// Victim is the stable RankID to remove (ChurnLeave and ChurnReplace).
+	Victim collective.RankID
+	// Addr is the joiner's announced address (ChurnJoin and ChurnReplace);
+	// opaque on in-process transports.
+	Addr string
+}
+
+// churnWaitTimeout bounds how long a rank whose step failed on a dying epoch
+// waits for the membership transition that repairs it, and how long the churn
+// controller waits for the health view to confirm a victim down.
+const churnWaitTimeout = 30 * time.Second
 
 // RunConfig describes one end-to-end distributed training run executed with
 // every rank as a goroutine over a collective.World (in-process by default).
@@ -32,14 +71,23 @@ type RunConfig struct {
 	// FinalSync averages replicas across ranks before the final evaluation
 	// (recommended for eager-SGD, harmless for synch-SGD).
 	FinalSync bool
-	// Build constructs the rank's trainer over the provided communicator.
-	Build func(rank int, c *comm.Communicator) (*Trainer, error)
+	// Build constructs the rank's trainer over the given membership handle
+	// (reducers minted via n.Reducer stay valid across epochs). It runs once
+	// per founding rank before training starts, and once per joiner a
+	// ChurnEvent admits mid-run, with the joiner's dense rank at admission.
+	Build func(rank int, n *collective.Node) (*Trainer, error)
+	// Churn scripts membership changes executed while the run trains — the
+	// elastic path. With churn configured, a rank whose step fails on a dying
+	// epoch (its peer crashed before the scripted Replace) waits for the
+	// transition to commit and retries the step instead of failing the run.
+	Churn []ChurnEvent
 }
 
 // RunResult aggregates the measurements of one run.
 type RunResult struct {
 	Name string
-	// PerRank holds each rank's step recorder.
+	// PerRank holds each rank's step recorder: the founding ranks in rank
+	// order, then any joiners admitted by churn in admission order.
 	PerRank []*trace.ThroughputRecorder
 	// TrainLoss is rank 0's minibatch loss averaged between evaluations,
 	// plotted against cumulative training time (seconds).
@@ -57,6 +105,13 @@ type RunResult struct {
 	Throughput float64
 	// MeanActiveProcesses is the mean NAP over rank 0's steps.
 	MeanActiveProcesses float64
+}
+
+// rankRun is one training-loop goroutine's wiring and outcome.
+type rankRun struct {
+	node *collective.Node
+	tr   *Trainer
+	err  error
 }
 
 // Run executes the configured training with no cancellation chain. It is the
@@ -82,18 +137,22 @@ func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	}
 	defer world.Close()
 
-	trainers := make([]*Trainer, cfg.Size)
+	runs := make([]*rankRun, cfg.Size)
 	for r := 0; r < cfg.Size; r++ {
-		tr, err := cfg.Build(r, world.Node(r).Communicator())
+		node := world.Node(r)
+		tr, err := cfg.Build(r, node)
 		if err != nil {
 			return nil, fmt.Errorf("core: build trainer for rank %d: %w", r, err)
 		}
-		trainers[r] = tr
+		runs[r] = &rankRun{node: node, tr: tr}
+		if len(cfg.Churn) > 0 {
+			registerStateProvider(node, tr)
+		}
 	}
 
 	result := &RunResult{
 		Name:      cfg.Name,
-		PerRank:   make([]*trace.ThroughputRecorder, cfg.Size),
+		PerRank:   nil,
 		TrainLoss: &trace.Curve{Name: cfg.Name + " train-loss"},
 		EvalLoss:  &trace.Curve{Name: cfg.Name + " eval-loss"},
 		EvalTop1:  &trace.Curve{Name: cfg.Name + " top1"},
@@ -101,30 +160,75 @@ func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	}
 
 	inj := world.FaultInjector()
-	errs := make([]error, cfg.Size)
-	var wg sync.WaitGroup
+	var progress atomic.Int64 // rank 0's completed steps, the churn clock
+	var loopWG sync.WaitGroup
 	for r := 0; r < cfg.Size; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			errs[r] = runRank(ctx, cfg, trainers[r], r == 0, result, inj, r)
-		}(r)
-	}
-	wg.Wait()
-	for r, err := range errs {
-		if err != nil {
-			if inj != nil && inj.Crashed(r) {
-				// The rank died by script (collective.WithFaults): its error
-				// is the crash taking effect, not a failure of the run. The
-				// survivors' results stand.
-				continue
+		rr := runs[r]
+		record := r == 0
+		loopWG.Add(1)
+		go func() {
+			defer loopWG.Done()
+			var p *atomic.Int64
+			if record {
+				p = &progress
 			}
-			return nil, fmt.Errorf("core: rank %d: %w", r, err)
-		}
+			rr.err = runRank(ctx, cfg, rr.tr, record, result, world, rr.node, p)
+		}()
 	}
 
-	for r := 0; r < cfg.Size; r++ {
-		result.PerRank[r] = trainers[r].Recorder()
+	// The churn controller executes the scripted membership changes against
+	// rank 0's step clock and spawns joiner training loops. It shares runsMu
+	// with nobody until a joiner is admitted; joiner runs are appended there.
+	runDone := make(chan struct{})
+	var joinerRuns []*rankRun
+	var joinersWG sync.WaitGroup
+	var churnErr error
+	var ctrlWG sync.WaitGroup
+	if len(cfg.Churn) > 0 {
+		ctrlWG.Add(1)
+		go func() {
+			defer ctrlWG.Done()
+			joinerRuns, churnErr = runChurn(ctx, cfg, world, &progress, runDone, result, &joinersWG)
+		}()
+	}
+
+	loopWG.Wait()
+	close(runDone)
+	ctrlWG.Wait()
+	joinersWG.Wait()
+
+	all := append(append([]*rankRun(nil), runs...), joinerRuns...)
+	if churnErr != nil {
+		// A failed membership change is the root cause: the rank loops'
+		// errors (steps wedged on the epoch the change was meant to repair)
+		// are downstream of it.
+		return nil, fmt.Errorf("core: churn: %w", churnErr)
+	}
+	view := world.Membership()
+	member := make(map[collective.RankID]bool, len(view.Members))
+	for _, m := range view.Members {
+		member[m.ID] = true
+	}
+	for i, rr := range all {
+		if rr.err == nil {
+			continue
+		}
+		if inj != nil && i < cfg.Size && inj.Crashed(i) {
+			// The rank died by script (collective.WithFaults): its error is
+			// the crash taking effect, not a failure of the run. The
+			// survivors' results stand.
+			continue
+		}
+		if len(cfg.Churn) > 0 && !member[rr.node.ID()] {
+			// The rank was removed by a scripted Leave or Replace: its loop
+			// ending in an error is the excision taking effect.
+			continue
+		}
+		return nil, fmt.Errorf("core: rank %d: %w", i, rr.err)
+	}
+
+	for _, rr := range all {
+		result.PerRank = append(result.PerRank, rr.tr.Recorder())
 	}
 	rec := result.PerRank[0]
 	result.TrainingTime = rec.TotalTime()
@@ -133,13 +237,181 @@ func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	return result, nil
 }
 
+// registerStateProvider wires the trainer's model parameters (plus its step
+// counter, appended as one trailing element) as the node's state-transfer
+// source. The provider runs at the quiesced epoch boundary — the trainer
+// brackets each whole step as one drain-barrier operation — so the snapshot
+// is never mid-update and the handoff step is exact.
+func registerStateProvider(node *collective.Node, tr *Trainer) {
+	node.SetStateProvider(func() []float64 {
+		params := tr.cfg.Task.Params()
+		out := make([]float64, len(params)+1)
+		copy(out, params)
+		out[len(params)] = float64(tr.Steps())
+		return out
+	})
+}
+
+// runChurn executes the scripted membership changes in order, each gated on
+// rank 0's completed-step clock, and spawns a training loop for every joiner.
+// It stops early when the run finishes (runDone) or the context is canceled.
+func runChurn(ctx context.Context, cfg RunConfig, world *collective.World, progress *atomic.Int64, runDone <-chan struct{}, result *RunResult, joinersWG *sync.WaitGroup) ([]*rankRun, error) {
+	var joiners []*rankRun
+	for _, ev := range cfg.Churn {
+		if !awaitProgress(ctx, progress, int64(ev.AfterStep), runDone) {
+			return joiners, nil
+		}
+		switch ev.Kind {
+		case ChurnLeave:
+			if err := world.Leave(ev.Victim); err != nil {
+				return joiners, fmt.Errorf("leave %d after step %d: %w", ev.Victim, ev.AfterStep, err)
+			}
+		case ChurnJoin, ChurnReplace:
+			var node *collective.Node
+			var err error
+			if ev.Kind == ChurnReplace {
+				if !awaitPeerDown(ctx, world, ev.Victim, runDone) {
+					return joiners, fmt.Errorf("replace %d after step %d: victim never confirmed down", ev.Victim, ev.AfterStep)
+				}
+				node, err = world.Replace(ev.Victim, ev.Addr)
+			} else {
+				node, err = world.Join(ev.Addr)
+			}
+			if err != nil {
+				return joiners, fmt.Errorf("admit %q after step %d: %w", ev.Addr, ev.AfterStep, err)
+			}
+			rr, err := spawnJoiner(ctx, cfg, world, node, ev, result, joinersWG)
+			if err != nil {
+				return joiners, err
+			}
+			joiners = append(joiners, rr)
+		default:
+			return joiners, fmt.Errorf("unknown churn kind %d", ev.Kind)
+		}
+	}
+	return joiners, nil
+}
+
+// spawnJoiner builds a trainer for a freshly admitted member — adopting the
+// state-transferred parameters and handoff step — and starts its training
+// loop for the remaining steps.
+func spawnJoiner(ctx context.Context, cfg RunConfig, world *collective.World, node *collective.Node, ev ChurnEvent, result *RunResult, joinersWG *sync.WaitGroup) (*rankRun, error) {
+	startStep := ev.AfterStep
+	init := node.InitialState()
+	if len(init) > 0 {
+		// The last element is the handoff step the survivors' providers
+		// appended (registerStateProvider); the rest is the model state.
+		startStep = int(init[len(init)-1])
+		init = init[:len(init)-1]
+	}
+	tr, err := cfg.Build(node.Rank(), node)
+	if err != nil {
+		return nil, fmt.Errorf("build joiner %q: %w", ev.Addr, err)
+	}
+	if len(init) > 0 {
+		if err := tr.SetParams(init); err != nil {
+			return nil, fmt.Errorf("joiner %q adopt state: %w", ev.Addr, err)
+		}
+	}
+	tr.step = startStep
+	registerStateProvider(node, tr)
+	rr := &rankRun{node: node, tr: tr}
+	joinersWG.Add(1)
+	go func() {
+		defer joinersWG.Done()
+		rr.err = runRank(ctx, cfg, tr, false, result, world, node, nil)
+	}()
+	return rr, nil
+}
+
+// awaitProgress blocks until rank 0 has completed at least target steps.
+// It reports false when the run ended or the context was canceled first.
+func awaitProgress(ctx context.Context, progress *atomic.Int64, target int64, runDone <-chan struct{}) bool {
+	for progress.Load() < target {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-runDone:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return true
+}
+
+// awaitPeerDown blocks until the world's health view reports the victim down,
+// so a Replace composes deterministically with the scripted crash it repairs.
+func awaitPeerDown(ctx context.Context, world *collective.World, victim collective.RankID, runDone <-chan struct{}) bool {
+	deadline := time.Now().Add(churnWaitTimeout)
+	for time.Now().Before(deadline) {
+		for _, p := range world.Peers() {
+			if p.ID == victim && !p.Up {
+				return true
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-runDone:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return false
+}
+
+// awaitNextEpoch parks a rank whose step failed on a dying epoch until the
+// membership transition that repairs the world commits, then lets the caller
+// retry the step. epochBefore is the epoch read before the step attempt: the
+// transition's drain completes exactly when the wedged step fails, so the
+// commit races the failure return — when the epoch already moved past
+// epochBefore the wait is over before it starts. It returns the original
+// error when no transition arrives in time, the rank itself is the scripted
+// crash victim, the rank was removed from the membership (Leave/Replace took
+// effect, or the world closed), or ctx is canceled.
+func awaitNextEpoch(ctx context.Context, world *collective.World, node *collective.Node, stepErr error, epochBefore uint64) error {
+	if errors.Is(stepErr, collective.ErrReducerClosed) {
+		return stepErr // the member departed or the world is closing
+	}
+	// A survivor's error also wraps the crash sentinel (the peer-down cause),
+	// so "am I the victim" must ask the injector about THIS rank, not match
+	// the error chain. A victim that races the commit (its dense slot reads
+	// clean on the fresh injector) still exits below via the membership test.
+	if inj := world.FaultInjector(); inj != nil && inj.Crashed(node.Rank()) {
+		return stepErr // this rank IS the scripted victim; its loop ends here
+	}
+	deadline := time.Now().Add(churnWaitTimeout)
+	for node.Epoch() == epochBefore {
+		if !stillMember(world, node) || time.Now().After(deadline) {
+			return stepErr
+		}
+		select {
+		case <-ctx.Done():
+			return stepErr
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// stillMember reports whether the node belongs to the world's current epoch.
+func stillMember(world *collective.World, node *collective.Node) bool {
+	for _, m := range world.Membership().Members {
+		if m.ID == node.ID() {
+			return true
+		}
+	}
+	return false
+}
+
 // runRank executes the training loop for one rank. Only rank 0 (record=true)
 // appends to the shared result curves; ranks never write concurrently to the
 // same fields because exactly one rank records. Under an injected fault
-// scenario (inj non-nil) the rank advances its crash-at-step counter once per
-// optimizer step, so scripted crashes fire deterministically in the rank's
-// own step sequence.
-func runRank(ctx context.Context, cfg RunConfig, tr *Trainer, record bool, result *RunResult, inj *collective.FaultInjector, rank int) error {
+// scenario the rank advances its crash-at-step counter once per optimizer
+// step, so scripted crashes fire deterministically in the rank's own step
+// sequence; the injector handle is re-fetched per step because each epoch
+// runs its own.
+func runRank(ctx context.Context, cfg RunConfig, tr *Trainer, record bool, result *RunResult, world *collective.World, node *collective.Node, progress *atomic.Int64) error {
 	defer tr.Close()
 	lossAccum := 0.0
 	lossCount := 0
@@ -157,13 +429,28 @@ func runRank(ctx context.Context, cfg RunConfig, tr *Trainer, record bool, resul
 			lossAccum, lossCount = 0, 0
 		}
 	}
-	for step := 0; step < cfg.Steps; step++ {
+	for tr.Steps() < cfg.Steps {
+		epochBefore := node.Epoch()
 		rec, err := tr.StepContext(ctx)
 		if err != nil {
-			return err
+			if len(cfg.Churn) == 0 {
+				return err
+			}
+			// Elastic run: the step failed on a dying epoch. Wait for the
+			// scripted transition to commit, then retry the step — the
+			// trainer's counter only advances on success, so the retry
+			// recomputes the same step over the repaired world.
+			if waitErr := awaitNextEpoch(ctx, world, node, err, epochBefore); waitErr != nil {
+				return waitErr
+			}
+			continue
 		}
-		if inj != nil {
-			inj.AdvanceStep(rank)
+		step := rec.Step
+		if inj := world.FaultInjector(); inj != nil {
+			inj.AdvanceStep(node.Rank())
+		}
+		if progress != nil {
+			progress.Store(int64(tr.Steps()))
 		}
 		lossAccum += rec.Loss
 		lossCount++
@@ -174,10 +461,13 @@ func runRank(ctx context.Context, cfg RunConfig, tr *Trainer, record bool, resul
 	if cfg.FinalSync {
 		if err := tr.SyncModel(); err != nil {
 			// Model averaging needs every rank; when a scripted crash removed
-			// one, the survivors keep their replicas instead of failing. A
-			// sync failure with every rank alive is a real error even under
-			// an injected (lossy/delaying) scenario.
-			if inj == nil || !inj.AnyCrashed() {
+			// one (without a replacing churn event), the survivors keep their
+			// replicas instead of failing. On elastic runs churn repairs the
+			// membership, so a sync failure there — like one with every rank
+			// alive — is a real error even under an injected scenario.
+			inj := world.FaultInjector()
+			tolerate := len(cfg.Churn) == 0 && inj != nil && inj.AnyCrashed()
+			if !tolerate {
 				return err
 			}
 		}

@@ -100,9 +100,12 @@ func (t *RegressionTask) Params() tensor.Vector { return t.net.Params() }
 // Grads returns the flat gradients.
 func (t *RegressionTask) Grads() tensor.Vector { return t.net.Grads() }
 
-// ComputeGradient computes the mean gradient of the step's minibatch.
-func (t *RegressionTask) ComputeGradient(int) float64 {
-	idx := t.sampler.Next()
+// ComputeGradient computes the mean gradient of the step's minibatch. The
+// batch is step-indexed (BatchSampler.At), so a retried step — an elastic
+// run replaying a step that failed on a dying epoch — recomputes the exact
+// gradient the step would have produced.
+func (t *RegressionTask) ComputeGradient(step int) float64 {
+	idx := t.sampler.At(step)
 	xs := make([]tensor.Vector, len(idx))
 	ys := make([]tensor.Vector, len(idx))
 	for i, j := range idx {
@@ -117,8 +120,8 @@ func (t *RegressionTask) Segments() []nn.Segment { return t.net.Segments() }
 
 // ComputeGradientBuckets is ComputeGradient with per-segment ready
 // notifications during the backward pass (see BucketedTask).
-func (t *RegressionTask) ComputeGradientBuckets(_ int, ready func(nn.Segment)) float64 {
-	idx := t.sampler.Next()
+func (t *RegressionTask) ComputeGradientBuckets(step int, ready func(nn.Segment)) float64 {
+	idx := t.sampler.At(step)
 	xs := make([]tensor.Vector, len(idx))
 	ys := make([]tensor.Vector, len(idx))
 	for i, j := range idx {
@@ -180,9 +183,10 @@ func (t *ClassificationTask) Params() tensor.Vector { return t.net.Params() }
 // Grads returns the flat gradients.
 func (t *ClassificationTask) Grads() tensor.Vector { return t.net.Grads() }
 
-// ComputeGradient computes the mean gradient of the step's minibatch.
-func (t *ClassificationTask) ComputeGradient(int) float64 {
-	idx := t.sampler.Next()
+// ComputeGradient computes the mean gradient of the step's minibatch,
+// step-indexed like RegressionTask's so elastic retries resample it exactly.
+func (t *ClassificationTask) ComputeGradient(step int) float64 {
+	idx := t.sampler.At(step)
 	xs := make([]tensor.Vector, len(idx))
 	ys := make([]tensor.Vector, len(idx))
 	for i, j := range idx {
@@ -197,8 +201,8 @@ func (t *ClassificationTask) Segments() []nn.Segment { return t.net.Segments() }
 
 // ComputeGradientBuckets is ComputeGradient with per-segment ready
 // notifications during the backward pass (see BucketedTask).
-func (t *ClassificationTask) ComputeGradientBuckets(_ int, ready func(nn.Segment)) float64 {
-	idx := t.sampler.Next()
+func (t *ClassificationTask) ComputeGradientBuckets(step int, ready func(nn.Segment)) float64 {
+	idx := t.sampler.At(step)
 	xs := make([]tensor.Vector, len(idx))
 	ys := make([]tensor.Vector, len(idx))
 	for i, j := range idx {
@@ -294,8 +298,8 @@ func (t *SequenceTask) Grads() tensor.Vector { return t.model.Grads() }
 // ComputeGradient runs BPTT over the step's minibatch of sequences. Its cost
 // is genuinely proportional to the batch's total frame count, reproducing the
 // inherent load imbalance of the video workload.
-func (t *SequenceTask) ComputeGradient(int) float64 {
-	idx := t.sampler.Next()
+func (t *SequenceTask) ComputeGradient(step int) float64 {
+	idx := t.sampler.At(step)
 	seqs := make([][]tensor.Vector, len(idx))
 	labels := make([]int, len(idx))
 	workload := 0
@@ -314,8 +318,8 @@ func (t *SequenceTask) Segments() []nn.Segment { return t.model.Segments() }
 
 // ComputeGradientBuckets is ComputeGradient with per-segment ready
 // notifications during backpropagation through time (see BucketedTask).
-func (t *SequenceTask) ComputeGradientBuckets(_ int, ready func(nn.Segment)) float64 {
-	idx := t.sampler.Next()
+func (t *SequenceTask) ComputeGradientBuckets(step int, ready func(nn.Segment)) float64 {
+	idx := t.sampler.At(step)
 	seqs := make([][]tensor.Vector, len(idx))
 	labels := make([]int, len(idx))
 	workload := 0

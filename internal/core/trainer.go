@@ -21,7 +21,14 @@ import (
 // quorum) — is one constructor option away, and new variants plug in without
 // touching the trainer.
 type Config struct {
-	Comm      *comm.Communicator
+	// Comm is the rank's point-to-point communicator. On an elastic world set
+	// Node instead (Comm is then derived) so the trainer follows membership
+	// changes; Comm alone pins the trainer to one epoch's communicator.
+	Comm *comm.Communicator
+	// Node is the rank's world membership handle. When set, the trainer's
+	// rank, world size, and model synchronization follow the current epoch
+	// across Join/Leave/Replace transitions.
+	Node      *collective.Node
 	Task      Task
 	Exchanger collective.Reducer
 	Optimizer optimizer.Optimizer
@@ -52,6 +59,10 @@ type Config struct {
 	// value the exchanger was built with (collective.WithPeerDeadline). Zero
 	// disables it.
 	PeerDeadline time.Duration
+	// StartStep offsets the trainer's step counter: a joiner admitted to an
+	// elastic world mid-run starts at the survivors' step so its periodic
+	// synchronization points (SyncEverySteps) line up with theirs.
+	StartStep int
 }
 
 // Trainer runs data-parallel SGD for one rank.
@@ -80,13 +91,16 @@ type trainerBuckets struct {
 // during the backward pass and each bucket's reduced result is applied as it
 // lands.
 func NewTrainer(cfg Config) (*Trainer, error) {
+	if cfg.Comm == nil && cfg.Node != nil {
+		cfg.Comm = cfg.Node.Communicator()
+	}
 	if cfg.Comm == nil || cfg.Task == nil || cfg.Exchanger == nil || cfg.Optimizer == nil {
-		return nil, fmt.Errorf("core: config requires Comm, Task, Exchanger, and Optimizer")
+		return nil, fmt.Errorf("core: config requires Comm (or Node), Task, Exchanger, and Optimizer")
 	}
 	if cfg.Injector == nil {
 		cfg.Injector = imbalance.None{}
 	}
-	t := &Trainer{cfg: cfg, recorder: trace.NewThroughputRecorder()}
+	t := &Trainer{cfg: cfg, recorder: trace.NewThroughputRecorder(), step: cfg.StartStep}
 	if enabled, bucketElems := collective.OverlapSettings(cfg.Exchanger); enabled {
 		br, brOK := cfg.Exchanger.(collective.BucketReducer)
 		bt, btOK := cfg.Task.(BucketedTask)
@@ -98,11 +112,23 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	return t, nil
 }
 
-// Rank returns the trainer's rank.
-func (t *Trainer) Rank() int { return t.cfg.Comm.Rank() }
+// Rank returns the trainer's rank: the dense rank in the current epoch on an
+// elastic world (it can change at an epoch boundary), the communicator's rank
+// otherwise.
+func (t *Trainer) Rank() int {
+	if t.cfg.Node != nil {
+		return t.cfg.Node.Rank()
+	}
+	return t.cfg.Comm.Rank()
+}
 
-// Size returns the world size.
-func (t *Trainer) Size() int { return t.cfg.Comm.Size() }
+// Size returns the world size of the current epoch.
+func (t *Trainer) Size() int {
+	if t.cfg.Node != nil {
+		return t.cfg.Node.Size()
+	}
+	return t.cfg.Comm.Size()
+}
 
 // Recorder returns the per-step measurements collected so far.
 func (t *Trainer) Recorder() *trace.ThroughputRecorder { return t.recorder }
@@ -126,9 +152,18 @@ func (t *Trainer) Step() (trace.StepRecord, error) {
 // lands; the end-of-step WaitStep supplies the same loss/participation
 // accounting as the one-shot exchange.
 func (t *Trainer) StepContext(ctx context.Context) (trace.StepRecord, error) {
+	// On an elastic world the whole step — gradient compute, exchange,
+	// optimizer update, periodic sync — is one operation at the drain
+	// barrier, so an epoch transition only ever lands between steps and a
+	// state-transfer snapshot never reads a replica mid-update.
+	if ts, ok := t.cfg.Exchanger.(collective.TrainStepper); ok {
+		if err := ts.BeginTrainStep(); err != nil {
+			return trace.StepRecord{}, err
+		}
+		defer ts.EndTrainStep()
+	}
 	start := time.Now()
 	step := t.step
-	t.step++
 
 	var loss float64
 	var res collective.Result
@@ -147,6 +182,11 @@ func (t *Trainer) StepContext(ctx context.Context) (trace.StepRecord, error) {
 			return trace.StepRecord{}, fmt.Errorf("core: step %d model sync: %w", step, err)
 		}
 	}
+	// The counter only advances once the whole step succeeded, so a step that
+	// failed on a dying epoch (peer crash before a Replace) is retried as one
+	// unit after the membership transition commits — keeping the rank's
+	// collective sequence matched with a replacement that starts at this step.
+	t.step++
 
 	rec := trace.StepRecord{
 		Step:            step,
@@ -190,7 +230,14 @@ func (t *Trainer) stepSerial(ctx context.Context, step int) (float64, collective
 		return 0, collective.Result{}, fmt.Errorf("core: step %d exchange: %w", step, err)
 	}
 	global := res.Sum
-	global.Scale(1 / float64(t.Size()))
+	// Average over the schedule the result actually ran on (Result.Ranks):
+	// on an elastic world an epoch boundary can change the world size between
+	// steps, and the exchange already completed under the new schedule.
+	ranks := res.Ranks
+	if ranks <= 0 {
+		ranks = t.Size()
+	}
+	global.Scale(1 / float64(ranks))
 	t.cfg.Optimizer.Step(t.cfg.Task.Params(), global, step)
 	// The reduced sum is a pool lease and has been fully applied: recycle it
 	// so every training step reuses the same result buffer.
@@ -265,14 +312,32 @@ func (t *Trainer) stepOverlapped(ctx context.Context, step int) (float64, collec
 // SyncModel averages the model replicas across all ranks (a synchronous
 // collective; every rank must call it at the same step). With a
 // Config.PeerDeadline it aborts with a typed error instead of blocking on a
-// dead rank.
+// dead rank. When the exchanger is epoch-aware (minted by Node.Reducer), the
+// sync runs through it so it covers the current epoch's members, passes the
+// drain barrier like any reduction, and uses the epoch's tag namespace.
 func (t *Trainer) SyncModel() error {
 	params := t.cfg.Task.Params()
+	if ps, ok := t.cfg.Exchanger.(collective.ParamSyncer); ok {
+		_, err := ps.SyncParams(params, t.cfg.PeerDeadline)
+		return err
+	}
 	if err := collectives.AllreduceWith(t.cfg.Comm, params, collectives.OpSum, collectives.AlgoAuto,
 		collectives.Config{PeerDeadline: t.cfg.PeerDeadline}, nil); err != nil {
 		return err
 	}
 	params.Scale(1 / float64(t.Size()))
+	return nil
+}
+
+// SetParams overwrites the model replica with vals — how a joiner admitted to
+// an elastic world mid-run adopts the parameters state-transferred to it at
+// the epoch boundary (collective.Node.InitialState).
+func (t *Trainer) SetParams(vals []float64) error {
+	params := t.cfg.Task.Params()
+	if len(vals) != len(params) {
+		return fmt.Errorf("core: SetParams got %d values for a %d-parameter model", len(vals), len(params))
+	}
+	copy(params, vals)
 	return nil
 }
 

@@ -274,6 +274,31 @@ func (s *BatchSampler) Next() []int {
 	return batch
 }
 
+// At returns the minibatch for an absolute step index — a pure function of
+// (seed, rank, size, step), unlike the call-sequential Next. Data-epoch
+// step/StepsPerEpoch is reshuffled on demand and the batch reads
+// step%StepsPerEpoch·batchSize positions onward, wrapping within the shard.
+// Step-indexed sampling is what lets an elastic run retry a failed step (or
+// a joiner replay from a handoff step) and draw the exact batch the step
+// would have had: gradients become deterministic in the step index, not in
+// how many attempts it took to get there.
+func (s *BatchSampler) At(step int) []int {
+	if len(s.order) == 0 || step < 0 {
+		return nil
+	}
+	spe := s.StepsPerEpoch()
+	if e := step / spe; e != s.epoch {
+		s.epoch = e
+		s.reshuffle()
+	}
+	base := (step % spe) * s.batchSize
+	batch := make([]int, 0, s.batchSize)
+	for i := 0; i < s.batchSize; i++ {
+		batch = append(batch, s.order[(base+i)%len(s.order)])
+	}
+	return batch
+}
+
 // StepsPerEpoch returns how many Next calls constitute one pass over the
 // rank's shard (rounded up).
 func (s *BatchSampler) StepsPerEpoch() int {

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"eagersgd/collective"
-	"eagersgd/internal/comm"
 	"eagersgd/internal/core"
 	"eagersgd/internal/data"
 	"eagersgd/internal/faults"
@@ -86,7 +85,7 @@ func runVariant(spec trainingSpec, v variant) (*core.RunResult, error) {
 		EvalEverySteps: spec.evalEvery,
 		FinalSync:      true,
 		WorldOptions:   worldOpts,
-		Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
+		Build: func(rank int, n *collective.Node) (*core.Trainer, error) {
 			task := spec.buildTask(rank, spec.size)
 			opts := append([]collective.Option{collective.WithSeed(spec.seed)}, v.opts...)
 			if spec.peerDeadline > 0 {
@@ -102,7 +101,7 @@ func runVariant(spec trainingSpec, v variant) (*core.RunResult, error) {
 					collective.WithBucketElems(spec.bucketElems),
 					collective.WithBucketLayout(core.BucketLayout(bt, spec.bucketElems)...))
 			}
-			ex, err := collective.NewReducer(c, task.NumParams(), opts...)
+			ex, err := n.Reducer(task.NumParams(), opts...)
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +110,7 @@ func runVariant(spec trainingSpec, v variant) (*core.RunResult, error) {
 				syncEvery = v.syncEvery
 			}
 			return core.NewTrainer(core.Config{
-				Comm:            c,
+				Node:            n,
 				Task:            task,
 				Exchanger:       ex,
 				Optimizer:       optimizer.NewSGD(spec.lr),
@@ -503,15 +502,15 @@ func QuorumSpectrum(cfg Config) (*Report, error) {
 			Size:      size,
 			Steps:     steps,
 			FinalSync: true,
-			Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
+			Build: func(rank int, n *collective.Node) (*core.Trainer, error) {
 				task := buildTask(rank, size)
-				ex, err := collective.NewReducer(c, task.NumParams(),
+				ex, err := n.Reducer(task.NumParams(),
 					collective.WithMode(collective.Quorum(cand)), collective.WithSeed(cfg.Seed))
 				if err != nil {
 					return nil, err
 				}
 				return core.NewTrainer(core.Config{
-					Comm:            c,
+					Node:            n,
 					Task:            task,
 					Exchanger:       ex,
 					Optimizer:       optimizer.NewSGD(p.fig10LR),

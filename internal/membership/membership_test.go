@@ -1,0 +1,188 @@
+package membership
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTrackerEpochZero(t *testing.T) {
+	tr := NewTracker(4)
+	v := tr.View()
+	if v.Epoch != 0 || v.Size() != 4 {
+		t.Fatalf("epoch-0 view = %+v, want epoch 0 size 4", v)
+	}
+	for i, m := range v.Members {
+		if m.ID != RankID(i) {
+			t.Fatalf("founding member %d has ID %d; stable ID and dense index must coincide at epoch 0", i, m.ID)
+		}
+	}
+}
+
+func TestProposeJoinAssignsFreshIDsAndDenseIndices(t *testing.T) {
+	tr := NewTracker(4)
+	trans, err := tr.Propose([]Change{{Kind: ChangeJoin, Addr: "a"}, {Kind: ChangeJoin, Addr: "b"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := trans.To()
+	if to.Epoch != 1 || to.Size() != 6 {
+		t.Fatalf("proposed view = %+v, want epoch 1 size 6", to)
+	}
+	joined := trans.Joined()
+	if len(joined) != 2 || joined[0] != 4 || joined[1] != 5 {
+		t.Fatalf("joined IDs = %v, want [4 5]", joined)
+	}
+	if got := to.IndexOf(4); got != 4 {
+		t.Fatalf("joiner 4 dense index = %d, want 4", got)
+	}
+	tr.Commit(trans)
+	if v := tr.View(); v.Epoch != 1 || v.Size() != 6 {
+		t.Fatalf("committed view = %+v", v)
+	}
+}
+
+func TestProposeReplaceReindexesSurvivors(t *testing.T) {
+	tr := NewTracker(4)
+	trans, err := tr.Propose([]Change{{Kind: ChangeReplace, Dead: 1, Addr: "new"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := trans.To()
+	// Members 0,2,3 survive; joiner gets ID 4. Dense order by stable ID:
+	// 0->0, 2->1, 3->2, 4->3.
+	wantIdx := map[RankID]int{0: 0, 2: 1, 3: 2, 4: 3}
+	for id, want := range wantIdx {
+		if got := to.IndexOf(id); got != want {
+			t.Fatalf("IndexOf(%d) = %d, want %d", id, got, want)
+		}
+	}
+	if to.IndexOf(1) != -1 {
+		t.Fatal("dead member 1 still indexed in the proposed view")
+	}
+}
+
+func TestLeaveLastMemberRejected(t *testing.T) {
+	tr := NewTracker(1)
+	if _, err := tr.Propose([]Change{{Kind: ChangeLeave, Dead: 0}}, nil); !errors.Is(err, ErrEmptyWorld) {
+		t.Fatalf("err = %v, want ErrEmptyWorld", err)
+	}
+}
+
+func TestLeaveUnknownRankRejected(t *testing.T) {
+	tr := NewTracker(2)
+	if _, err := tr.Propose([]Change{{Kind: ChangeLeave, Dead: 9}}, nil); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("err = %v, want ErrNotMember", err)
+	}
+}
+
+func TestSingleTransitionInFlight(t *testing.T) {
+	tr := NewTracker(3)
+	trans, err := tr.Propose([]Change{{Kind: ChangeJoin}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Propose([]Change{{Kind: ChangeJoin}}, nil); !errors.Is(err, ErrTransitionActive) {
+		t.Fatalf("second propose err = %v, want ErrTransitionActive", err)
+	}
+	tr.Abort(trans)
+	if trans.Phase() != PhaseAborted {
+		t.Fatalf("phase after abort = %v", trans.Phase())
+	}
+	// Aborting frees the slot; the burned joiner ID is not reused.
+	trans2, err := tr.Propose([]Change{{Kind: ChangeJoin}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := trans2.Joined(); len(ids) != 1 || ids[0] != 4 {
+		t.Fatalf("joiner ID after aborted transition = %v, want [4] (ID 3 burned)", ids)
+	}
+}
+
+func TestCoordinatorElectionSkipsDead(t *testing.T) {
+	tr := NewTracker(4)
+	down := map[RankID]bool{0: true}
+	id, ok := Coordinator(tr.View(), func(r RankID) bool { return down[r] })
+	if !ok || id != 1 {
+		t.Fatalf("coordinator = %d,%v; want 1 (lowest live)", id, ok)
+	}
+	down[1], down[2], down[3] = true, true, true
+	if _, ok := Coordinator(tr.View(), func(r RankID) bool { return down[r] }); ok {
+		t.Fatal("coordinator elected with every member down")
+	}
+}
+
+func TestTransitionReelectOnCoordinatorDeath(t *testing.T) {
+	tr := NewTracker(4)
+	down := map[RankID]bool{}
+	trans, err := tr.Propose([]Change{{Kind: ChangeJoin}}, func(r RankID) bool { return down[r] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans.Coordinator() != 0 {
+		t.Fatalf("initial coordinator = %d, want 0", trans.Coordinator())
+	}
+	down[0] = true // coordinator dies mid-transition
+	id, ok := trans.Reelect(func(r RankID) bool { return down[r] })
+	if !ok || id != 1 || trans.Coordinator() != 1 {
+		t.Fatalf("re-elected coordinator = %d,%v; want 1", id, ok)
+	}
+}
+
+func TestDrainAcksIgnoreDeadAndJoiners(t *testing.T) {
+	tr := NewTracker(3)
+	down := map[RankID]bool{2: true}
+	isDown := func(r RankID) bool { return down[r] }
+	trans, err := tr.Propose([]Change{{Kind: ChangeReplace, Dead: 2, Addr: "x"}, {Kind: ChangeJoin, Addr: "y"}}, isDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans.AllAcked(isDown) {
+		t.Fatal("AllAcked before any survivor acked")
+	}
+	trans.Ack(0)
+	trans.Ack(3) // joiner: not a voter, must be ignored
+	if trans.AllAcked(isDown) {
+		t.Fatal("AllAcked with survivor 1 still outstanding")
+	}
+	trans.Ack(1)
+	if !trans.AllAcked(isDown) {
+		t.Fatal("AllAcked false with every live survivor acked")
+	}
+}
+
+func TestCommitNotifiesSubscribers(t *testing.T) {
+	tr := NewTracker(2)
+	var got []View
+	tr.Subscribe(func(v View) { got = append(got, v) })
+	trans, err := tr.Propose([]Change{{Kind: ChangeJoin}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Commit(trans)
+	if len(got) != 1 || got[0].Epoch != 1 || got[0].Size() != 3 {
+		t.Fatalf("subscriber saw %+v, want one epoch-1 size-3 view", got)
+	}
+}
+
+func TestEpochTagRangesDisjointAcrossAdjacentEpochs(t *testing.T) {
+	for e := uint64(0); e < 12; e++ {
+		a := EpochTagRanges(e)
+		b := EpochTagRanges(e + 1)
+		for _, ra := range a {
+			for _, rb := range b {
+				if ra[0] < rb[1] && rb[0] < ra[1] {
+					t.Fatalf("epoch %d range %v overlaps epoch %d range %v", e, ra, e+1, rb)
+				}
+			}
+		}
+		// Every range must fit the int32 wire tag.
+		for _, r := range a {
+			if r[1] > 1<<31-1 {
+				t.Fatalf("epoch %d range %v exceeds the int32 wire tag limit", e, r)
+			}
+		}
+	}
+	if CollectiveTagShift(0) != 0 {
+		t.Fatal("epoch-0 collective shift must be zero for wire compatibility")
+	}
+}

@@ -1,0 +1,184 @@
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+)
+
+// State transfer: during a transition, every surviving member serves the
+// model parameters (ServeState) and each joiner pulls them (FetchState) over
+// the incoming epoch's ordinary comm layer — chunked through the vector pool
+// so arbitrarily large models move without a single oversized frame, and
+// resumable: a joiner that loses its source mid-transfer fails over to the
+// next live source and requests only the chunks it is still missing.
+//
+// The protocol occupies its own tag namespace (TransferTagBase block), far
+// above the collective and partial blocks, so transfer frames can never be
+// mistaken for training traffic:
+//
+//	joiner  -> source: REQUEST  [startElem]          (tagStateRequest)
+//	source  -> joiner: HEADER   [totalElems]         (tagStateHeader)
+//	source  -> joiner: CHUNK    [<= chunkElems vals] (tagStateChunk, repeated)
+//
+// Chunks ride the comm layer's per-(source, tag) FIFO guarantee, so a chunk's
+// position is implied by arrival order from the announced start element.
+
+// Tag namespace of the state transfer, disjoint from the collective
+// ([1<<20, ...)) and partial ([1<<24, ...)) blocks and below the int32 wire
+// limit.
+const (
+	// TransferTagBase is the first tag of the state-transfer namespace.
+	TransferTagBase = 1 << 30
+
+	tagStateRequest = TransferTagBase + 0
+	tagStateHeader  = TransferTagBase + 1
+	tagStateChunk   = TransferTagBase + 2
+)
+
+// DefaultChunkElems is the per-chunk element count used when the caller does
+// not choose one: big enough to amortize per-message cost, small enough to
+// stay inside the pool's pipelined size classes.
+const DefaultChunkElems = 4096
+
+// ErrTransferFailed is wrapped by FetchState when every offered source died
+// or timed out before the full state arrived.
+var ErrTransferFailed = errors.New("membership: state transfer failed from every source")
+
+// ServeState answers state-fetch requests with the given parameter snapshot
+// until stop closes or the communicator shuts down. Every surviving member of
+// a transition runs one serve loop so a joiner always has a failover source;
+// requests name the element offset to resume from, so a re-request after a
+// source failure transfers only the missing tail. A send failure toward a
+// joiner that died mid-transfer abandons that reply (fail-fast on the marked
+// peer) and returns to serving others.
+func ServeState(c *comm.Communicator, params []float64, chunkElems int, stop <-chan struct{}) {
+	if chunkElems <= 0 {
+		chunkElems = DefaultChunkElems
+	}
+	for {
+		req, st, err := c.RecvCancel(comm.AnySource, tagStateRequest, stop)
+		if err != nil {
+			return // canceled by the transition, or the transport went down
+		}
+		start := 0
+		if len(req) >= 1 && req[0] > 0 {
+			start = int(req[0])
+		}
+		comm.Release(req)
+		if start > len(params) {
+			start = len(params)
+		}
+		dest := st.Source
+		hdr := tensor.GetVector(1)
+		hdr[0] = float64(len(params))
+		if err := c.Send(dest, tagStateHeader, hdr); /* owns hdr */ err != nil {
+			continue
+		}
+		for off := start; off < len(params); off += chunkElems {
+			hi := off + chunkElems
+			if hi > len(params) {
+				hi = len(params)
+			}
+			chunk := tensor.GetVector(hi - off)
+			copy(chunk, params[off:hi])
+			if err := c.Send(dest, tagStateChunk, chunk); err != nil {
+				break // joiner died mid-transfer; serve the next request
+			}
+		}
+	}
+}
+
+// FetchState pulls the model parameters from the first source that answers,
+// failing over down the source list on death or deadline and resuming from
+// the last element received — a source that dies mid-transfer costs only the
+// retransmission of nothing, not of the prefix already held. deadline bounds
+// each blocking receive (a source silent past it is marked down, exactly the
+// PR 5 failure detector); cancel aborts the fetch (world closing). The
+// returned slice is plain memory owned by the caller, not a pool lease.
+func FetchState(c *comm.Communicator, sources []int, deadline time.Duration, cancel <-chan struct{}) ([]float64, error) {
+	var out []float64
+	got := 0
+	var lastErr error
+	for _, src := range sources {
+		if src == c.Rank() || src < 0 || src >= c.Size() || c.PeerDown(src) {
+			continue
+		}
+		req := tensor.GetVector(1)
+		req[0] = float64(got)
+		if err := c.Send(src, tagStateRequest, req); err != nil {
+			lastErr = err
+			continue
+		}
+		hdr, _, err := c.RecvTimeout(src, tagStateHeader, cancel, deadline)
+		if err != nil {
+			if isFetchFatal(err) {
+				return nil, err
+			}
+			lastErr = err
+			drainStrayState(c, src)
+			continue
+		}
+		total := 0
+		if len(hdr) >= 1 {
+			total = int(hdr[0])
+		}
+		comm.Release(hdr)
+		if out == nil {
+			out = make([]float64, total)
+		} else if total != len(out) {
+			drainStrayState(c, src)
+			lastErr = fmt.Errorf("membership: source %d announced %d elements, previous source announced %d", src, total, len(out))
+			continue
+		}
+		failed := false
+		for got < total {
+			chunk, _, err := c.RecvTimeout(src, tagStateChunk, cancel, deadline)
+			if err != nil {
+				if isFetchFatal(err) {
+					return nil, err
+				}
+				lastErr = err
+				failed = true
+				break
+			}
+			n := copy(out[got:], chunk)
+			comm.Release(chunk)
+			got += n
+		}
+		if !failed && got == len(out) {
+			return out, nil
+		}
+		drainStrayState(c, src)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no live source offered")
+	}
+	return nil, fmt.Errorf("%w: %v", ErrTransferFailed, lastErr)
+}
+
+// isFetchFatal reports errors that no failover can cure: the fetch itself was
+// canceled or the local transport is down.
+func isFetchFatal(err error) bool {
+	return errors.Is(err, comm.ErrCanceled) || errors.Is(err, comm.ErrClosed)
+}
+
+// drainStrayState releases transfer frames a failed-over source may still
+// deliver (it was suspected, not necessarily dead): they must not linger in
+// the unexpected queue as live leases for the rest of the epoch.
+func drainStrayState(c *comm.Communicator, src int) {
+	for {
+		if v, _, ok := c.TryRecv(src, tagStateHeader); ok {
+			comm.Release(v)
+			continue
+		}
+		if v, _, ok := c.TryRecv(src, tagStateChunk); ok {
+			comm.Release(v)
+			continue
+		}
+		return
+	}
+}

@@ -1,0 +1,199 @@
+package membership
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/transport"
+)
+
+// transferWorld spins up an inproc hub of the given size with one
+// communicator per rank; the cleanup closes everything and asserts zero
+// leaked leases since the world was built.
+func transferWorld(t *testing.T, size int) []*comm.Communicator {
+	t.Helper()
+	before := tensor.ReadPoolStats()
+	hub := transport.NewHub(size)
+	comms := make([]*comm.Communicator, size)
+	for r := 0; r < size; r++ {
+		comms[r] = comm.NewCommunicator(hub.Endpoint(r))
+	}
+	t.Cleanup(func() {
+		for _, c := range comms {
+			c.Close()
+		}
+		hub.Close()
+		if n := tensor.ReadPoolStats().OutstandingSince(before); n != 0 {
+			t.Errorf("state transfer leaked %d pool leases", n)
+		}
+	})
+	return comms
+}
+
+func refParams(n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = float64(i)*0.5 - 3
+	}
+	return p
+}
+
+func TestFetchStateHappyPath(t *testing.T) {
+	comms := transferWorld(t, 2)
+	params := refParams(10*DefaultChunkElems + 17) // several chunks plus a ragged tail
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ServeState(comms[0], params, 0, stop)
+	}()
+
+	got, err := FetchState(comms[1], []int{0}, time.Second, nil)
+	if err != nil {
+		t.Fatalf("FetchState: %v", err)
+	}
+	if len(got) != len(params) {
+		t.Fatalf("fetched %d elems, want %d", len(got), len(params))
+	}
+	for i := range got {
+		if got[i] != params[i] {
+			t.Fatalf("elem %d = %v, want %v", i, got[i], params[i])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFetchStateResumesAfterSourceDeath(t *testing.T) {
+	comms := transferWorld(t, 3)
+	params := refParams(6 * 64)
+	const chunk = 64
+
+	// Source 0 serves exactly two chunks past the requested start, then goes
+	// silent — a mid-transfer death. Source 1 serves honestly.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		req, st, err := comms[0].RecvCancel(comm.AnySource, tagStateRequest, stop)
+		if err != nil {
+			return
+		}
+		start := int(req[0])
+		comm.Release(req)
+		hdr := tensor.GetVector(1)
+		hdr[0] = float64(len(params))
+		if err := comms[0].Send(st.Source, tagStateHeader, hdr); err != nil {
+			return
+		}
+		for i := 0; i < 2; i++ {
+			off := start + i*chunk
+			c := tensor.GetVector(chunk)
+			copy(c, params[off:off+chunk])
+			if err := comms[0].Send(st.Source, tagStateChunk, c); err != nil {
+				return
+			}
+		}
+		// ...and dies: no more chunks.
+	}()
+	go func() {
+		defer wg.Done()
+		ServeState(comms[1], params, chunk, stop)
+	}()
+
+	got, err := FetchState(comms[2], []int{0, 1}, 200*time.Millisecond, nil)
+	if err != nil {
+		t.Fatalf("FetchState with failover: %v", err)
+	}
+	for i := range got {
+		if got[i] != params[i] {
+			t.Fatalf("elem %d = %v, want %v (resume corrupted the prefix)", i, got[i], params[i])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFetchStateAllSourcesDead(t *testing.T) {
+	comms := transferWorld(t, 2)
+	comms[1].MarkPeerDown(0, errors.New("test: down"))
+	_, err := FetchState(comms[1], []int{0}, 50*time.Millisecond, nil)
+	if !errors.Is(err, ErrTransferFailed) {
+		t.Fatalf("err = %v, want ErrTransferFailed", err)
+	}
+}
+
+func TestFetchStateCanceled(t *testing.T) {
+	comms := transferWorld(t, 2)
+	cancel := make(chan struct{})
+	close(cancel)
+	// No server: the canceled fetch must abort on the header receive, not
+	// fail over or time out.
+	req := []int{0}
+	_, err := FetchState(comms[1], req, time.Second, cancel)
+	if !errors.Is(err, comm.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The server-less source still got a REQUEST frame; drain it so the
+	// lease-leak cleanup stays honest.
+	if v, _, ok := comms[0].TryRecv(1, tagStateRequest); ok {
+		comm.Release(v)
+	}
+}
+
+func TestServeStateResumeRequest(t *testing.T) {
+	comms := transferWorld(t, 2)
+	params := refParams(5 * 32)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ServeState(comms[0], params, 32, stop)
+	}()
+
+	// Hand-roll a resume: claim the first 3*32 elements are already held.
+	start := 3 * 32
+	req := tensor.GetVector(1)
+	req[0] = float64(start)
+	if err := comms[1].Send(0, tagStateRequest, req); err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := comms[1].RecvTimeout(0, tagStateHeader, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(hdr[0]) != len(params) {
+		t.Fatalf("header = %v, want %d", hdr[0], len(params))
+	}
+	comm.Release(hdr)
+	got := start
+	for got < len(params) {
+		chunk, _, err := comms[1].RecvTimeout(0, tagStateChunk, nil, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range chunk {
+			if chunk[i] != params[got+i] {
+				t.Fatalf("resumed elem %d = %v, want %v", got+i, chunk[i], params[got+i])
+			}
+		}
+		got += len(chunk)
+		comm.Release(chunk)
+	}
+	// No chunk for the prefix the request skipped may arrive.
+	if v, _, ok := comms[1].TryRecv(0, tagStateChunk); ok {
+		comm.Release(v)
+		t.Fatal("server sent chunks past the announced total")
+	}
+	close(stop)
+	wg.Wait()
+}

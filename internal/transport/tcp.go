@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -336,18 +337,35 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 	acceptWG.Add(1)
 	go func() {
 		defer acceptWG.Done()
+		// The accept phase shares the dial-retry budget. A lower rank that
+		// failed to start — lost its bind race (epoch port blocks can land on
+		// an in-use ephemeral port), or died before dialing — will never dial
+		// in; without a deadline every sibling would sit in Accept forever
+		// and mesh construction would deadlock instead of surfacing that
+		// rank's error.
+		deadline := time.Now().Add(retry)
+		tl, _ := ln.(*net.TCPListener)
 		for i := 0; i < expected; i++ {
+			if tl != nil {
+				tl.SetDeadline(deadline)
+			}
 			conn, err := ln.Accept()
 			if err != nil {
+				if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+					err = fmt.Errorf("transport: rank %d accepted %d of %d expected peer connections within %v (a lower rank likely failed to start): %w",
+						cfg.Rank, i, expected, retry, err)
+				}
 				acceptErr = err
 				return
 			}
 			var hdr [4]byte
+			conn.SetReadDeadline(deadline) // handshake must not outwait the phase
 			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 				acceptErr = fmt.Errorf("transport: handshake read: %w", err)
 				conn.Close()
 				return
 			}
+			conn.SetReadDeadline(time.Time{})
 			peer := int(binary.LittleEndian.Uint32(hdr[:]))
 			if peer < 0 || peer >= size {
 				acceptErr = fmt.Errorf("transport: handshake from invalid rank %d", peer)
@@ -358,6 +376,9 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 			ep.mu.Lock()
 			ep.writers[peer] = newTCPWriter(conn)
 			ep.mu.Unlock()
+		}
+		if tl != nil {
+			tl.SetDeadline(time.Time{})
 		}
 	}()
 
@@ -404,17 +425,36 @@ func tuneConn(conn net.Conn) {
 	}
 }
 
+// Dial backoff shape: start small so a listener that is already up costs one
+// extra round trip at most, double up to a cap so a slow-starting peer (or a
+// joiner dialing a world mid-reconfiguration) is not hammered, and jitter each
+// sleep by up to half so a whole world bootstrapping at once does not dial in
+// lockstep. The budget remains the total wall-clock window across attempts.
+const (
+	dialBackoffFloor = 2 * time.Millisecond
+	dialBackoffCeil  = 250 * time.Millisecond
+)
+
 func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(budget)
+	backoff := dialBackoffFloor
 	for {
 		conn, err := net.Dial("tcp", addr)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
 			return nil, err
 		}
-		time.Sleep(10 * time.Millisecond)
+		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		if sleep > remaining {
+			sleep = remaining
+		}
+		time.Sleep(sleep)
+		if backoff < dialBackoffCeil {
+			backoff *= 2
+		}
 	}
 }
 
@@ -641,6 +681,13 @@ func decodeFrame(r io.Reader, scratch *[]byte) (comm.Message, error) {
 // in-process TCP worlds (tests, examples, fault-injection wrapping);
 // production deployments construct one NewTCPEndpoint per OS process.
 func NewTCPEndpoints(size, basePort int) ([]*TCPEndpoint, error) {
+	return NewTCPEndpointsRetry(size, basePort, 0)
+}
+
+// NewTCPEndpointsRetry is NewTCPEndpoints with an explicit dial-retry budget
+// (TCPConfig.DialRetry) applied to every rank's dials; retry <= 0 keeps the
+// default window.
+func NewTCPEndpointsRetry(size, basePort int, retry time.Duration) ([]*TCPEndpoint, error) {
 	addrs := make([]string, size)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("127.0.0.1:%d", basePort+i)
@@ -652,7 +699,7 @@ func NewTCPEndpoints(size, basePort int) ([]*TCPEndpoint, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			eps[r], errs[r] = NewTCPEndpoint(TCPConfig{Rank: r, Addrs: addrs})
+			eps[r], errs[r] = NewTCPEndpoint(TCPConfig{Rank: r, Addrs: addrs, DialRetry: retry})
 		}(r)
 	}
 	wg.Wait()

@@ -27,7 +27,6 @@ import (
 	"time"
 
 	"eagersgd/collective"
-	"eagersgd/internal/comm"
 	"eagersgd/internal/core"
 	"eagersgd/internal/imbalance"
 	"eagersgd/internal/optimizer"
@@ -202,7 +201,23 @@ type Spec struct {
 	// with the survivors; synchronous variants abort with a typed error
 	// instead of hanging. Zero disables it.
 	PeerDeadline time.Duration
+	// Churn scripts membership changes — ranks joining, leaving, or being
+	// replaced — executed at step boundaries while training runs (the elastic
+	// path). Combine ChurnReplace with a Faults scenario that crashes the
+	// victim and a PeerDeadline that detects it. Joiners train the remaining
+	// steps from the state transferred at their epoch boundary.
+	Churn []ChurnEvent
 }
+
+// ChurnEvent scripts one membership change during a run; see core.ChurnEvent.
+type ChurnEvent = core.ChurnEvent
+
+// Churn kinds, re-exported for Spec.Churn.
+const (
+	ChurnJoin    = core.ChurnJoin
+	ChurnLeave   = core.ChurnLeave
+	ChurnReplace = core.ChurnReplace
+)
 
 // Result aggregates one run's headline measurements (rank 0's view).
 type Result struct {
@@ -256,9 +271,14 @@ func Run(spec Spec) (*Result, error) {
 		injector = spec.Imbalance.build(spec.Ranks, spec.Seed)
 	}
 
-	worldOpts := spec.World
+	worldOpts := append([]collective.Option{}, spec.World...)
 	if spec.Faults != nil {
-		worldOpts = append(append([]collective.Option{}, worldOpts...), collective.WithFaults(*spec.Faults))
+		worldOpts = append(worldOpts, collective.WithFaults(*spec.Faults))
+	}
+	if spec.PeerDeadline > 0 {
+		// World-level too: the elastic transition protocol (drains, state
+		// transfer) uses the deadline to outwait dead ranks.
+		worldOpts = append(worldOpts, collective.WithPeerDeadline(spec.PeerDeadline))
 	}
 	res, err := core.Run(core.RunConfig{
 		Name:           name,
@@ -267,7 +287,8 @@ func Run(spec Spec) (*Result, error) {
 		EvalEverySteps: spec.EvalEvery,
 		FinalSync:      true,
 		WorldOptions:   worldOpts,
-		Build: func(rank int, c *comm.Communicator) (*core.Trainer, error) {
+		Churn:          spec.Churn,
+		Build: func(rank int, n *collective.Node) (*core.Trainer, error) {
 			task := buildTask(rank, spec.Ranks)
 			opts := append([]collective.Option{collective.WithSeed(spec.Seed)}, v.opts...)
 			if spec.PeerDeadline > 0 {
@@ -285,12 +306,12 @@ func Run(spec Spec) (*Result, error) {
 					// sync reducers ignore it.
 					collective.WithBucketLayout(core.BucketLayout(bt, spec.BucketElems)...))
 			}
-			ex, err := collective.NewReducer(c, task.NumParams(), opts...)
+			ex, err := n.Reducer(task.NumParams(), opts...)
 			if err != nil {
 				return nil, err
 			}
 			return core.NewTrainer(core.Config{
-				Comm:            c,
+				Node:            n,
 				Task:            task,
 				Exchanger:       ex,
 				Optimizer:       optimizer.NewSGD(lr),
