@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -53,13 +54,19 @@ type Result struct {
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Snapshot is the top-level JSON document.
+// Snapshot is the top-level JSON document. GOOS/GOARCH/CPU come from the
+// benchmark output's headers; GoMaxProcs and NumCPU are recorded from the
+// machine running the snapshot, because throughput numbers (and especially
+// shm/tcp ratios) taken at different parallelism are not comparable —
+// -compare warns when any of these differ between the two snapshots.
 type Snapshot struct {
 	Date       string   `json:"date"`
 	Command    string   `json:"command"`
 	GOOS       string   `json:"goos,omitempty"`
 	GOARCH     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"numcpu,omitempty"`
 	Package    string   `json:"package,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
@@ -72,6 +79,7 @@ func main() {
 		short     = flag.Bool("short", false, "pass -short to go test")
 		outDir    = flag.String("out", ".", "directory to write BENCH_<date>.json into")
 		tag       = flag.String("tag", "", "optional suffix for the snapshot name: BENCH_<date>-<tag>.json")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file (passed through to go test)")
 		compare   = flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
 		maxDrop   = flag.Float64("maxdrop", 0, "with -compare: fail when any shared benchmark's MB/s drops by more than this percentage (0 disables the gate)")
 		minRatio  = flag.String("minratio", "", `with -compare: throughput ratio gate on the new snapshot, "NUM/DEN=R" (e.g. shm/tcp=2): each "/NUM/" benchmark must reach R times the MB/s of its "/DEN/" sibling`)
@@ -94,6 +102,16 @@ func main() {
 	if *short {
 		args = append(args, "-short")
 	}
+	if *cpuprof != "" {
+		// go test resolves a relative -cpuprofile path against the package
+		// directory; make it absolute so the profile lands where asked.
+		abs, err := filepath.Abs(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: resolve -cpuprofile path: %v\n", err)
+			os.Exit(1)
+		}
+		args = append(args, "-cpuprofile", abs)
+	}
 	args = append(args, *pkg)
 
 	cmd := exec.Command("go", args...)
@@ -108,6 +126,8 @@ func main() {
 	snap := parseBenchOutput(out.String())
 	snap.Date = time.Now().Format("2006-01-02")
 	snap.Command = "go " + strings.Join(args, " ")
+	snap.GoMaxProcs = runtime.GOMAXPROCS(0)
+	snap.NumCPU = runtime.NumCPU()
 
 	name := "BENCH_" + snap.Date
 	if *tag != "" {
@@ -145,6 +165,7 @@ func runCompare(oldPath, newPath string, maxDrop float64, minRatio string) error
 	if err != nil {
 		return err
 	}
+	warnEnvMismatch(oldSnap, newSnap, oldPath, newPath)
 	oldBy := make(map[string]Result, len(oldSnap.Benchmarks))
 	for _, r := range oldSnap.Benchmarks {
 		oldBy[r.Name] = r
@@ -198,6 +219,40 @@ func runCompare(oldPath, newPath string, maxDrop float64, minRatio string) error
 		return fmt.Errorf("%d benchmark gate failure(s)", len(failures))
 	}
 	return nil
+}
+
+// warnEnvMismatch prints a loud banner when the two snapshots were taken on
+// different machines or at different parallelism. The deltas still print —
+// a cross-environment diff can be exactly what the reader wants — but the
+// absolute MB/s columns (and the -maxdrop gate anchored to them) are not
+// apples-to-apples, and the warning makes that impossible to miss. Fields a
+// snapshot simply does not record (older snapshots predate gomaxprocs and
+// numcpu) are not mismatches.
+func warnEnvMismatch(oldSnap, newSnap Snapshot, oldPath, newPath string) {
+	var diffs []string
+	add := func(field, ov, nv string) {
+		if ov != "" && nv != "" && ov != nv {
+			diffs = append(diffs, fmt.Sprintf("%s: %s vs %s", field, ov, nv))
+		}
+	}
+	add("goos", oldSnap.GOOS, newSnap.GOOS)
+	add("goarch", oldSnap.GOARCH, newSnap.GOARCH)
+	add("cpu", oldSnap.CPU, newSnap.CPU)
+	addInt := func(field string, ov, nv int) {
+		if ov != 0 && nv != 0 && ov != nv {
+			diffs = append(diffs, fmt.Sprintf("%s: %d vs %d", field, ov, nv))
+		}
+	}
+	addInt("gomaxprocs", oldSnap.GoMaxProcs, newSnap.GoMaxProcs)
+	addInt("numcpu", oldSnap.NumCPU, newSnap.NumCPU)
+	if len(diffs) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: WARNING: the snapshots were taken in different environments (%s vs %s):\n", oldPath, newPath)
+	for _, d := range diffs {
+		fmt.Fprintf(os.Stderr, "benchjson: WARNING:   %s\n", d)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: WARNING: absolute MB/s deltas below are not comparable; trust only within-snapshot ratios")
 }
 
 // checkMaxDrop flags every benchmark whose MB/s fell by more than maxDrop

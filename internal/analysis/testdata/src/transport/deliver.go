@@ -1,0 +1,65 @@
+// deliver.go exercises lifecyclecheck on the direct-delivery handoff: in
+// delivery mode the transport's poll loop hands each decoded frame straight
+// to a callback the communicator latched before the poller started. The
+// handoff must stay synchronous — the frame moves on the poller's own
+// goroutine, so Close joins the poller and thereby bounds delivery — and the
+// poller keeps the joinable spin-loop shape busypoll.go establishes.
+package transport
+
+import (
+	"runtime"
+	"sync"
+)
+
+type frame struct{ payload []byte }
+
+// directPoller is the delivery-mode endpoint shape: the deliver callback is
+// latched before start (the poller reads it without synchronization, which
+// is only sound because no frame can precede the latch), the poller is
+// joinable, and every frame is handed over synchronously from the loop. No
+// diagnostic.
+type directPoller struct {
+	wg      sync.WaitGroup
+	done    chan struct{}
+	deliver func(frame)
+}
+
+func (p *directPoller) setDeliver(fn func(frame)) { p.deliver = fn }
+
+func (p *directPoller) start(next func() (frame, bool)) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			if f, ok := next(); ok && p.deliver != nil {
+				p.deliver(f) // synchronous handoff: claim by a posted receiver or inbox fallback
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+}
+
+func (p *directPoller) close() {
+	close(p.done)
+	p.wg.Wait()
+}
+
+// perFrameHandoff detaches a goroutine for every delivered frame: none are
+// joinable, so Close cannot bound in-flight deliveries and frames race the
+// endpoint teardown — the anti-shape the synchronous handoff exists to
+// avoid.
+func perFrameHandoff(next func() (frame, bool), deliver func(frame)) {
+	for {
+		f, ok := next()
+		if !ok {
+			return
+		}
+		go deliver(f) // want "goroutine is not joinable"
+	}
+}

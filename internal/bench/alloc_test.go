@@ -151,6 +151,57 @@ func TestAllreduceShmAllocFree(t *testing.T) {
 	}
 }
 
+// TestAllreduceShmBcastAllocFree gates the broadcast-segment allgather: at
+// 64Ki elements over 4 shared-ring ranks each chunk is 16Ki elements
+// (128 KiB), so the ring allreduce takes the fused path and its allgather
+// phase publishes every fully-reduced chunk once into the owner's broadcast
+// segment, with peers aliasing the published block zero-copy (the chunk is
+// well past the alias threshold). The steady-state cycle — publish, direct
+// delivery, alias, release, reclaim — must allocate zero heap objects, like
+// the per-pair ring paths.
+func TestAllreduceShmBcastAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	if tensor.LeaseDebugEnabled {
+		t.Skip("-tags leasedebug trades the alloc-free guarantee for lease-site tracking")
+	}
+	const (
+		size = 4
+		n    = 1 << 16
+	)
+	w := transport.NewShmWorld(size)
+	defer func() {
+		for _, c := range w {
+			c.Close()
+		}
+	}()
+	data := make([]tensor.Vector, size)
+	for r := range data {
+		data[r] = tensor.NewVector(n)
+		data[r].Fill(1)
+	}
+	d := newRoundDriver(size, func(rank int) error {
+		return collectives.Allreduce(w[rank], data[rank], collectives.OpSum, collectives.AlgoRing)
+	})
+	defer d.stop()
+	// Warm the pools, the broadcast block list, and the alias table before
+	// measuring.
+	for i := 0; i < 32; i++ {
+		if err := d.round(); err != nil {
+			t.Fatalf("warmup round: %v", err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := d.round(); err != nil {
+			t.Fatalf("round: %v", err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("steady-state shm broadcast-segment allreduce allocates %.2f objects per round, want 0", avg)
+	}
+}
+
 // TestAllreducePipelinedInprocAllocFree is the same gate for the pipelined
 // paths: at 256Ki elements the ring moves 4 segments per chunk exchange and
 // Rabenseifner 8 per first halving (default 16Ki-element segments), so this

@@ -1,0 +1,171 @@
+package collectives_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eagersgd/internal/collectives"
+	"eagersgd/internal/comm"
+	"eagersgd/internal/tensor"
+	"eagersgd/internal/transport"
+)
+
+// plainEndpoint strips every optional capability from an endpoint by
+// interface embedding: the struct satisfies comm.Endpoint and nothing else,
+// so a communicator built over it takes only the classic paths — inbox demux
+// instead of direct delivery, per-pair ring relays instead of broadcast
+// segments, retained copies instead of borrowed sends. Wrapping every rank of
+// a shared-ring hub yields a world that moves the same bytes over the same
+// rings but exercises none of the fast paths, which is exactly the baseline
+// the equivalence tests below compare against.
+type plainEndpoint struct{ comm.Endpoint }
+
+// newPlainShmWorld builds a shared-ring world whose communicators see only
+// the bare comm.Endpoint surface (see plainEndpoint).
+func newPlainShmWorld(p int) []*comm.Communicator {
+	hub := transport.NewShmHub(p)
+	world := make([]*comm.Communicator, p)
+	for r := 0; r < p; r++ {
+		world[r] = comm.NewCommunicator(plainEndpoint{hub.Endpoint(r)})
+	}
+	return world
+}
+
+// runWorld drives body on every rank of a prebuilt world, fails the test on
+// any rank error, and closes the world afterwards.
+func runWorld(t *testing.T, world []*comm.Communicator, body func(c *comm.Communicator) error) {
+	t.Helper()
+	defer func() {
+		for _, c := range world {
+			c.Close()
+		}
+	}()
+	p := len(world)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = body(world[r])
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("collective did not complete (deadlock)")
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestAllreduceDirectMatchesDemux: an allreduce over the full fast path —
+// direct delivery from the poll loop plus the broadcast-segment allgather
+// with zero-copy block aliasing — must produce results bit-for-bit identical
+// to the same allreduce over the classic demux + ring-relay paths on the same
+// transport. The size sweep crosses every routing boundary: tiny fused
+// chunks, chunks below and above the alias threshold, a non-divisible
+// element count (unequal chunk bounds), and a chunk past the segment bound
+// that must fall back to the segmented unfused path on both worlds.
+func TestAllreduceDirectMatchesDemux(t *testing.T) {
+	algos := []struct {
+		name string
+		algo collectives.Algorithm
+	}{
+		{"ring", collectives.AlgoRing},
+		{"recursive-doubling", collectives.AlgoRecursiveDoubling},
+	}
+	for _, p := range []int{3, 4} {
+		ns := []int{
+			p + 3,                                 // tiny fused chunks, far below the alias threshold
+			4096,                                  // mid-size, still copied out of the segment
+			collectives.DefaultSegmentElems * p,   // max fused chunk: broadcast publish + zero-copy alias
+			collectives.DefaultSegmentElems*p - 7, // non-divisible: unequal chunk bounds over the segment
+			4*collectives.DefaultSegmentElems + 5, // chunk past the segment bound: segmented fallback
+		}
+		for _, n := range ns {
+			for _, ac := range algos {
+				p, n, ac := p, n, ac
+				t.Run(fmt.Sprintf("%s/p%d_n%d", ac.name, p, n), func(t *testing.T) {
+					run := func(world []*comm.Communicator) []tensor.Vector {
+						results := make([]tensor.Vector, p)
+						runWorld(t, world, func(c *comm.Communicator) error {
+							data := makeContribution(c.Rank(), n)
+							if err := collectives.Allreduce(c, data, collectives.OpSum, ac.algo); err != nil {
+								return err
+							}
+							results[c.Rank()] = data
+							return nil
+						})
+						return results
+					}
+					demux := run(newPlainShmWorld(p))
+					direct := run(transport.NewShmWorld(p))
+					for r := 0; r < p; r++ {
+						for i := range demux[r] {
+							if demux[r][i] != direct[r][i] {
+								t.Fatalf("rank %d elem %d: demux %v != direct %v (fast path diverged)",
+									r, i, demux[r][i], direct[r][i])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBroadcastDirectMatchesDemux: the broadcast collective's segment path
+// (root publishes once, every peer receives the same block, large peers alias
+// it zero-copy) must leave every rank holding exactly the root's bytes, and
+// must agree bit-for-bit with the classic hop-by-hop broadcast over demuxed
+// rings. Roots at both ends cover the rank-rotation arithmetic; 64Ki elements
+// puts the payload over the alias threshold, 64 under it.
+func TestBroadcastDirectMatchesDemux(t *testing.T) {
+	for _, p := range []int{3, 4} {
+		for _, n := range []int{64, 1 << 16} {
+			for _, root := range []int{0, p - 1} {
+				p, n, root := p, n, root
+				t.Run(fmt.Sprintf("p%d_n%d_root%d", p, n, root), func(t *testing.T) {
+					run := func(world []*comm.Communicator) []tensor.Vector {
+						results := make([]tensor.Vector, p)
+						runWorld(t, world, func(c *comm.Communicator) error {
+							data := makeContribution(root, n) // root's payload everywhere; non-roots get overwritten
+							if c.Rank() != root {
+								for i := range data {
+									data[i] = -1 // poison: broadcast must overwrite every element
+								}
+							}
+							if err := collectives.Broadcast(c, root, data); err != nil {
+								return err
+							}
+							results[c.Rank()] = data
+							return nil
+						})
+						return results
+					}
+					want := makeContribution(root, n)
+					demux := run(newPlainShmWorld(p))
+					direct := run(transport.NewShmWorld(p))
+					for r := 0; r < p; r++ {
+						for i := range want {
+							if direct[r][i] != want[i] {
+								t.Fatalf("rank %d elem %d: direct broadcast %v, want root's %v", r, i, direct[r][i], want[i])
+							}
+							if demux[r][i] != direct[r][i] {
+								t.Fatalf("rank %d elem %d: demux %v != direct %v", r, i, demux[r][i], direct[r][i])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eagersgd/internal/tensor"
@@ -127,6 +128,25 @@ type FillSender interface {
 	SendFill(dest, tag int, a, b tensor.Vector, fill func(dst, a, b tensor.Vector)) (handled bool, err error)
 }
 
+// GroupBroadcaster is an optional Endpoint capability: the transport can
+// publish one payload to a whole group of peers in a single operation (a
+// shared-memory broadcast segment every colocated rank reads in place),
+// instead of one send per peer. BroadcastGroup returns the peer ranks that
+// receive such a publication (never including the endpoint's own rank; nil
+// or empty when the capability is unavailable), and BroadcastBudget the
+// largest payload byte count SendBroadcast accepts. SendBroadcast borrows
+// data for the duration of the call — ownership stays with the caller on
+// every path — and on return the payload is en route to every rank in
+// BroadcastGroup as an ordinary tagged message from this endpoint's rank;
+// like Send, it may block for flow control. Group membership and budget are
+// fixed for the endpoint's lifetime, so SPMD callers can derive consistent
+// routing decisions from them.
+type GroupBroadcaster interface {
+	BroadcastGroup() []int
+	BroadcastBudget() int
+	SendBroadcast(tag int, data tensor.Vector) error
+}
+
 // Message is the unit of communication: a payload of float64 values labelled
 // with the sending rank and a user tag. The Data vector is owned by whoever
 // currently holds the message (sender until Send, transport in flight,
@@ -191,6 +211,12 @@ type Communicator struct {
 	downHooks []func(rank int) // observers notified (outside mu) on each marking
 
 	discard []tagRange // sticky arrival-time discard ranges (see DiscardTagsOnArrival)
+
+	// slots is the direct-delivery match table, one slot per source rank (see
+	// direct.go). discardRanges mirrors discard for lock-free reads on the
+	// direct fast path; it is replaced, never mutated, under mu.
+	slots         []directSlot
+	discardRanges atomic.Pointer[[]tagRange]
 }
 
 // tagRange is a half-open [lo, hi) interval of tags.
@@ -203,6 +229,17 @@ type tagRange struct{ lo, hi int }
 func NewCommunicator(ep Endpoint) *Communicator {
 	c := &Communicator{ep: ep, down: make([]error, ep.Size()), closedCh: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
+	c.slots = make([]directSlot, ep.Size())
+	for i := range c.slots {
+		c.slots[i].init()
+	}
+	// Install the direct sink before the demux goroutine first touches the
+	// inbox: a DirectSource transport starts its receive loop on whichever of
+	// SetDeliver or Inbox it sees first, so ordering them this way guarantees
+	// every message of this communicator's lifetime travels one path.
+	if ds, ok := ep.(DirectSource); ok {
+		ds.SetDeliver(c.deliverDirect)
+	}
 	c.demuxWG.Add(1)
 	go c.demux()
 	if n, ok := ep.(PeerFailureNotifier); ok {
@@ -220,8 +257,7 @@ func (c *Communicator) demux() {
 			tensor.PutVector(m.Data) // demux was the last owner
 			continue
 		}
-		c.queue = append(c.queue, m)
-		c.cond.Broadcast()
+		c.dispatchLocked(m)
 		c.mu.Unlock()
 	}
 	c.mu.Lock()
@@ -287,6 +323,9 @@ func (c *Communicator) MarkPeerDown(rank int, cause error) {
 	c.down[rank] = cause
 	hooks := append([]func(int){}, c.downHooks...)
 	c.cond.Broadcast()
+	if c.slots != nil {
+		c.slots[rank].nudgeLocked() // wake a direct receiver naming this peer
+	}
 	c.mu.Unlock()
 	for _, fn := range hooks {
 		fn(rank)
@@ -454,6 +493,48 @@ func (c *Communicator) SendFrom(dest, tag int, a, b tensor.Vector, fill func(dst
 	return c.Send(dest, tag, tmp)
 }
 
+// BroadcastGroup returns the peer ranks a SendBroadcastCopy from this
+// communicator reaches in one transport-level publication, nil when the
+// endpoint has no group-broadcast capability (GroupBroadcaster). Callers
+// gate one-to-many protocols on it: the group and budget are fixed for the
+// communicator's lifetime, so every rank of an SPMD collective can derive
+// the same routing decision locally.
+func (c *Communicator) BroadcastGroup() []int {
+	if gb, ok := c.ep.(GroupBroadcaster); ok {
+		return gb.BroadcastGroup()
+	}
+	return nil
+}
+
+// BroadcastBudget returns the largest payload byte count SendBroadcastCopy
+// accepts, zero without the capability.
+func (c *Communicator) BroadcastBudget() int {
+	if gb, ok := c.ep.(GroupBroadcaster); ok {
+		return gb.BroadcastBudget()
+	}
+	return 0
+}
+
+// SendBroadcastCopy publishes data once to every rank in BroadcastGroup,
+// where it arrives as an ordinary tagged message from this rank — matched,
+// queued, and discarded exactly like a point-to-point send. data is
+// borrowed: the transport finishes with it before returning and the caller
+// keeps ownership on every path. Fails on endpoints without the capability;
+// callers must gate on BroadcastGroup first.
+func (c *Communicator) SendBroadcastCopy(tag int, data tensor.Vector) error {
+	gb, ok := c.ep.(GroupBroadcaster)
+	if !ok {
+		return fmt.Errorf("comm: endpoint does not support group broadcast")
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return gb.SendBroadcast(tag, data)
+}
+
 // SendCopyCancel behaves like SendCopy but gives up with ErrCanceled when
 // cancel is closed before the transport accepts the payload. A transport send
 // can block indefinitely on a stalled peer (e.g. TCP backpressure from a
@@ -523,9 +604,21 @@ func (c *Communicator) RecvTimeout(source, tag int, cancel <-chan struct{}, dead
 		if err := c.checkPeer(source); err != nil {
 			return nil, Status{}, err
 		}
+		if tag != AnyTag && c.slots != nil {
+			// Fully named receives take the direct-delivery path: same
+			// semantics, one goroutine hop instead of two (see direct.go).
+			return c.recvDirect(source, tag, cancel, deadline)
+		}
 	} else {
 		deadline = 0 // a wildcard receive names no peer to suspect
 	}
+	return c.recvQueued(source, tag, cancel, deadline)
+}
+
+// recvQueued is the classic cond-based receive: it waits for the demux (or a
+// direct delivery's fallback) to queue a matching message. Wildcard receives
+// and receives whose source slot is held by another receiver wait here.
+func (c *Communicator) recvQueued(source, tag int, cancel <-chan struct{}, deadline time.Duration) (tensor.Vector, Status, error) {
 	// Watcher goroutines convert channel close / timer expiry into
 	// condition-variable wakeups so the wait loop below can observe them.
 	var stop chan struct{}
@@ -627,6 +720,8 @@ func (c *Communicator) DiscardTagsOnArrival(lo, hi int) int {
 	}
 	c.mu.Lock()
 	c.discard = append(c.discard, tagRange{lo, hi})
+	mirror := append([]tagRange(nil), c.discard...)
+	c.discardRanges.Store(&mirror) // direct fast path reads this lock-free
 	c.mu.Unlock()
 	return c.DiscardTagRange(lo, hi)
 }

@@ -21,6 +21,7 @@ type HybridEndpoint struct {
 	inbox chan comm.Message
 	wg    sync.WaitGroup // the two inbox forwarders
 
+	startOnce sync.Once // forwarder launch (first Inbox call); consumed by Close
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -47,10 +48,19 @@ func NewHybridEndpoint(local, remote comm.Endpoint, colocated []bool) *HybridEnd
 		colocated: append([]bool(nil), colocated...),
 		inbox:     make(chan comm.Message, DefaultInboxDepth),
 	}
-	e.wg.Add(2)
-	go e.forward(local.Inbox())
-	go e.forward(remote.Inbox())
 	return e
+}
+
+// startForwarders launches the two inbox forwarders once. Like the shm
+// poller, they start lazily on the first Inbox call so a SetDeliver issued at
+// communicator construction reaches the ring side before its poller latches a
+// delivery mode.
+func (e *HybridEndpoint) startForwarders() {
+	e.startOnce.Do(func() {
+		e.wg.Add(2)
+		go e.forward(e.local.Inbox())
+		go e.forward(e.remote.Inbox())
+	})
 }
 
 // forward drains one sub-endpoint's inbox into the merged inbox. Ownership of
@@ -108,8 +118,53 @@ func (e *HybridEndpoint) SendFill(dest, tag int, a, b tensor.Vector, fill func(d
 }
 
 // Inbox returns the merged stream of messages from both paths. The channel is
-// closed after Close, once both sub-inboxes have drained.
-func (e *HybridEndpoint) Inbox() <-chan comm.Message { return e.inbox }
+// closed after Close, once both sub-inboxes have drained. The first call
+// starts the forwarders.
+func (e *HybridEndpoint) Inbox() <-chan comm.Message {
+	e.startForwarders()
+	return e.inbox
+}
+
+// SetDeliver routes the comm.DirectSource fast path to the ring side:
+// colocated peers' frames go straight from the local poll loop to the
+// communicator, while remote (TCP) frames keep the merged-inbox path. Each
+// source rank's messages travel exactly one of the two, so ordering is
+// preserved per source.
+func (e *HybridEndpoint) SetDeliver(fn func(m comm.Message)) {
+	if ds, ok := e.local.(comm.DirectSource); ok {
+		ds.SetDeliver(fn)
+	}
+}
+
+// BroadcastGroup forwards the comm.GroupBroadcaster capability of the ring
+// side: the colocated ranks that share this host's broadcast segments. In a
+// mixed world the group never covers the whole job, so whole-world broadcast
+// protocols fall back to per-pair sends — by the gating contract, not by
+// special-casing here.
+func (e *HybridEndpoint) BroadcastGroup() []int {
+	if gb, ok := e.local.(comm.GroupBroadcaster); ok {
+		return gb.BroadcastGroup()
+	}
+	return nil
+}
+
+// BroadcastBudget forwards the ring side's broadcast block budget.
+func (e *HybridEndpoint) BroadcastBudget() int {
+	if gb, ok := e.local.(comm.GroupBroadcaster); ok {
+		return gb.BroadcastBudget()
+	}
+	return 0
+}
+
+// SendBroadcast publishes to the colocated group through the ring side's
+// broadcast segment. Remote ranks are not covered — callers gate on
+// BroadcastGroup.
+func (e *HybridEndpoint) SendBroadcast(tag int, data tensor.Vector) error {
+	if gb, ok := e.local.(comm.GroupBroadcaster); ok {
+		return gb.SendBroadcast(tag, data)
+	}
+	return fmt.Errorf("transport: hybrid local endpoint has no broadcast segment")
+}
 
 // NotifyPeerFailure registers fn with both sub-endpoints, so a peer failure
 // observed on either path (ring torn down, TCP read loop died) surfaces. A
@@ -129,6 +184,7 @@ func (e *HybridEndpoint) NotifyPeerFailure(fn func(rank int, cause error)) {
 // remaining in the merged inbox are released.
 func (e *HybridEndpoint) Close() error {
 	e.closeOnce.Do(func() {
+		e.startOnce.Do(func() {}) // latch: no forwarder may start after close
 		lerr := e.local.Close()
 		rerr := e.remote.Close()
 		e.wg.Wait()

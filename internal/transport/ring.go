@@ -340,7 +340,7 @@ func (r *ringBuffer) writeRecord(recType int, payloadLen int, done <-chan struct
 			return ErrClosed
 		default:
 		}
-		if !r.parkStep(&spins, &r.prodWake, r.prodParked, func() bool {
+		if !parkStep(&spins, &r.prodWake, r.prodParked, func() bool {
 			return capacity-(tail-r.head.Load()) >= advance || r.consClosed.Load() != 0
 		}, done) {
 			return ErrClosed
@@ -386,12 +386,13 @@ func init() {
 	}
 }
 
-// parkStep advances one step of the spin → yield → park escalation. ready is
-// re-checked after the parked flag is raised (the lost-wakeup guard: the
-// opposite end reads the flag only after its own publish, so either it sees
-// the flag and signals, or this end's re-check sees the publish). Returns
-// false when done fired while parked.
-func (r *ringBuffer) parkStep(spins *int, parker *ringParker, parked *atomic.Uint32, ready func() bool, done <-chan struct{}) bool {
+// parkStep advances one step of the spin → yield → park escalation, shared
+// by the rings and the broadcast segments. ready is re-checked after the
+// parked flag is raised (the lost-wakeup guard: the opposite end reads the
+// flag only after its own publish, so either it sees the flag and signals,
+// or this end's re-check sees the publish). Returns false when done fired
+// while parked.
+func parkStep(spins *int, parker *ringParker, parked *atomic.Uint32, ready func() bool, done <-chan struct{}) bool {
 	*spins++
 	if *spins <= ringSpinBudget {
 		return true

@@ -82,6 +82,19 @@ func NewShmHubFor(size int, members []int, ringBytes int) *ShmHub {
 			rings[p][c] = rb
 		}
 	}
+	// One broadcast segment per member (bcast.go): that member produces,
+	// every other member consumes, parking on its endpoint's wake channel.
+	bcasts := make([]*bcastRegion, size)
+	for _, p := range members {
+		reg := newBcastRegion(p, size, DefaultBcastBytes, member)
+		reg.prodWake.wake = make(chan struct{}, 1)
+		for _, c := range members {
+			if c != p {
+				reg.consWake[c] = ringParker{wake: wakes[c]}
+			}
+		}
+		bcasts[p] = reg
+	}
 	for _, r := range members {
 		in := make([]*ringBuffer, size)
 		out := make([]*ringBuffer, size)
@@ -90,6 +103,12 @@ func NewShmHubFor(size int, members []int, ringBytes int) *ShmHub {
 			out[p] = rings[r][p]
 		}
 		h.eps[r] = newShmEndpoint(r, size, in, out, wakes[r])
+		h.eps[r].bcOut = bcasts[r]
+		for p := 0; p < size; p++ {
+			if p != r && bcasts[p] != nil {
+				h.eps[r].bcIn[p] = bcasts[p].reader(r)
+			}
+		}
 	}
 	return h
 }
@@ -135,8 +154,16 @@ type ShmEndpoint struct {
 
 	mu      sync.Mutex
 	closed  bool
+	started bool           // poller launched (first Inbox or SetDeliver call)
 	wg      sync.WaitGroup // the poller
 	senders sync.WaitGroup // in-flight deliverLocal calls; drained before closing the inbox
+
+	// deliverFn, when set, is the comm.DirectSource sink: the poller hands
+	// decoded frames straight to it instead of the inbox. It is latched
+	// before the poller starts and never changes, so the poller reads it
+	// without synchronization; self-sends keep the inbox path (one delivery
+	// path per source either way).
+	deliverFn func(m comm.Message)
 
 	readMu   sync.Mutex
 	readErr  error              // first ring corruption observed, kept for diagnostics
@@ -144,6 +171,14 @@ type ShmEndpoint struct {
 	failures map[int]error      // per-peer failures observed so far, for replay
 
 	dead []bool // poller-owned: rings no longer swept (peer EOF or corrupt)
+
+	// Broadcast segments (bcast.go): bcOut is the region this rank produces
+	// into (nil without one — cross-process endpoints, for now), bcIn the
+	// readers over colocated peers' regions, bcDead the poller-owned marks
+	// for regions no longer swept.
+	bcOut  *bcastRegion
+	bcIn   []*bcastReader
+	bcDead []bool
 
 	cleanups []func() // cross-process only: munmap + unlink, run at the end of Close
 }
@@ -159,9 +194,38 @@ func newShmEndpoint(rank, size int, in, out []*ringBuffer, wake chan struct{}) *
 		done:  make(chan struct{}),
 		dead:  make([]bool, size),
 	}
-	e.wg.Add(1)
-	go e.pollLoop()
+	e.bcIn = make([]*bcastReader, size)
+	e.bcDead = make([]bool, size)
 	return e
+}
+
+// startPoller launches the consumer goroutine once. The poller starts lazily
+// — on the first Inbox or SetDeliver call — so the delivery mode is decided
+// before the first frame is decoded and every message of the endpoint's
+// lifetime travels exactly one path.
+func (e *ShmEndpoint) startPoller() {
+	e.mu.Lock()
+	if !e.started && !e.closed {
+		e.started = true
+		e.wg.Add(1)
+		go e.pollLoop()
+	}
+	e.mu.Unlock()
+}
+
+// SetDeliver installs the comm.DirectSource sink and starts the poller in
+// direct mode. If the poller is already running (something consumed Inbox
+// first) the call is ignored: mixing delivery paths for one source could
+// reorder messages, so the mode is latched by whoever starts the poller.
+func (e *ShmEndpoint) SetDeliver(fn func(m comm.Message)) {
+	e.mu.Lock()
+	if !e.started && !e.closed {
+		e.deliverFn = fn
+		e.started = true
+		e.wg.Add(1)
+		go e.pollLoop()
+	}
+	e.mu.Unlock()
 }
 
 // Rank returns this endpoint's rank.
@@ -170,14 +234,22 @@ func (e *ShmEndpoint) Rank() int { return e.rank }
 // Size returns the number of ranks in the job.
 func (e *ShmEndpoint) Size() int { return e.size }
 
-// Inbox returns the stream of messages addressed to this rank.
-func (e *ShmEndpoint) Inbox() <-chan comm.Message { return e.inbox }
+// Inbox returns the stream of messages addressed to this rank. The first
+// call starts the poller in inbox mode (unless SetDeliver got there first).
+func (e *ShmEndpoint) Inbox() <-chan comm.Message {
+	e.startPoller()
+	return e.inbox
+}
 
 // NotifyPeerFailure registers the handler invoked when a peer's ring dies
 // mid-job (ring EOF or framing corruption). Failures observed before
 // registration are replayed immediately. Semantics mirror
 // TCPEndpoint.NotifyPeerFailure.
 func (e *ShmEndpoint) NotifyPeerFailure(fn func(rank int, cause error)) {
+	// Failure detection is the poller observing ring EOF/corruption, so
+	// registering interest starts it (in inbox mode unless SetDeliver already
+	// chose direct).
+	e.startPoller()
 	e.readMu.Lock()
 	e.onFail = append(e.onFail, fn)
 	replay := make(map[int]error, len(e.failures))
@@ -258,6 +330,42 @@ func (e *ShmEndpoint) SendFill(dest, tag int, a, b tensor.Vector, fill func(dst,
 		return true, fmt.Errorf("transport: ring to rank %d: %w", dest, err)
 	}
 	return true, err
+}
+
+// BroadcastGroup returns the colocated peer ranks that consume this rank's
+// broadcast segment (comm.GroupBroadcaster); nil without a segment.
+func (e *ShmEndpoint) BroadcastGroup() []int {
+	if e.bcOut == nil {
+		return nil
+	}
+	return e.bcOut.group
+}
+
+// BroadcastBudget returns the payload-byte budget of one broadcast block —
+// the largest payload SendBroadcast accepts. Zero without a segment.
+func (e *ShmEndpoint) BroadcastBudget() int {
+	if e.bcOut == nil {
+		return 0
+	}
+	return e.bcOut.maxBlock
+}
+
+// SendBroadcast publishes data (borrowed from the caller, fully encoded
+// before return) once into this rank's broadcast segment; every rank in
+// BroadcastGroup receives it as a message tagged (this rank, tag). It blocks
+// while the region is full — the same flow control as a ring send — and
+// fails with ErrFrameTooLarge past BroadcastBudget.
+func (e *ShmEndpoint) SendBroadcast(tag int, data tensor.Vector) error {
+	if e.bcOut == nil {
+		return fmt.Errorf("transport: rank %d has no broadcast segment", e.rank)
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return e.bcOut.publish(tag, data, e.done)
 }
 
 func (e *ShmEndpoint) send(dest int, m comm.Message, owned bool) error {
@@ -341,6 +449,9 @@ func (e *ShmEndpoint) Close() error {
 			r.closeProducer()
 		}
 	}
+	if e.bcOut != nil {
+		e.bcOut.closeProducer()
+	}
 	e.wg.Wait() // the poller exits via done; after this the consumer state is ours
 	for _, r := range e.in {
 		if r != nil {
@@ -350,6 +461,16 @@ func (e *ShmEndpoint) Close() error {
 			// for the receiver to release any still-outstanding alias.
 			r.retireAliases(unmapTeardown(r.unmap))
 		}
+	}
+	for _, br := range e.bcIn {
+		if br != nil {
+			// Leave peers' reclamation quorums so this rank's sweep debt
+			// cannot pin their regions.
+			br.reg.deadConsumer(e.rank)
+		}
+	}
+	if e.bcOut != nil {
+		e.bcOut.retire()
 	}
 	e.senders.Wait()
 	close(e.inbox)
@@ -390,7 +511,9 @@ func (e *ShmEndpoint) pollLoop() {
 				e.handleRingFailure(peer, err)
 			case res == ringMsg:
 				progress = true
-				if !e.deliver(m) {
+				if e.deliverFn != nil {
+					e.deliverFn(m)
+				} else if !e.deliver(m) {
 					return
 				}
 			case res == ringMore:
@@ -398,6 +521,31 @@ func (e *ShmEndpoint) pollLoop() {
 			case res == ringDead:
 				e.dead[peer] = true
 				e.handleRingFailure(peer, fmt.Errorf("transport: rank %d closed its ring (process exited?): %w", peer, io.EOF))
+			}
+		}
+		for peer := 0; peer < e.size; peer++ {
+			br := e.bcIn[peer]
+			if br == nil || e.bcDead[peer] {
+				continue
+			}
+			m, res, err := br.tryDequeue()
+			switch {
+			case err != nil:
+				e.bcDead[peer] = true
+				e.handleRingFailure(peer, err)
+			case res == ringMsg:
+				progress = true
+				if e.deliverFn != nil {
+					e.deliverFn(m)
+				} else if !e.deliver(m) {
+					return
+				}
+			case res == ringMore:
+				progress = true
+			case res == ringDead:
+				// The producer closed its segment: its ring EOF reports the
+				// exit, the drained region just stops being swept.
+				e.bcDead[peer] = true
 			}
 		}
 		if progress {
@@ -427,10 +575,20 @@ func (e *ShmEndpoint) parkPoller(spins int) bool {
 			r.consParked.Store(1)
 		}
 	}
+	for peer, br := range e.bcIn {
+		if br != nil && !e.bcDead[peer] {
+			br.reg.consParked[e.rank].Store(1)
+		}
+	}
 	defer func() {
 		for peer, r := range e.in {
 			if r != nil && !e.dead[peer] {
 				r.consParked.Store(0)
+			}
+		}
+		for peer, br := range e.bcIn {
+			if br != nil && !e.bcDead[peer] {
+				br.reg.consParked[e.rank].Store(0)
 			}
 		}
 	}()
@@ -444,6 +602,14 @@ func (e *ShmEndpoint) parkPoller(spins int) bool {
 			continue
 		}
 		if r.consPos != r.tail.Load() || r.prodClosed.Load() != 0 {
+			return true
+		}
+	}
+	for peer, br := range e.bcIn {
+		if br == nil || e.bcDead[peer] {
+			continue
+		}
+		if br.pos != br.reg.tail.Load() || br.reg.prodClosed.Load() != 0 {
 			return true
 		}
 	}
@@ -505,6 +671,15 @@ func (e *ShmEndpoint) handleRingFailure(peer int, cause error) {
 			e.readErr = cause
 		}
 		e.readMu.Unlock()
+		// A corrupt peer's broadcast segment is as untrustworthy as its ring;
+		// a clean EOF keeps draining the segment (the peer published before
+		// closing, and the region carries its own EOF).
+		e.bcDead[peer] = true
+	}
+	if e.bcOut != nil {
+		// The peer can no longer consume our segment: drop it from the
+		// reclamation quorum so its sweep debt cannot pin the region.
+		e.bcOut.deadConsumer(peer)
 	}
 	if fns := e.recordPeerFailure(peer, cause); len(fns) > 0 {
 		if r := e.out[peer]; r != nil {
