@@ -19,7 +19,11 @@
 //
 //   - -maxdrop P fails the run when any benchmark present in both snapshots
 //     lost more than P percent of its MB/s throughput — a throughput floor
-//     with tolerance, anchored to the committed snapshot.
+//     with tolerance, anchored to the committed snapshot. Because that floor
+//     is absolute, it only means something when both snapshots came from the
+//     same machine at the same parallelism: an environment mismatch
+//     (goos/goarch/cpu/gomaxprocs/numcpu) downgrades -maxdrop failures to
+//     warnings unless -strict-env is set.
 //   - -minratio NUM/DEN=R fails the run when, within the new snapshot, a
 //     benchmark whose name contains "/NUM/" does not reach R times the MB/s
 //     of its "/DEN/" sibling (the same name with the axis swapped). This
@@ -83,6 +87,7 @@ func main() {
 		compare   = flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
 		maxDrop   = flag.Float64("maxdrop", 0, "with -compare: fail when any shared benchmark's MB/s drops by more than this percentage (0 disables the gate)")
 		minRatio  = flag.String("minratio", "", `with -compare: throughput ratio gate on the new snapshot, "NUM/DEN=R" (e.g. shm/tcp=2): each "/NUM/" benchmark must reach R times the MB/s of its "/DEN/" sibling`)
+		strictEnv = flag.Bool("strict-env", false, "with -compare: enforce -maxdrop even when the snapshots were taken in different environments (by default a mismatch downgrades -maxdrop failures to warnings)")
 	)
 	flag.Parse()
 
@@ -91,7 +96,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare requires exactly two snapshot paths (old.json new.json)")
 			os.Exit(2)
 		}
-		if err := runCompare(flag.Arg(0), flag.Arg(1), *maxDrop, *minRatio); err != nil {
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *maxDrop, *minRatio, *strictEnv); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -155,8 +160,13 @@ func main() {
 // benchmarks present in both, followed by the names only one side has.
 // Positive ns/op deltas are regressions, positive MB/s deltas are wins.
 // When maxDrop > 0 or minRatio is set, the corresponding gate failures make
-// the comparison return an error after the full report has printed.
-func runCompare(oldPath, newPath string, maxDrop float64, minRatio string) error {
+// the comparison return an error after the full report has printed — except
+// that an environment mismatch between the snapshots downgrades -maxdrop
+// failures to warnings unless strictEnv is set: the absolute MB/s floor is
+// anchored to the committed snapshot's machine, so enforcing it against a run
+// at different parallelism or on a different CPU fails spuriously. The
+// within-snapshot -minratio gate is unaffected — it never crosses snapshots.
+func runCompare(oldPath, newPath string, maxDrop float64, minRatio string, strictEnv bool) error {
 	oldSnap, err := loadSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -165,7 +175,7 @@ func runCompare(oldPath, newPath string, maxDrop float64, minRatio string) error
 	if err != nil {
 		return err
 	}
-	warnEnvMismatch(oldSnap, newSnap, oldPath, newPath)
+	envMismatch := warnEnvMismatch(oldSnap, newSnap, oldPath, newPath)
 	oldBy := make(map[string]Result, len(oldSnap.Benchmarks))
 	for _, r := range oldSnap.Benchmarks {
 		oldBy[r.Name] = r
@@ -203,7 +213,17 @@ func runCompare(oldPath, newPath string, maxDrop float64, minRatio string) error
 
 	var failures []string
 	if maxDrop > 0 {
-		failures = append(failures, checkMaxDrop(oldBy, newSnap.Benchmarks, maxDrop)...)
+		drops := checkMaxDrop(oldBy, newSnap.Benchmarks, maxDrop)
+		if envMismatch && !strictEnv {
+			for _, d := range drops {
+				fmt.Fprintf(os.Stderr, "benchjson: WARNING (env mismatch, -maxdrop not enforced): %s\n", d)
+			}
+			if len(drops) > 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: WARNING: pass -strict-env to enforce -maxdrop across environments")
+			}
+		} else {
+			failures = append(failures, drops...)
+		}
 	}
 	if minRatio != "" {
 		f, err := checkMinRatio(newSnap.Benchmarks, minRatio)
@@ -222,13 +242,14 @@ func runCompare(oldPath, newPath string, maxDrop float64, minRatio string) error
 }
 
 // warnEnvMismatch prints a loud banner when the two snapshots were taken on
-// different machines or at different parallelism. The deltas still print —
-// a cross-environment diff can be exactly what the reader wants — but the
-// absolute MB/s columns (and the -maxdrop gate anchored to them) are not
-// apples-to-apples, and the warning makes that impossible to miss. Fields a
-// snapshot simply does not record (older snapshots predate gomaxprocs and
-// numcpu) are not mismatches.
-func warnEnvMismatch(oldSnap, newSnap Snapshot, oldPath, newPath string) {
+// different machines or at different parallelism, and reports whether a
+// mismatch was found (runCompare uses that to downgrade -maxdrop to a
+// warning). The deltas still print — a cross-environment diff can be exactly
+// what the reader wants — but the absolute MB/s columns (and the -maxdrop
+// gate anchored to them) are not apples-to-apples, and the warning makes that
+// impossible to miss. Fields a snapshot simply does not record (older
+// snapshots predate gomaxprocs and numcpu) are not mismatches.
+func warnEnvMismatch(oldSnap, newSnap Snapshot, oldPath, newPath string) bool {
 	var diffs []string
 	add := func(field, ov, nv string) {
 		if ov != "" && nv != "" && ov != nv {
@@ -246,13 +267,14 @@ func warnEnvMismatch(oldSnap, newSnap Snapshot, oldPath, newPath string) {
 	addInt("gomaxprocs", oldSnap.GoMaxProcs, newSnap.GoMaxProcs)
 	addInt("numcpu", oldSnap.NumCPU, newSnap.NumCPU)
 	if len(diffs) == 0 {
-		return
+		return false
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: WARNING: the snapshots were taken in different environments (%s vs %s):\n", oldPath, newPath)
 	for _, d := range diffs {
 		fmt.Fprintf(os.Stderr, "benchjson: WARNING:   %s\n", d)
 	}
 	fmt.Fprintln(os.Stderr, "benchjson: WARNING: absolute MB/s deltas below are not comparable; trust only within-snapshot ratios")
+	return true
 }
 
 // checkMaxDrop flags every benchmark whose MB/s fell by more than maxDrop

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSnapshot marshals a snapshot into dir and returns its path.
+func writeSnapshot(t *testing.T, dir, name string, snap Snapshot) string {
+	t.Helper()
+	doc, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal %s: %v", name, err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	return path
+}
+
+func mbps(v float64) map[string]float64 { return map[string]float64{"MB/s": v} }
+
+// snapshotPair builds an old/new snapshot pair where the one shared benchmark
+// lost half its throughput — far past any reasonable -maxdrop tolerance —
+// with the environment fields given.
+func snapshotPair(t *testing.T, dir string, oldProcs, newProcs int) (string, string) {
+	t.Helper()
+	oldSnap := Snapshot{
+		Date: "2026-01-01", GOOS: "linux", GOARCH: "amd64", GoMaxProcs: oldProcs, NumCPU: oldProcs,
+		Benchmarks: []Result{{Name: "BenchmarkRing/shm/64Ki", Iterations: 50, NsPerOp: 1000, Metrics: mbps(1000)}},
+	}
+	newSnap := Snapshot{
+		Date: "2026-01-02", GOOS: "linux", GOARCH: "amd64", GoMaxProcs: newProcs, NumCPU: newProcs,
+		Benchmarks: []Result{{Name: "BenchmarkRing/shm/64Ki", Iterations: 50, NsPerOp: 2000, Metrics: mbps(500)}},
+	}
+	return writeSnapshot(t, dir, "old.json", oldSnap), writeSnapshot(t, dir, "new.json", newSnap)
+}
+
+func TestCompareMaxDropFailsSameEnv(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := snapshotPair(t, dir, 8, 8)
+	if err := runCompare(oldPath, newPath, 30, "", false); err == nil {
+		t.Fatal("50% drop in identical environments passed a 30% -maxdrop gate")
+	}
+}
+
+func TestCompareMaxDropDowngradedOnEnvMismatch(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := snapshotPair(t, dir, 16, 8) // stale snapshot from a wider machine
+	if err := runCompare(oldPath, newPath, 30, "", false); err != nil {
+		t.Fatalf("env mismatch must downgrade -maxdrop to a warning, got: %v", err)
+	}
+}
+
+func TestCompareMaxDropStrictEnvEnforces(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := snapshotPair(t, dir, 16, 8)
+	if err := runCompare(oldPath, newPath, 30, "", true); err == nil {
+		t.Fatal("-strict-env must enforce -maxdrop despite the env mismatch")
+	}
+}
+
+func TestCompareMinRatioUnaffectedByEnvMismatch(t *testing.T) {
+	dir := t.TempDir()
+	// The ratio gate reads only the new snapshot, so a cross-env comparison
+	// must still enforce it: shm at 1.5x tcp fails a 2x floor.
+	oldSnap := Snapshot{Date: "2026-01-01", GoMaxProcs: 16, NumCPU: 16, Benchmarks: []Result{
+		{Name: "BenchmarkRing/shm/64Ki", Iterations: 50, NsPerOp: 1000, Metrics: mbps(1000)},
+	}}
+	newSnap := Snapshot{Date: "2026-01-02", GoMaxProcs: 8, NumCPU: 8, Benchmarks: []Result{
+		{Name: "BenchmarkRing/shm/64Ki", Iterations: 50, NsPerOp: 1000, Metrics: mbps(900)},
+		{Name: "BenchmarkRing/tcp/64Ki", Iterations: 50, NsPerOp: 1500, Metrics: mbps(600)},
+	}}
+	oldPath := writeSnapshot(t, dir, "old.json", oldSnap)
+	newPath := writeSnapshot(t, dir, "new.json", newSnap)
+	if err := runCompare(oldPath, newPath, 0, "shm/tcp=2", false); err == nil {
+		t.Fatal("-minratio is within-snapshot and must stay enforced under env mismatch")
+	}
+	if err := runCompare(oldPath, newPath, 0, "shm/tcp=1.4", false); err != nil {
+		t.Fatalf("satisfied -minratio failed: %v", err)
+	}
+}

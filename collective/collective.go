@@ -202,6 +202,13 @@ const (
 	// vectors — zero syscalls per exchange. Combine with WithHosts to run a
 	// mixed world where colocated rank pairs use rings and remote pairs TCP.
 	Shm
+	// Sim runs the ranks over the deterministic simulation transport: a
+	// discrete-event network with a virtual clock where per-link latency and
+	// per-rank compute skew are drawn from seed-derived streams (see
+	// WithSimConfig). The full real stack runs unmodified on top, with no
+	// sockets and no wall-clock sleeps, so worlds far larger than the socket
+	// transports allow fit in one test process.
+	Sim
 )
 
 // String returns the transport name.
@@ -213,6 +220,8 @@ func (t Transport) String() string {
 		return "tcp"
 	case Shm:
 		return "shm"
+	case Sim:
+		return "sim"
 	default:
 		return fmt.Sprintf("transport(%d)", int(t))
 	}

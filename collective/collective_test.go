@@ -74,6 +74,13 @@ func TestReduceRoundTripEveryModeAndTransport(t *testing.T) {
 			// cross-host pairs stay on TCP.
 			collective.WithHosts(0, 0, 1, 1),
 		}},
+		{"sim", []collective.Option{
+			collective.WithTransport(collective.Sim),
+			collective.WithSimConfig(collective.SimConfig{
+				Seed:    7,
+				Latency: collective.SimUniform(10*time.Microsecond, 50*time.Microsecond),
+			}),
+		}},
 	}
 	for ti, tr := range transports {
 		for mi, m := range modes {

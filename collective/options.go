@@ -30,6 +30,7 @@ type config struct {
 	faults       *faults.Scenario
 	hosts        []int
 	dialRetry    time.Duration
+	sim          SimConfig
 
 	// epoch and epochShift are internal: elastic worlds stamp them on the
 	// option set handed to reducer construction so every reducer of epoch e
@@ -60,8 +61,8 @@ func (c config) with(opts []Option) config {
 // options override earlier ones.
 type Option func(*config)
 
-// WithTransport selects the wire layer (Inproc, TCP, or Shm) the world runs
-// on. Default Inproc.
+// WithTransport selects the wire layer (Inproc, TCP, Shm, or Sim) the world
+// runs on. Default Inproc.
 func WithTransport(t Transport) Option {
 	return func(c *config) { c.transport = t }
 }

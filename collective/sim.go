@@ -1,0 +1,71 @@
+package collective
+
+import (
+	"time"
+
+	"eagersgd/internal/simnet"
+)
+
+// SimModel models a latency or compute-skew distribution of the simulated
+// transport. Values are built with SimConstant, SimUniform, SimPareto,
+// SimTrace, SimTraceAligned, or parsed from a spec string with ParseSimModel;
+// the same vocabulary parameterizes the standalone sweep driver
+// (cmd/simsweep).
+type SimModel = simnet.Model
+
+// SimConstant models a fixed duration every draw.
+func SimConstant(d time.Duration) SimModel { return simnet.Constant(d) }
+
+// SimUniform models durations uniform in [lo, hi] (inclusive).
+func SimUniform(lo, hi time.Duration) SimModel { return simnet.Uniform(lo, hi) }
+
+// SimPareto models a heavy-tailed Pareto distribution with the given scale
+// (minimum value) and shape alpha, truncated at cap — the straggler
+// distribution of the paper's skew experiments.
+func SimPareto(scale time.Duration, alpha float64, cap time.Duration) SimModel {
+	return simnet.Pareto(scale, alpha, cap)
+}
+
+// SimTrace replays the given samples cyclically; each entity starts at a
+// seed-rotated offset, decorrelating the ranks.
+func SimTrace(samples []time.Duration) SimModel { return simnet.Trace(samples) }
+
+// SimTraceAligned replays the samples cyclically with no per-entity rotation,
+// so every rank stalls in the same rounds — the coordinated-straggler
+// scenario.
+func SimTraceAligned(samples []time.Duration) SimModel { return simnet.TraceAligned(samples) }
+
+// ParseSimModel parses a model spec string: "constant:DUR", "uniform:LO,HI",
+// "pareto:SCALE,ALPHA,CAP", "trace:DUR,...", "tracealigned:DUR,...", or a
+// bare duration (meaning constant).
+func ParseSimModel(spec string) (SimModel, error) { return simnet.ParseModel(spec) }
+
+// SimConfig parameterizes the Sim transport's virtual network.
+type SimConfig struct {
+	// Seed is the root seed every per-entity stream (per-link latency, per-rank
+	// skew) derives from. Zero is a valid seed, distinct from all others.
+	Seed uint64
+	// Latency models per-link message latency; nil means instant delivery.
+	Latency SimModel
+	// Skew models per-rank compute time per virtual compute advance; nil means
+	// none.
+	Skew SimModel
+}
+
+// WithSimConfig parameterizes the Sim transport (seed, latency model, skew
+// model). Ignored by the other transports; the zero value — instant delivery,
+// no skew — is the default, so WithTransport(Sim) alone is valid.
+func WithSimConfig(sc SimConfig) Option {
+	return func(c *config) { c.sim = sc }
+}
+
+// SimNow returns the simulated world's global virtual clock. ok is false when
+// the world does not run on the Sim transport.
+func (w *World) SimNow() (d time.Duration, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.gen == nil || w.gen.simHub == nil {
+		return 0, false
+	}
+	return w.gen.simHub.Now(), true
+}

@@ -1,0 +1,245 @@
+package collective_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"eagersgd/collective"
+	"eagersgd/internal/tensor"
+)
+
+// simTestConfig is the virtual network every test here runs on: seeded link
+// jitter plus heavy-tailed compute skew, the paper's straggler regime.
+func simTestConfig(seed uint64) collective.SimConfig {
+	return collective.SimConfig{
+		Seed:    seed,
+		Latency: collective.SimUniform(20*time.Microsecond, 120*time.Microsecond),
+		Skew:    collective.SimPareto(50*time.Microsecond, 1.3, 20*time.Millisecond),
+	}
+}
+
+// TestSimWorldSyncMatchesInproc runs the same synchronous reduction over the
+// Sim transport and over inproc: the Sim transport only reschedules
+// deliveries in virtual time, so the arithmetic must agree bit for bit. Also
+// pins World.SimNow: the virtual clock advances for Sim worlds and reports
+// ok=false elsewhere.
+func TestSimWorldSyncMatchesInproc(t *testing.T) {
+	const (
+		size   = 5 // non-power-of-two exercises the fold paths
+		dim    = 17
+		rounds = 4
+	)
+	before := tensor.ReadPoolStats()
+	run := func(opts ...collective.Option) ([][]tensor.Vector, *collective.World) {
+		opts = append([]collective.Option{collective.WithMode(collective.Sync)}, opts...)
+		w, err := collective.NewWorld(size, opts...)
+		if err != nil {
+			t.Fatalf("world: %v", err)
+		}
+		sums := make([][]tensor.Vector, size)
+		runRanks(t, size, func(rank int) error {
+			red, err := w.Node(rank).Reducer(dim)
+			if err != nil {
+				return err
+			}
+			defer red.Close()
+			for round := 0; round < rounds; round++ {
+				grad := tensor.NewVector(dim)
+				for i := range grad {
+					grad[i] = float64((rank + 1) * (round + 1))
+				}
+				res, err := red.Reduce(context.Background(), grad)
+				if err != nil {
+					return err
+				}
+				sums[rank] = append(sums[rank], res.Sum)
+			}
+			return nil
+		})
+		return sums, w
+	}
+
+	inprocSums, inprocWorld := run(collective.WithTransport(collective.Inproc))
+	if _, ok := inprocWorld.SimNow(); ok {
+		t.Error("SimNow reported ok for an inproc world")
+	}
+	simSums, simWorld := run(
+		collective.WithTransport(collective.Sim),
+		collective.WithSimConfig(simTestConfig(11)),
+	)
+	if now, ok := simWorld.SimNow(); !ok {
+		t.Error("SimNow reported !ok for a Sim world")
+	} else if now <= 0 {
+		t.Errorf("virtual clock did not advance across %d reductions: %v", rounds, now)
+	}
+
+	for rank := 0; rank < size; rank++ {
+		for round := 0; round < rounds; round++ {
+			if !simSums[rank][round].Equal(inprocSums[rank][round]) {
+				t.Fatalf("rank %d round %d: sim sum %v != inproc sum %v",
+					rank, round, simSums[rank][round], inprocSums[rank][round])
+			}
+		}
+	}
+	for _, sums := range [][][]tensor.Vector{inprocSums, simSums} {
+		for _, perRank := range sums {
+			for _, s := range perRank {
+				tensor.PutVector(s)
+			}
+		}
+	}
+	if err := inprocWorld.Close(); err != nil {
+		t.Fatalf("inproc close: %v", err)
+	}
+	if err := simWorld.Close(); err != nil {
+		t.Fatalf("sim close: %v", err)
+	}
+	after := tensor.ReadPoolStats()
+	if n := after.OutstandingSince(before); n != 0 {
+		t.Fatalf("paired sim/inproc run leaked %d pool leases%s", n, tensor.FormatLeaseReport())
+	}
+}
+
+// TestSimWorldEagerAtScale trains a solo world of 64 ranks — beyond what the
+// socket transports comfortably host in one test — over heavy-tailed
+// simulated skew, and requires every rank to finish with clean lease
+// accounting. This is the Sim transport's reason to exist: the real stack at
+// sizes sockets cannot reach.
+func TestSimWorldEagerAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-rank world takes a moment")
+	}
+	const (
+		size  = 64
+		dim   = 32
+		steps = 3
+	)
+	before := tensor.ReadPoolStats()
+	w, err := collective.NewWorld(size,
+		collective.WithTransport(collective.Sim),
+		collective.WithSimConfig(simTestConfig(23)),
+		collective.WithMode(collective.Solo),
+		collective.WithSeed(23),
+	)
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	runRanks(t, size, func(rank int) error {
+		red, err := w.Node(rank).Reducer(dim)
+		if err != nil {
+			return err
+		}
+		defer red.Close()
+		grad := make(tensor.Vector, dim)
+		for s := 0; s < steps; s++ {
+			res, err := red.Reduce(context.Background(), grad)
+			if err != nil {
+				return err
+			}
+			tensor.PutVector(res.Sum)
+		}
+		return nil
+	})
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	after := tensor.ReadPoolStats()
+	if n := after.OutstandingSince(before); n != 0 {
+		t.Fatalf("64-rank sim run leaked %d pool leases%s", n, tensor.FormatLeaseReport())
+	}
+}
+
+// TestChaosSimRankCrashPartialTraining replays the PR 5 acceptance scenario —
+// a scripted rank crash mid-training with deadline detection — on the Sim
+// transport: the fault injector wraps simulated endpoints exactly as it wraps
+// socket endpoints, survivors complete every step, the crashed rank observes
+// its death as an error (never a hang), and nothing leaks.
+func TestChaosSimRankCrashPartialTraining(t *testing.T) {
+	const (
+		size      = 4
+		dim       = 48
+		steps     = 6
+		crashRank = 2
+		crashStep = 2
+	)
+	before := tensor.ReadPoolStats()
+	sc := collective.FaultScenario{
+		Name:          "sim-crash",
+		Seed:          1,
+		CrashAtStep:   map[int]int{crashRank: crashStep},
+		SignalCrashes: true,
+	}
+	w, err := collective.NewWorld(size,
+		collective.WithTransport(collective.Sim),
+		collective.WithSimConfig(simTestConfig(31)),
+		collective.WithMode(collective.Solo),
+		collective.WithSeed(1),
+		collective.WithPeerDeadline(5*time.Second),
+		collective.WithFaults(sc),
+	)
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	inj := w.FaultInjector()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	completed := make([]int, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		red, err := w.Node(r).Reducer(dim)
+		if err != nil {
+			t.Fatalf("rank %d reducer: %v", r, err)
+		}
+		wg.Add(1)
+		go func(r int, red collective.Reducer) {
+			defer wg.Done()
+			grad := make(tensor.Vector, dim)
+			for s := 0; s < steps; s++ {
+				res, err := red.Reduce(ctx, grad)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				tensor.PutVector(res.Sum)
+				completed[r]++
+				inj.AdvanceStep(r)
+			}
+		}(r, red)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		t.Fatal("sim chaos scenario hung: a rank's reduction neither completed nor failed")
+	}
+
+	for r := 0; r < size; r++ {
+		if r == crashRank {
+			if completed[r] < crashStep {
+				t.Errorf("crashed rank completed %d steps, scripted to reach %d", completed[r], crashStep)
+			}
+			if completed[r] < steps && errs[r] == nil {
+				t.Errorf("crashed rank stopped at step %d with no error", completed[r])
+			}
+			continue
+		}
+		if completed[r] != steps {
+			t.Errorf("survivor %d completed %d of %d steps (err=%v)", r, completed[r], steps, errs[r])
+		}
+	}
+	if st := w.Peers()[crashRank]; st.Up {
+		t.Errorf("World.Peers reports crashed rank %d up", crashRank)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	after := tensor.ReadPoolStats()
+	if n := after.OutstandingSince(before); n != 0 {
+		t.Fatalf("sim crash scenario leaked %d pool leases%s", n, tensor.FormatLeaseReport())
+	}
+}

@@ -729,7 +729,14 @@ func (c *Communicator) DiscardTagsOnArrival(lo, hi int) int {
 // discardedLocked reports whether a tag falls in a registered arrival-time
 // discard range. Caller holds c.mu.
 func (c *Communicator) discardedLocked(tag int) bool {
-	for _, r := range c.discard {
+	return tagInRanges(c.discard, tag)
+}
+
+// tagInRanges reports whether tag falls in any of the half-open ranges. Used
+// lock-free by the direct fast path (on the immutable mirror slice) and under
+// c.mu by discardedLocked.
+func tagInRanges(rs []tagRange, tag int) bool {
+	for _, r := range rs {
 		if tag >= r.lo && tag < r.hi {
 			return true
 		}

@@ -136,16 +136,46 @@ func (s *directSlot) nudgeLocked() {
 	}
 }
 
+// testHookDirectPreClaim, when non-nil, runs on the direct fast path between
+// the lock-free discard-range check and the claim attempt. It exists only so
+// tests can deterministically interleave a DiscardTagsOnArrival installation
+// into that window — the historical race the post-claim re-check closes.
+var testHookDirectPreClaim func(m Message)
+
 // deliverDirect is the sink installed on DirectSource transports: the
 // receive loop calls it once per decoded message, transferring ownership of
 // m.Data. The fast path claims an armed matching slot with no lock; every
-// miss — no receiver posted, tag mismatch, wildcard waiters, discard ranges
-// in force — takes c.mu and runs the same dispatch the demux goroutine uses,
-// so the two paths are observationally identical.
+// miss — no receiver posted, tag mismatch, wildcard waiters, a tag under an
+// arrival-time discard range — takes c.mu and runs the same dispatch the
+// demux goroutine uses, so the two paths are observationally identical.
+//
+// The arrival-time discard ranges are re-checked AFTER a successful claim:
+// the pre-claim load alone races DiscardTagsOnArrival (load nil, lose the CPU
+// to the installation, then claim — handing the receiver a frame the
+// blocklist was meant to kill, e.g. a wrapped-epoch straggler). The re-check
+// cannot miss an installation the receiver is entitled to: the claim's CAS on
+// the slot word synchronizes with the receiver's arm store, and arming
+// happens under c.mu — the same lock the ranges are installed under — so a
+// range installed before the receiver armed is always visible to the
+// post-claim load.
 func (c *Communicator) deliverDirect(m Message) {
-	if c.discardRanges.Load() == nil {
-		s := &c.slots[m.Source]
+	s := &c.slots[m.Source]
+	if r := c.discardRanges.Load(); r == nil || !tagInRanges(*r, m.Tag) {
+		if testHookDirectPreClaim != nil {
+			testHookDirectPreClaim(m)
+		}
 		if s.tryClaim(m.Tag) {
+			if r := c.discardRanges.Load(); r != nil && tagInRanges(*r, m.Tag) {
+				// Discarded after the claim won the slot: release the payload
+				// and complete the slot protocol with an empty sentinel
+				// delivery, so the receiver (or its disarm) observes a
+				// spurious wake instead of a dead epoch's frame. Source -1
+				// marks the sentinel; real messages always carry a rank in
+				// [0, Size).
+				tensor.PutVector(m.Data)
+				s.ch <- Message{Source: -1}
+				return
+			}
 			s.ch <- m
 			return
 		}
@@ -166,6 +196,16 @@ func (c *Communicator) deliverDirect(m Message) {
 // Caller holds c.mu. Used by both the demux goroutine and deliverDirect's
 // slow path, so slot receivers see deliveries from every transport path.
 func (c *Communicator) dispatchLocked(m Message) {
+	if c.closed {
+		// The transport is down and Close has (or is about to have) purged the
+		// unexpected queue. A frame decoded by a transport poll loop racing
+		// Close — the demux goroutine is already gone, so only the direct
+		// sink can land here — must be released, not queued: nothing will
+		// ever match a message queued after the purge, and its lease would
+		// leak forever.
+		tensor.PutVector(m.Data)
+		return
+	}
 	if c.slots != nil {
 		s := &c.slots[m.Source]
 		if s.tryClaim(m.Tag) {
@@ -241,6 +281,12 @@ func (c *Communicator) recvDirect(source, tag int, cancel <-chan struct{}, deadl
 		select {
 		case m := <-s.ch:
 			s.release(w)
+			if m.Source < 0 {
+				// Sentinel: the claimed delivery was discarded after its claim
+				// (see deliverDirect). The receive is still outstanding —
+				// re-run the state checks and re-arm with a fresh generation.
+				continue
+			}
 			return m.Data, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
 		case <-s.nudge:
 		case <-cancel:
@@ -252,6 +298,9 @@ func (c *Communicator) recvDirect(source, tag int, cancel <-chan struct{}, deadl
 		// would likewise deliver an already-arrived message before reporting
 		// cancellation, closure, or peer death).
 		if m, ok := s.disarm(w); ok {
+			if m.Source < 0 {
+				continue // a discarded claim's sentinel — nothing was delivered
+			}
 			return m.Data, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
 		}
 	}

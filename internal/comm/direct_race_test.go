@@ -1,0 +1,198 @@
+package comm
+
+// Regression tests for two races on the direct-delivery path (PR 9):
+//
+//   - dispatchLocked queued a frame without checking c.closed, so a delivery
+//     decoded by a transport poll loop racing Close landed in the
+//     already-purged unexpected queue and its pool lease leaked forever.
+//   - deliverDirect checked the arrival-time discard ranges only before its
+//     claim CAS, so a DiscardTagsOnArrival installed between the load and the
+//     claim could hand a discarded-tag frame (e.g. a wrapped-epoch straggler)
+//     to an armed receiver.
+//
+// These live in the internal package: the discard-race test needs the
+// testHookDirectPreClaim seam to deterministically interleave the
+// installation into the historical race window, and both need a stub
+// DirectSource endpoint whose deliver function the test can invoke as if it
+// were the transport's poll loop.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"eagersgd/internal/tensor"
+)
+
+// stubDirectEndpoint is a minimal DirectSource transport: it never produces
+// inbox traffic itself, but hands the communicator's deliver sink to the test
+// so deliveries can be injected synchronously, exactly as the shm poll loop
+// would call it.
+type stubDirectEndpoint struct {
+	rank, size int
+	inbox      chan Message
+	deliverFn  func(Message)
+	closeOnce  sync.Once
+}
+
+func newStubDirectEndpoint(rank, size int) *stubDirectEndpoint {
+	return &stubDirectEndpoint{rank: rank, size: size, inbox: make(chan Message)}
+}
+
+func (e *stubDirectEndpoint) Rank() int { return e.rank }
+func (e *stubDirectEndpoint) Size() int { return e.size }
+
+func (e *stubDirectEndpoint) Send(dest int, m Message) error {
+	tensor.PutVector(m.Data) // Send takes ownership on every path
+	return nil
+}
+
+func (e *stubDirectEndpoint) Inbox() <-chan Message { return e.inbox }
+
+func (e *stubDirectEndpoint) Close() error {
+	e.closeOnce.Do(func() { close(e.inbox) })
+	return nil
+}
+
+func (e *stubDirectEndpoint) SetDeliver(fn func(Message)) { e.deliverFn = fn }
+
+// waitArmed spins until the receiver goroutine has armed the slot.
+func waitArmed(t *testing.T, s *directSlot) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.state.Load()&slotPhaseMask != slotArmed {
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never armed its direct slot")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestChaosDirectCloseRaceReleasesLease pins the close-race fix: a frame the
+// transport's poll loop decoded concurrently with Close arrives after the
+// unexpected queue has been purged. It must be released back to the pool, not
+// queued — nothing can ever match a message queued after the purge, so
+// queueing it leaks the lease forever (the pre-fix behavior).
+func TestChaosDirectCloseRaceReleasesLease(t *testing.T) {
+	ep := newStubDirectEndpoint(0, 2)
+	c := NewCommunicator(ep)
+	before := tensor.ReadPoolStats()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The poll loop's last frame lands after the purge.
+	ep.deliverFn(Message{Source: 1, Tag: 7, Data: tensor.GetVector(32)})
+	if n := tensor.ReadPoolStats().OutstandingSince(before); n != 0 {
+		t.Fatalf("delivery racing Close leaked %d pool leases%s", n, tensor.FormatLeaseReport())
+	}
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("message queued after Close: pending = %d, want 0", got)
+	}
+}
+
+// TestChaosDirectDiscardRaceInterleavedInstall pins the discard-race fix
+// deterministically: the test hook runs DiscardTagsOnArrival inside the
+// window between deliverDirect's lock-free range check and its claim CAS —
+// the exact interleaving that pre-fix handed the discarded frame to the
+// armed receiver. With the post-claim re-check the frame is released and the
+// receiver observes only a spurious wake; it must end with ErrCanceled,
+// never the dead tag's payload.
+func TestChaosDirectDiscardRaceInterleavedInstall(t *testing.T) {
+	ep := newStubDirectEndpoint(0, 2)
+	c := NewCommunicator(ep)
+	defer c.Close()
+	const tag = 4242
+	before := tensor.ReadPoolStats()
+
+	type result struct {
+		data tensor.Vector
+		err  error
+	}
+	cancel := make(chan struct{})
+	done := make(chan result, 1)
+	go func() {
+		data, _, err := c.RecvCancel(1, tag, cancel)
+		done <- result{data, err}
+	}()
+	waitArmed(t, &c.slots[1])
+
+	installed := make(chan struct{})
+	testHookDirectPreClaim = func(Message) {
+		c.DiscardTagsOnArrival(tag, tag+1)
+		close(installed)
+	}
+	defer func() { testHookDirectPreClaim = nil }()
+
+	ep.deliverFn(Message{Source: 1, Tag: tag, Data: tensor.GetVector(16)})
+	<-installed
+
+	// The receiver must not complete with the discarded frame.
+	select {
+	case r := <-done:
+		t.Fatalf("receiver completed with a discarded-tag frame: data=%v err=%v", r.data, r.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(cancel)
+	r := <-done
+	if !errors.Is(r.err, ErrCanceled) {
+		t.Fatalf("receiver finished with err=%v (data=%v), want ErrCanceled", r.err, r.data)
+	}
+	if n := tensor.ReadPoolStats().OutstandingSince(before); n != 0 {
+		t.Fatalf("discarded delivery leaked %d pool leases%s", n, tensor.FormatLeaseReport())
+	}
+}
+
+// TestChaosDirectDiscardRaceHammer interleaves direct deliveries, advancing
+// arrival-time discard installations, and slot receivers concurrently — run
+// under -race in the chaos matrix, it exercises the claim/re-check/sentinel
+// protocol from every side. The invariant checked is the one both bugs
+// violated: every lease is accounted for, whether a frame was delivered,
+// discarded, or purged at Close.
+func TestChaosDirectDiscardRaceHammer(t *testing.T) {
+	ep := newStubDirectEndpoint(0, 2)
+	c := NewCommunicator(ep)
+	before := tensor.ReadPoolStats()
+
+	const rounds = 400
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // the poll loop: one frame per round tag, in order
+		defer wg.Done()
+		for tag := 0; tag < rounds; tag++ {
+			ep.deliverFn(Message{Source: 1, Tag: tag, Data: tensor.GetVector(8)})
+		}
+	}()
+	wg.Add(1)
+	go func() { // epoch retirement: the blocklist sweeps across the tag space
+		defer wg.Done()
+		for lo := 0; lo < rounds; lo += 4 {
+			c.DiscardTagsOnArrival(lo, lo+4)
+		}
+	}()
+
+	var recvWG sync.WaitGroup
+	recvWG.Add(1)
+	go func() { // receivers racing the two above; discarded tags never arrive
+		defer recvWG.Done()
+		for tag := 0; tag < rounds; tag++ {
+			data, _, err := c.RecvCancel(1, tag, stop)
+			if err != nil {
+				return // canceled at drain time; remaining frames purge at Close
+			}
+			tensor.PutVector(data)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	recvWG.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if n := tensor.ReadPoolStats().OutstandingSince(before); n != 0 {
+		t.Fatalf("hammer leaked %d pool leases%s", n, tensor.FormatLeaseReport())
+	}
+}
